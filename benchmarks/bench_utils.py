@@ -1,0 +1,8 @@
+"""Shared helpers for the E1-E11 benchmark suite."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

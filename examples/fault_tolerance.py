@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Fault tolerance: kill a server under load and watch the repair.
+
+Runs a steady workload against a 6-server ChainReaction deployment,
+crashes one server mid-run, and prints the throughput timeline: the dip
+while clients time out and the failure detector fires, the chain
+reconfiguration with state transfer, and the recovery on 5 servers.
+Finishes by verifying that no data was lost.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro.baselines import build_store
+from repro.metrics import render_series
+from repro.workload import WorkloadRunner, workload
+
+CRASH_AT = 1.0
+
+
+def main() -> None:
+    store = build_store("chainreaction", servers_per_site=6, chain_length=3, ack_k=2, seed=3)
+    victim = store.servers()[0]
+    store.sim.schedule_at(CRASH_AT, victim.crash)
+
+    spec = workload("A", record_count=100, value_size=64)
+    runner = WorkloadRunner(store, spec, n_clients=16, duration=3.0, warmup=0.2)
+    print(f"running 16 clients, crashing {victim.address} at t={CRASH_AT}s ...\n")
+    result = runner.run()
+
+    print(render_series(result.timeline.series(), "t (s)", "ops/s",
+                        title="throughput timeline"))
+
+    before = result.timeline.rate_between(0.4, CRASH_AT)
+    dip = result.timeline.rate_between(CRASH_AT, CRASH_AT + 0.6)
+    after = result.timeline.rate_between(CRASH_AT + 1.2, 3.2)
+    print(f"\nbefore crash : {before:8.0f} ops/s")
+    print(f"during outage: {dip:8.0f} ops/s")
+    print(f"after repair : {after:8.0f} ops/s  (on 5 of 6 servers)")
+
+    manager = store.managers["dc0"]
+    print(f"\nview epoch {manager.view.epoch}, members {manager.view.servers}")
+
+    # Verify no acknowledged write was lost: read back every key.
+    session = store.session()
+    missing = 0
+    for i in range(spec.record_count):
+        fut = session.get(spec.key(i))
+        store.sim.run(until=store.sim.now + 0.2)
+        if fut.failed() or fut.result().value is None:
+            missing += 1
+    print(f"post-repair audit: {spec.record_count - missing}/{spec.record_count} keys readable")
+    print(f"client-visible operation errors during the run: {result.errors}")
+
+
+if __name__ == "__main__":
+    main()

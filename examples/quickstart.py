@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: a ChainReaction cluster in sixty lines.
+
+Builds a single-datacenter deployment, writes and reads a few keys, and
+prints what the protocol did under the hood — chain placement, the k-ack
+position, DC-stability, and the client's causality metadata.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ChainReactionConfig, ChainReactionStore
+
+
+def main() -> None:
+    # 6 servers, every key on a chain of R=3 of them, writes acknowledged
+    # once k=2 chain positions hold them.
+    config = ChainReactionConfig(servers_per_site=6, chain_length=3, ack_k=2)
+    store = ChainReactionStore(config)
+    sim = store.sim
+
+    alice = store.session(session_id="alice")
+    bob = store.session(session_id="bob")
+
+    # --- a write --------------------------------------------------------
+    fut = alice.put("photo:1234", "beach.jpg")
+    sim.run(until=1.0)
+    put = fut.result()
+    chain = store.managers["dc0"].view.chain_for("photo:1234")
+    print(f"photo:1234 lives on chain {chain}")
+    print(f"alice's put got version {put.version}, acked by chain position {put.acked_by}")
+    print(f"alice's causality metadata: {alice.dependency_table()}")
+
+    # --- a causally dependent write --------------------------------------
+    fut = alice.put("album:vacation", ["photo:1234"])
+    sim.run(until=2.0)
+    print(f"\nalbum write completed: {fut.result().version}")
+    print("the album put carried alice's photo dependency; the chain head")
+    print("held it until the photo write was DC-stable, so nobody can see")
+    print("the album without being able to see the photo.")
+
+    # --- reads spread over the whole chain -------------------------------
+    sim.run(until=3.0)  # let everything stabilise
+    served_by = set()
+    for _ in range(30):
+        fut = bob.get("photo:1234")
+        sim.run(until=sim.now + 0.1)
+        served_by.add(fut.result().served_by)
+    print(f"\nbob's 30 reads were served by {sorted(served_by)}")
+    print("(stable versions are readable from any chain position — the")
+    print(" throughput win over tail-only chain replication)")
+
+    # --- convergence ------------------------------------------------------
+    print(f"\nall replicas converged: {store.converged('photo:1234')}")
+    stats = store.protocol_stats()
+    print(f"protocol totals: {stats['puts_served']} puts, {stats['gets_served']} gets, "
+          f"{stats['messages_sent']} messages")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""ChainReaction reproduction (Almeida, Leitao, Rodrigues - EuroSys 2013).
+
+A causal+ consistent key-value datastore built on a chain-replication
+variant, reproduced end-to-end on a deterministic discrete-event
+simulator, together with the baselines, workloads, consistency
+checkers, and benchmark harness the paper's evaluation needs.
+
+Quickstart::
+
+    from repro import ChainReactionConfig, ChainReactionStore
+
+    store = ChainReactionStore(ChainReactionConfig(servers_per_site=6))
+    alice = store.session()
+    fut = alice.put("photo", "beach.jpg")
+    store.run(until=1.0)
+    print(fut.result())
+"""
+
+from repro.api import ClientSession, Datastore, GetResult, PutResult
+from repro.core import ChainReactionConfig, ChainReactionStore
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChainReactionConfig",
+    "ChainReactionStore",
+    "Datastore",
+    "ClientSession",
+    "GetResult",
+    "PutResult",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,126 @@
+"""Protocol-agnostic datastore API.
+
+Workload drivers, consistency checkers, examples, and benchmarks are all
+written against these two abstractions, so every protocol in the
+repository — ChainReaction and the baselines — is interchangeable under
+the same harness:
+
+- :class:`Datastore` — a running deployment (servers, managers,
+  geo-proxies) from which client sessions are opened.
+- :class:`ClientSession` — a sequential client. Operations return
+  :class:`~repro.sim.process.Future` objects resolving to
+  :class:`GetResult` / :class:`PutResult`, because everything executes
+  on the discrete-event simulator.
+
+Sessions are *not* thread-safe in the distributed-systems sense: like
+the paper's client library, a session has at most one outstanding
+operation; concurrency comes from opening many sessions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.sim.process import Future
+from repro.storage.version import VersionVector
+
+__all__ = ["GetResult", "PutResult", "SnapshotResult", "ClientSession", "Datastore"]
+
+
+@dataclasses.dataclass(frozen=True)
+class GetResult:
+    """Outcome of a read.
+
+    ``value`` is None when the key is absent (or deleted); ``version``
+    is then the zero vector. ``stable`` reports whether the returned
+    version was already DC-stable where supported (protocols without a
+    stability notion report True).
+    """
+
+    key: str
+    value: Any
+    version: VersionVector
+    stable: bool = True
+    served_by: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class PutResult:
+    """Outcome of a write: the version the system assigned to it."""
+
+    key: str
+    version: VersionVector
+    stable: bool = False
+    acked_by: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class SnapshotResult:
+    """Outcome of a causally consistent multi-key read.
+
+    ``values``/``versions`` cover every requested key (absent keys map
+    to None / the zero vector). ``rounds`` reports how many read rounds
+    the snapshot needed to become mutually consistent.
+    """
+
+    values: Dict[str, Any]
+    versions: Dict[str, VersionVector]
+    rounds: int = 1
+
+    def __getitem__(self, key: str) -> Any:
+        return self.values[key]
+
+
+class ClientSession:
+    """One sequential client of a datastore."""
+
+    #: Stable identifier used by the history checker to group operations.
+    session_id: str
+
+    def get(self, key: str) -> Future:
+        """Read ``key``; resolves to :class:`GetResult`."""
+        raise NotImplementedError
+
+    def multi_get(self, keys: Sequence[str]) -> Future:
+        """Causally consistent snapshot of several keys; resolves to
+        :class:`SnapshotResult`. Optional — protocols without snapshot
+        support raise NotImplementedError."""
+        raise NotImplementedError
+
+    def put(self, key: str, value: Any) -> Future:
+        """Write ``key``; resolves to :class:`PutResult`."""
+        raise NotImplementedError
+
+    def delete(self, key: str) -> Future:
+        """Delete ``key``; resolves to :class:`PutResult` (tombstone write)."""
+        raise NotImplementedError
+
+    def metadata_bytes(self) -> int:
+        """Current wire size of the session's causality metadata (0 when
+        the protocol keeps none). Drives the metadata-overhead experiment."""
+        return 0
+
+
+class Datastore:
+    """A running deployment of one protocol."""
+
+    #: Human-readable protocol name ("chainreaction", "chain", ...).
+    name: str
+
+    def session(self, site: Optional[str] = None, session_id: Optional[str] = None) -> ClientSession:
+        """Open a new client session homed in ``site`` (default: first site)."""
+        raise NotImplementedError
+
+    @property
+    def sites(self) -> List[str]:
+        raise NotImplementedError
+
+    def servers(self, site: Optional[str] = None) -> List[Any]:
+        """The server actors (for failure injection and state inspection)."""
+        raise NotImplementedError
+
+    def converged(self, key: str) -> bool:
+        """True when every replica of ``key`` holds an identical record —
+        the convergence half of causal+, used by tests and E10."""
+        raise NotImplementedError

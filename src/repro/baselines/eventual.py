@@ -1,0 +1,243 @@
+"""Eventually-consistent baseline (Dynamo-flavoured multi-master).
+
+The contrast point for ChainReaction's throughput numbers: any replica
+accepts a write and acknowledges immediately, replication is fully
+asynchronous (including cross-DC), reads hit one random replica, and a
+push-pull anti-entropy protocol repairs whatever direct replication
+missed. No ordering is enforced anywhere, so it is fast — and the E10
+consistency table shows the causal and session anomalies it serves.
+
+Convergence still holds (it is *eventually* consistent) because every
+replica applies writes through the convergent versioned store.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Any, ClassVar, Dict, Tuple
+
+from repro.api import ClientSession, GetResult, PutResult
+from repro.baselines.common import BaselineConfig, RingDeployment
+from repro.cluster.membership import RingView
+from repro.cluster.server_base import RingServer
+from repro.errors import RemoteError, RequestTimeout
+from repro.net.actor import Actor
+from repro.net.message import Message
+from repro.net.network import Address, Network
+from repro.sim.kernel import Simulator
+from repro.sim.process import spawn
+from repro.storage.store import TOMBSTONE
+from repro.storage.version import VersionVector
+
+__all__ = ["EventualStore", "EventualServer", "EventualSession"]
+
+
+@dataclasses.dataclass
+class Replicate(Message):
+    """Asynchronous replication of one write to a peer replica.
+
+    ``stamp`` is None when ``version`` is the write's original vector
+    (the receiver derives the stamp); read repair and other merged-
+    record paths set it explicitly.
+    """
+
+    type_name: ClassVar[str] = "ev-replicate"
+    key: str = ""
+    value: Any = None
+    version: VersionVector = dataclasses.field(default_factory=VersionVector)
+    stamp: Any = None
+
+
+@dataclasses.dataclass
+class AeDigest(Message):
+    """Anti-entropy round: sender's key→version digest."""
+
+    type_name: ClassVar[str] = "ev-ae-digest"
+    digest: Dict[str, VersionVector] = dataclasses.field(default_factory=dict)
+    wants_reply: bool = True
+
+
+@dataclasses.dataclass
+class AeRecords(Message):
+    """Anti-entropy round: records the peer was missing."""
+
+    type_name: ClassVar[str] = "ev-ae-records"
+    records: Tuple = ()
+
+
+class EventualServer(RingServer):
+    """A replica that accepts any read or write and gossips repairs."""
+
+    SERVICED_TYPES = frozenset(
+        {"rpc-request", "ev-replicate", "ev-ae-digest", "ev-ae-records"}
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        site: str,
+        name: str,
+        initial_view: RingView,
+        config: BaselineConfig,
+        deployment: "EventualStore",
+    ):
+        super().__init__(
+            sim, network, site, name, initial_view, service_time=config.service_time
+        )
+        self.config = config
+        self.deployment = deployment
+        self._ae_rng = random.Random(hash((config.seed, site, name)) & 0xFFFFFFFF)
+        self.puts_served = 0
+        self.gets_served = 0
+        self.anti_entropy_rounds = 0
+        self.set_timer(config.anti_entropy_interval, self._anti_entropy_tick)
+
+    # ------------------------------------------------------------------
+    # client operations
+    # ------------------------------------------------------------------
+    def rpc_put(self, payload: Tuple[str, Any, bool], src: Address) -> Dict[str, Any]:
+        key, value, is_delete = payload
+        stored_value = TOMBSTONE if is_delete else value
+        version = self.store.version_of(key).increment(str(self.address))
+        self.store.apply(key, stored_value, version, self.sim.now)
+        self.puts_served += 1
+        self._replicate(key, stored_value, version)
+        return {"version": version}
+
+    def rpc_get(self, key: str, src: Address) -> Dict[str, Any]:
+        self.gets_served += 1
+        record = self.store.get_record(key)
+        if record is None:
+            return {"value": None, "version": VersionVector()}
+        return {
+            "value": None if record.is_deleted else record.value,
+            "version": record.version,
+        }
+
+    def _replicate(self, key: str, value: Any, version: VersionVector) -> None:
+        """Fire-and-forget fan-out to every other replica, in every DC."""
+        msg = Replicate(key=key, value=value, version=version)
+        for site, view in self.deployment.all_views().items():
+            for server in view.chain_for(key):
+                if site == self.site and server == self.name:
+                    continue
+                self.send(view.address_of(server), msg)
+
+    def on_ev_replicate(self, msg: Replicate, src: Address) -> None:
+        self.store.apply(msg.key, msg.value, msg.version, self.sim.now, msg.stamp)
+
+    # ------------------------------------------------------------------
+    # anti-entropy
+    # ------------------------------------------------------------------
+    def _anti_entropy_tick(self) -> None:
+        peer = self._pick_peer()
+        if peer is not None:
+            self.anti_entropy_rounds += 1
+            self.send(peer, AeDigest(digest=self.store.digest(), wants_reply=True))
+        self.set_timer(self.config.anti_entropy_interval, self._anti_entropy_tick)
+
+    def _pick_peer(self) -> Address:
+        """Mostly a local peer; occasionally a remote one (geo repair)."""
+        views = self.deployment.all_views()
+        local = [s for s in views[self.site].servers if s != self.name]
+        remote_sites = [s for s in views if s != self.site]
+        if remote_sites and self._ae_rng.random() < 0.2:
+            site = self._ae_rng.choice(remote_sites)
+            return views[site].address_of(self._ae_rng.choice(list(views[site].servers)))
+        if not local:
+            return None
+        return views[self.site].address_of(self._ae_rng.choice(local))
+
+    def on_ev_ae_digest(self, msg: AeDigest, src: Address) -> None:
+        missing = self.store.records_newer_than(msg.digest)
+        if missing:
+            self.send(
+                src,
+                AeRecords(
+                    records=tuple(
+                        (r.key, r.value, r.version, r.stamp) for r in missing
+                    )
+                ),
+            )
+        if msg.wants_reply:
+            self.send(src, AeDigest(digest=self.store.digest(), wants_reply=False))
+
+    def on_ev_ae_records(self, msg: AeRecords, src: Address) -> None:
+        for key, value, version, stamp in msg.records:
+            self.store.apply(key, value, version, self.sim.now, stamp)
+
+
+class EventualSession(Actor, ClientSession):
+    """Client of the eventual store: one random replica per operation."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        site: str,
+        name: str,
+        initial_view: RingView,
+        config: BaselineConfig,
+        rng: random.Random,
+    ):
+        super().__init__(sim, network, Address(site, name))
+        self.site = site
+        self.session_id = f"{site}:{name}"
+        self.view = initial_view
+        self.config = config
+        self._rng = rng
+        self.retries = 0
+        self.failed_ops = 0
+
+    def _pick_replica(self, key: str) -> Address:
+        chain = self.view.chain_for(key)
+        return self.view.address_of(self._rng.choice(chain))
+
+    def get(self, key: str):
+        return spawn(self.sim, self._op_gen("get", key, None, False), name=f"get:{key}")
+
+    def put(self, key: str, value: Any):
+        return spawn(self.sim, self._op_gen("put", key, value, False), name=f"put:{key}")
+
+    def delete(self, key: str):
+        return spawn(self.sim, self._op_gen("put", key, None, True), name=f"del:{key}")
+
+    def _op_gen(self, op: str, key: str, value: Any, is_delete: bool):
+        for _attempt in range(self.config.max_retries):
+            target = self._pick_replica(key)
+            try:
+                if op == "get":
+                    reply = yield self.call(target, "get", key, timeout=self.config.op_timeout)
+                    return GetResult(
+                        key=key,
+                        value=reply["value"],
+                        version=reply["version"],
+                        stable=True,
+                        served_by=target.node,
+                    )
+                reply = yield self.call(
+                    target, "put", (key, value, is_delete), timeout=self.config.op_timeout
+                )
+                return PutResult(key=key, version=reply["version"], stable=True)
+            except (RequestTimeout, RemoteError):
+                self.retries += 1
+                yield self.config.client_retry_backoff
+        self.failed_ops += 1
+        raise RequestTimeout(f"{op}({key!r}) failed after {self.config.max_retries} attempts")
+
+
+class EventualStore(RingDeployment):
+    """Deployment facade for the eventually-consistent baseline."""
+
+    name = "eventual"
+
+    def __init__(self, config: BaselineConfig = None, sim=None, network=None):
+        super().__init__(
+            config or BaselineConfig(),
+            server_factory=EventualServer,
+            session_factory=EventualSession,
+            sim=sim,
+            network=network,
+        )

@@ -1,0 +1,83 @@
+"""Protocol registry: build any datastore in the comparison by name.
+
+The benchmark harness sweeps over protocol names; this module maps a
+name plus a small set of shared deployment parameters onto the right
+config type and facade, so every system in a figure runs on identically
+sized clusters and identical link models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.api import Datastore
+from repro.baselines.chain import ChainReplicationStore
+from repro.baselines.common import BaselineConfig
+from repro.baselines.cops import CopsStore
+from repro.baselines.eventual import EventualStore
+from repro.baselines.quorum import QuorumStore
+from repro.core.config import ChainReactionConfig
+from repro.core.datastore import ChainReactionStore
+from repro.errors import ConfigError
+
+__all__ = ["PROTOCOLS", "build_store"]
+
+#: Every comparable system, in the order figures list them.
+PROTOCOLS: Tuple[str, ...] = ("chainreaction", "chain", "eventual", "quorum", "cops")
+
+
+def build_store(
+    protocol: str,
+    sites: Tuple[str, ...] = ("dc0",),
+    servers_per_site: int = 6,
+    chain_length: int = 3,
+    ack_k: int = 2,
+    seed: int = 42,
+    lan_median: float = 0.0003,
+    wan_median: float = 0.040,
+    write_quorum: Optional[int] = None,
+    read_quorum: Optional[int] = None,
+    overrides: Optional[Dict[str, object]] = None,
+) -> Datastore:
+    """Instantiate a deployment of ``protocol`` with shared sizing.
+
+    ``overrides`` passes through protocol-specific config fields (e.g.
+    ``allow_prefix_reads`` for the ChainReaction ablations) and is
+    applied last.
+    """
+    overrides = dict(overrides or {})
+    if protocol in ("chainreaction", "chain"):
+        config = ChainReactionConfig(
+            sites=tuple(sites),
+            servers_per_site=servers_per_site,
+            chain_length=chain_length,
+            ack_k=min(ack_k, chain_length),
+            seed=seed,
+            lan_median=lan_median,
+            wan_median=wan_median,
+        )
+        if overrides:
+            config = config.with_updates(**overrides)
+        if protocol == "chain":
+            return ChainReplicationStore(config)
+        return ChainReactionStore(config)
+
+    config = BaselineConfig(
+        sites=tuple(sites),
+        servers_per_site=servers_per_site,
+        chain_length=chain_length,
+        seed=seed,
+        lan_median=lan_median,
+        wan_median=wan_median,
+        write_quorum=write_quorum or max(1, chain_length // 2 + 1),
+        read_quorum=read_quorum or max(1, chain_length // 2 + 1),
+    )
+    if overrides:
+        config = config.with_updates(**overrides)
+    if protocol == "eventual":
+        return EventualStore(config)
+    if protocol == "quorum":
+        return QuorumStore(config)
+    if protocol == "cops":
+        return CopsStore(config)
+    raise ConfigError(f"unknown protocol {protocol!r}; choose from {PROTOCOLS}")

@@ -1,0 +1,21 @@
+"""Benchmark harness: canonical experiment configs and orchestration."""
+
+from repro.bench.configs import FULL, GEO_SITES, QUICK, SINGLE_DC_SITES, BenchScale
+from repro.bench.runner import (
+    consistency_table,
+    latency_run,
+    run_ycsb,
+    throughput_sweep,
+)
+
+__all__ = [
+    "BenchScale",
+    "QUICK",
+    "FULL",
+    "SINGLE_DC_SITES",
+    "GEO_SITES",
+    "run_ycsb",
+    "throughput_sweep",
+    "latency_run",
+    "consistency_table",
+]

@@ -1,0 +1,76 @@
+"""Canonical experiment configurations (E1–E10).
+
+DESIGN.md §3 maps each experiment to a benchmark; this module is the
+single source of the deployment sizes, workloads, and sweep parameters
+those benchmarks use, at two scales:
+
+- ``QUICK`` — minutes of wall time for the whole suite; the default for
+  ``pytest benchmarks/``.
+- ``FULL`` — closer to the paper's operating points; run selectively.
+
+Both scales exercise identical code paths; only durations, client
+counts, and keyspace sizes differ.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+__all__ = ["BenchScale", "QUICK", "FULL", "SINGLE_DC_SITES", "GEO_SITES"]
+
+SINGLE_DC_SITES: Tuple[str, ...] = ("dc0",)
+GEO_SITES: Tuple[str, ...] = ("dc0", "dc1")
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchScale:
+    """Scaling knobs shared by the E1–E10 benchmarks."""
+
+    name: str
+    servers_per_site: int
+    chain_length: int
+    ack_k: int
+    record_count: int
+    value_size: int
+    duration: float
+    warmup: float
+    client_counts: Tuple[int, ...]
+    latency_clients: int
+    scalability_servers: Tuple[int, ...]
+    probe_pairs: int
+    probe_rounds: int
+    seed: int = 42
+
+
+QUICK = BenchScale(
+    name="quick",
+    servers_per_site=6,
+    chain_length=3,
+    ack_k=2,
+    record_count=100,
+    value_size=64,
+    duration=1.0,
+    warmup=0.2,
+    client_counts=(4, 8, 16, 32),
+    latency_clients=16,
+    scalability_servers=(3, 6, 12),
+    probe_pairs=10,
+    probe_rounds=15,
+)
+
+FULL = BenchScale(
+    name="full",
+    servers_per_site=6,
+    chain_length=3,
+    ack_k=2,
+    record_count=1000,
+    value_size=128,
+    duration=5.0,
+    warmup=1.0,
+    client_counts=(8, 16, 32, 64, 128),
+    latency_clients=32,
+    scalability_servers=(3, 6, 12, 24),
+    probe_pairs=20,
+    probe_rounds=25,
+)

@@ -1,0 +1,41 @@
+"""Consistency checking over recorded histories and live deployments."""
+
+from repro.checker.causal import CausalChecker, check_causal
+from repro.checker.convergence import (
+    ConvergenceReport,
+    await_convergence,
+    convergence_report,
+)
+from repro.checker.history import GET, PUT, History, Operation
+from repro.checker.linearizability import check_linearizability, check_linearizable_key
+from repro.checker.staleness import StalenessReport, analyze_staleness
+from repro.checker.sessions import (
+    Violation,
+    check_monotonic_reads,
+    check_monotonic_writes,
+    check_read_your_writes,
+    check_session_guarantees,
+    check_writes_follow_reads,
+)
+
+__all__ = [
+    "History",
+    "Operation",
+    "GET",
+    "PUT",
+    "Violation",
+    "check_read_your_writes",
+    "check_monotonic_reads",
+    "check_monotonic_writes",
+    "check_writes_follow_reads",
+    "check_session_guarantees",
+    "CausalChecker",
+    "check_causal",
+    "ConvergenceReport",
+    "convergence_report",
+    "await_convergence",
+    "check_linearizability",
+    "StalenessReport",
+    "analyze_staleness",
+    "check_linearizable_key",
+]

@@ -1,0 +1,137 @@
+"""Operation histories — the input to every consistency checker.
+
+The workload driver records one :class:`Operation` per completed client
+request, carrying the *version* the protocol reported. Versions are the
+bridge between history and semantics: a read observing version ``v`` of
+a key has observed every write whose version is ≤ ``v`` under the
+causality order, which is what lets the checkers work uniformly across
+all five protocols.
+
+Within a session operations are sequential (one outstanding request), so
+program order is invocation order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import CheckerError
+from repro.storage.version import VersionVector
+
+__all__ = ["Operation", "History", "GET", "PUT"]
+
+GET = "get"
+PUT = "put"
+
+
+@dataclasses.dataclass(frozen=True)
+class Operation:
+    """One completed client operation."""
+
+    session: str
+    op: str  # GET or PUT
+    key: str
+    value: object
+    version: VersionVector
+    t_invoke: float
+    t_return: float
+    site: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op not in (GET, PUT):
+            raise CheckerError(f"unknown op type {self.op!r}")
+        if self.t_return < self.t_invoke:
+            raise CheckerError(
+                f"operation returns before it is invoked: {self.t_invoke} > {self.t_return}"
+            )
+
+
+class History:
+    """An append-only record of completed operations."""
+
+    def __init__(self) -> None:
+        self._ops: List[Operation] = []
+
+    def record(self, op: Operation) -> None:
+        self._ops.append(op)
+
+    def add(
+        self,
+        session: str,
+        op: str,
+        key: str,
+        value: object,
+        version: VersionVector,
+        t_invoke: float,
+        t_return: float,
+        site: str = "",
+    ) -> Operation:
+        operation = Operation(session, op, key, value, version, t_invoke, t_return, site)
+        self.record(operation)
+        return operation
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self._ops)
+
+    def operations(self) -> List[Operation]:
+        return list(self._ops)
+
+    def sessions(self) -> List[str]:
+        return sorted({op.session for op in self._ops})
+
+    def by_session(self) -> Dict[str, List[Operation]]:
+        """Program order per session (sessions are sequential, so
+        invocation order is program order)."""
+        grouped: Dict[str, List[Operation]] = defaultdict(list)
+        for op in self._ops:
+            grouped[op.session].append(op)
+        return {
+            session: sorted(grouped[session], key=lambda o: o.t_invoke)
+            for session in sorted(grouped)
+        }
+
+    def puts(self, key: Optional[str] = None) -> List[Operation]:
+        return [
+            op for op in self._ops if op.op == PUT and (key is None or op.key == key)
+        ]
+
+    def gets(self, key: Optional[str] = None) -> List[Operation]:
+        return [
+            op for op in self._ops if op.op == GET and (key is None or op.key == key)
+        ]
+
+    def keys(self) -> List[str]:
+        return sorted({op.key for op in self._ops})
+
+    def validate(self) -> None:
+        """Sanity-check invariants the checkers rely on; raises CheckerError.
+
+        - each session's operations must not overlap in time (sequential
+          sessions), and
+        - no two puts may share (key, version) (version uniqueness).
+        """
+        for session, ops in self.by_session().items():
+            for earlier, later in zip(ops, ops[1:]):
+                if later.t_invoke < earlier.t_return:
+                    raise CheckerError(
+                        f"session {session!r} has overlapping operations at "
+                        f"t={earlier.t_return} / t={later.t_invoke}"
+                    )
+        seen: Dict[tuple, Operation] = {}
+        for op in self._ops:
+            if op.op != PUT:
+                continue
+            token = (op.key, op.version)
+            if token in seen:
+                raise CheckerError(
+                    f"two puts share key/version {token}: {seen[token]} and {op}"
+                )
+            seen[token] = op

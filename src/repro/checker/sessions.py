@@ -1,0 +1,152 @@
+"""Session-guarantee checkers.
+
+The four classic session guarantees (Terry et al., PDIS'94) are each
+checkable per session from recorded versions:
+
+- **read your writes** — a read of ``k`` must dominate the session's own
+  latest earlier write to ``k``,
+- **monotonic reads** — successive reads of ``k`` never go causally
+  backwards,
+- **monotonic writes** — a session's writes to ``k`` are ordered,
+- **writes follow reads** — a write after reading version ``v`` must be
+  ordered after ``v`` (checked on the version the system assigned).
+
+Causal consistency implies all four; the E10 table counts how many each
+protocol violates under the probe workload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.checker.history import GET, PUT, History, Operation
+from repro.storage.version import VersionVector
+
+__all__ = [
+    "Violation",
+    "check_read_your_writes",
+    "check_monotonic_reads",
+    "check_monotonic_writes",
+    "check_writes_follow_reads",
+    "check_session_guarantees",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One detected anomaly."""
+
+    guarantee: str
+    session: str
+    key: str
+    detail: str
+    operation: Optional[Operation] = None
+
+    def __str__(self) -> str:
+        return f"[{self.guarantee}] session={self.session} key={self.key}: {self.detail}"
+
+
+def check_read_your_writes(history: History) -> List[Violation]:
+    violations = []
+    for session, ops in history.by_session().items():
+        last_write: Dict[str, VersionVector] = {}
+        for op in ops:
+            if op.op == PUT:
+                last_write[op.key] = op.version
+            else:
+                wanted = last_write.get(op.key)
+                if wanted is not None and not op.version.dominates(wanted):
+                    violations.append(
+                        Violation(
+                            "read-your-writes",
+                            session,
+                            op.key,
+                            f"read {op.version} after writing {wanted}",
+                            op,
+                        )
+                    )
+    return violations
+
+
+def check_monotonic_reads(history: History) -> List[Violation]:
+    violations = []
+    for session, ops in history.by_session().items():
+        high_water: Dict[str, VersionVector] = {}
+        for op in ops:
+            if op.op != GET:
+                continue
+            seen = high_water.get(op.key)
+            if seen is not None and not op.version.dominates(seen):
+                violations.append(
+                    Violation(
+                        "monotonic-reads",
+                        session,
+                        op.key,
+                        f"read {op.version} after having read {seen}",
+                        op,
+                    )
+                )
+            high_water[op.key] = (
+                op.version if seen is None else seen.merge(op.version)
+            )
+    return violations
+
+
+def check_monotonic_writes(history: History) -> List[Violation]:
+    violations = []
+    for session, ops in history.by_session().items():
+        last_write: Dict[str, VersionVector] = {}
+        for op in ops:
+            if op.op != PUT:
+                continue
+            prev = last_write.get(op.key)
+            if prev is not None and not op.version.dominates(prev):
+                violations.append(
+                    Violation(
+                        "monotonic-writes",
+                        session,
+                        op.key,
+                        f"write ordered {op.version}, earlier write {prev}",
+                        op,
+                    )
+                )
+            last_write[op.key] = op.version
+    return violations
+
+
+def check_writes_follow_reads(history: History) -> List[Violation]:
+    """A session's write to ``k`` must be ordered after the versions of
+    ``k`` the session had read before it."""
+    violations = []
+    for session, ops in history.by_session().items():
+        high_read: Dict[str, VersionVector] = {}
+        for op in ops:
+            if op.op == GET:
+                seen = high_read.get(op.key)
+                high_read[op.key] = (
+                    op.version if seen is None else seen.merge(op.version)
+                )
+            else:
+                wanted = high_read.get(op.key)
+                if wanted is not None and not op.version.dominates(wanted):
+                    violations.append(
+                        Violation(
+                            "writes-follow-reads",
+                            session,
+                            op.key,
+                            f"write {op.version} not after read {wanted}",
+                            op,
+                        )
+                    )
+    return violations
+
+
+def check_session_guarantees(history: History) -> Dict[str, List[Violation]]:
+    """All four guarantees at once, keyed by guarantee name."""
+    return {
+        "read-your-writes": check_read_your_writes(history),
+        "monotonic-reads": check_monotonic_reads(history),
+        "monotonic-writes": check_monotonic_writes(history),
+        "writes-follow-reads": check_writes_follow_reads(history),
+    }

@@ -1,0 +1,241 @@
+"""Command-line interface: run workloads and consistency checks from a shell.
+
+Three subcommands, mirroring how the paper's evaluation is exercised:
+
+- ``repro run`` — drive a YCSB workload against any protocol and print
+  the throughput/latency summary (optionally with a consistency audit
+  and staleness analysis of the recorded history);
+- ``repro consistency`` — run the geo causality probe against one or
+  more protocols and print the anomaly table (experiment E10);
+- ``repro info`` — show the protocols, workloads, and default deployment
+  parameters available.
+
+Examples::
+
+    python -m repro run --protocol chainreaction --workload B --clients 32
+    python -m repro run --protocol eventual --sites dc0 dc1 --check
+    python -m repro consistency --protocols chainreaction eventual
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.baselines.registry import PROTOCOLS, build_store
+from repro.checker import analyze_staleness, check_causal, check_session_guarantees
+from repro.metrics import render_table
+from repro.workload import (
+    WORKLOADS,
+    ProbeConfig,
+    WorkloadRunner,
+    run_causality_probe,
+    workload,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ChainReaction (EuroSys'13) reproduction — workload and consistency runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="drive a YCSB workload against one protocol")
+    run.add_argument("--protocol", choices=PROTOCOLS, default="chainreaction")
+    run.add_argument("--workload", choices=sorted(WORKLOADS), default="B")
+    run.add_argument("--clients", type=int, default=16)
+    run.add_argument("--sites", nargs="+", default=["dc0"], metavar="SITE")
+    run.add_argument("--servers", type=int, default=6, help="servers per site")
+    run.add_argument("--chain-length", type=int, default=3, help="R, replicas per key")
+    run.add_argument("--ack-k", type=int, default=2, help="k, eager ack depth")
+    run.add_argument("--records", type=int, default=100, help="keyspace size")
+    run.add_argument("--duration", type=float, default=2.0, help="measured virtual seconds")
+    run.add_argument("--warmup", type=float, default=0.5)
+    run.add_argument("--seed", type=int, default=42)
+    run.add_argument(
+        "--check",
+        action="store_true",
+        help="audit the recorded history (causal + session guarantees)",
+    )
+    run.add_argument(
+        "--staleness",
+        action="store_true",
+        help="report read staleness of the recorded history",
+    )
+    run.add_argument(
+        "--trace",
+        metavar="KEY",
+        help="print the protocol trace timeline for one key after the run",
+    )
+    run.add_argument(
+        "--durable",
+        action="store_true",
+        help="back servers with the FAWN-KV-style append-only log store",
+    )
+
+    probe = sub.add_parser(
+        "consistency", help="geo causality probe + anomaly table (experiment E10)"
+    )
+    probe.add_argument(
+        "--protocols", nargs="+", choices=PROTOCOLS, default=list(PROTOCOLS)
+    )
+    probe.add_argument("--sites", nargs="+", default=["dc0", "dc1"], metavar="SITE")
+    probe.add_argument("--pairs", type=int, default=10)
+    probe.add_argument("--rounds", type=int, default=15)
+    probe.add_argument("--seed", type=int, default=42)
+
+    sub.add_parser("info", help="list protocols, workloads, and defaults")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace, out) -> int:
+    overrides = {}
+    if args.durable:
+        if args.protocol not in ("chainreaction", "chain"):
+            print("--durable applies to chainreaction/chain only", file=out)
+            return 2
+        overrides["durable_storage"] = True
+    store = build_store(
+        args.protocol,
+        sites=tuple(args.sites),
+        servers_per_site=args.servers,
+        chain_length=args.chain_length,
+        ack_k=args.ack_k,
+        seed=args.seed,
+        overrides=overrides or None,
+    )
+    tracer = None
+    if args.trace:
+        if not hasattr(store, "attach_tracer"):
+            print("--trace is supported by chainreaction/chain only", file=out)
+            return 2
+        tracer = store.attach_tracer()
+    spec = workload(args.workload, record_count=args.records)
+    runner = WorkloadRunner(
+        store,
+        spec,
+        n_clients=args.clients,
+        duration=args.duration,
+        warmup=args.warmup,
+        record_history=args.check or args.staleness,
+    )
+    print(
+        f"running {args.protocol} / workload {args.workload} / {args.clients} clients "
+        f"on {len(args.sites)} site(s) ...",
+        file=out,
+    )
+    result = runner.run()
+    rows = [
+        ("throughput (ops/s)", result.throughput),
+        ("operations", result.ops_completed),
+        ("errors", result.errors),
+        ("GET p50 / p99 (ms)",
+         f"{result.get_latency.percentile(50)*1000:.2f} / {result.get_latency.percentile(99)*1000:.2f}"),
+        ("PUT p50 / p99 (ms)",
+         f"{result.put_latency.percentile(50)*1000:.2f} / {result.put_latency.percentile(99)*1000:.2f}"),
+        ("client metadata mean (B)", result.metadata_bytes.mean()),
+    ]
+    print(render_table(["metric", "value"], rows, title="results"), file=out)
+
+    if args.check:
+        causal = check_causal(result.history)
+        sessions = check_session_guarantees(result.history)
+        check_rows = [("causal", len(causal))] + [
+            (name, len(violations)) for name, violations in sessions.items()
+        ]
+        print(file=out)
+        print(
+            render_table(["guarantee", "violations"], check_rows, title="consistency audit"),
+            file=out,
+        )
+    if tracer is not None:
+        print(file=out)
+        print(f"trace for key {args.trace!r} (last 40 events):", file=out)
+        print(tracer.format(key=args.trace, last=40) or "  (no events)", file=out)
+    if args.staleness:
+        report = analyze_staleness(result.history)
+        summary = report.summary()
+        print(file=out)
+        print(
+            render_table(
+                ["metric", "value"],
+                [
+                    ("reads analysed", summary["reads"]),
+                    ("fresh reads", f"{summary['fresh_fraction']*100:.1f}%"),
+                    ("version lag p50 / p99",
+                     f"{summary['version_lag_p50']:.1f} / {summary['version_lag_p99']:.1f}"),
+                    ("time lag p99 (ms)", summary["time_lag_p99_ms"]),
+                ],
+                title="staleness",
+            ),
+            file=out,
+        )
+    return 0
+
+
+def _cmd_consistency(args: argparse.Namespace, out) -> int:
+    rows = []
+    for protocol in args.protocols:
+        store = build_store(
+            protocol,
+            sites=tuple(args.sites),
+            servers_per_site=6,
+            chain_length=3,
+            ack_k=2,
+            seed=args.seed,
+            write_quorum=1,
+            read_quorum=1,
+        )
+        history = run_causality_probe(
+            store, ProbeConfig(n_pairs=args.pairs, rounds=args.rounds)
+        )
+        causal = check_causal(history)
+        sessions = check_session_guarantees(history)
+        rows.append(
+            (
+                protocol,
+                len(history),
+                len(causal),
+                len(sessions["read-your-writes"]),
+                len(sessions["monotonic-reads"]),
+            )
+        )
+    print(
+        render_table(
+            ["protocol", "ops", "causal", "RYW", "MR"],
+            rows,
+            title=f"consistency anomalies ({len(args.sites)} sites)",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def _cmd_info(out) -> int:
+    print("protocols :", ", ".join(PROTOCOLS), file=out)
+    print("workloads :", ", ".join(
+        f"{name} ({int(spec.read_proportion*100)}% read)"
+        for name, spec in sorted(WORKLOADS.items())
+    ), file=out)
+    print("defaults  : 6 servers/site, R=3, k=2, LAN 0.3ms, WAN 40ms", file=out)
+    print("see also  : pytest benchmarks/ --benchmark-only -s  (experiments E1-E11)", file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """Entry point; returns a process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args, out)
+    if args.command == "consistency":
+        return _cmd_consistency(args, out)
+    return _cmd_info(out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,111 @@
+"""Failure-injection schedules for fault-tolerance experiments.
+
+The fault experiment (E9) and the recovery tests need precisely timed
+fail-stop crashes, recoveries, and partitions. A schedule is declared
+up front and armed on the simulator, keeping experiment scripts free of
+scheduling boilerplate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Union
+
+from repro.net.actor import Actor
+from repro.net.network import Address, Network
+from repro.sim.kernel import Simulator
+
+__all__ = ["FailureInjector", "CrashEvent", "PartitionEvent"]
+
+
+@dataclasses.dataclass
+class CrashEvent:
+    """Crash ``actor`` at ``at``; recover it at ``recover_at`` (None = never)."""
+
+    actor: Actor
+    at: float
+    recover_at: Optional[float] = None
+    wipe_storage: bool = False
+
+
+@dataclasses.dataclass
+class PartitionEvent:
+    """Partition two endpoints from ``at`` until ``heal_at`` (None = forever)."""
+
+    a: Union[str, Address]
+    b: Union[str, Address]
+    at: float
+    heal_at: Optional[float] = None
+
+
+class FailureInjector:
+    """Arms crash and partition schedules on a simulator."""
+
+    def __init__(self, sim: Simulator, network: Network):
+        self.sim = sim
+        self.network = network
+        self.injected_crashes = 0
+        self.injected_partitions = 0
+        self._log: List[str] = []
+
+    @property
+    def log(self) -> List[str]:
+        """Human-readable record of what was injected and when."""
+        return list(self._log)
+
+    def schedule_crash(
+        self,
+        actor: Actor,
+        at: float,
+        recover_at: Optional[float] = None,
+        wipe_storage: bool = False,
+    ) -> None:
+        self.sim.schedule_at(at, self._crash, actor, wipe_storage)
+        if recover_at is not None:
+            if recover_at <= at:
+                raise ValueError(f"recover_at {recover_at} must follow crash at {at}")
+            self.sim.schedule_at(recover_at, self._recover, actor)
+
+    def schedule_partition(
+        self,
+        a: Union[str, Address],
+        b: Union[str, Address],
+        at: float,
+        heal_at: Optional[float] = None,
+    ) -> None:
+        self.sim.schedule_at(at, self._partition, a, b)
+        if heal_at is not None:
+            if heal_at <= at:
+                raise ValueError(f"heal_at {heal_at} must follow partition at {at}")
+            self.sim.schedule_at(heal_at, self._heal, a, b)
+
+    def apply(self, events: List[Union[CrashEvent, PartitionEvent]]) -> None:
+        """Arm a declarative schedule."""
+        for ev in events:
+            if isinstance(ev, CrashEvent):
+                self.schedule_crash(ev.actor, ev.at, ev.recover_at, ev.wipe_storage)
+            else:
+                self.schedule_partition(ev.a, ev.b, ev.at, ev.heal_at)
+
+    # ------------------------------------------------------------------
+    def _crash(self, actor: Actor, wipe_storage: bool) -> None:
+        actor.crash()
+        if wipe_storage:
+            store = getattr(actor, "store", None)
+            if store is not None:
+                store.clear()
+        self.injected_crashes += 1
+        self._log.append(f"t={self.sim.now:.3f} crash {actor.address}")
+
+    def _recover(self, actor: Actor) -> None:
+        actor.recover()
+        self._log.append(f"t={self.sim.now:.3f} recover {actor.address}")
+
+    def _partition(self, a: Union[str, Address], b: Union[str, Address]) -> None:
+        self.network.block(a, b)
+        self.injected_partitions += 1
+        self._log.append(f"t={self.sim.now:.3f} partition {a} | {b}")
+
+    def _heal(self, a: Union[str, Address], b: Union[str, Address]) -> None:
+        self.network.unblock(a, b)
+        self._log.append(f"t={self.sim.now:.3f} heal {a} | {b}")

@@ -1,0 +1,25 @@
+"""ChainReaction — the paper's contribution.
+
+Causal+ consistency from a chain-replication variant: k-ack writes,
+prefix reads, DC-stability tracking, client-side dependency metadata
+with collapse-on-put, and causally-delivered geo-replication.
+"""
+
+from repro.core.client import ChainClientSession
+from repro.core.config import ChainReactionConfig
+from repro.core.datastore import ChainReactionStore
+from repro.core.geo import GeoProxy
+from repro.core.messages import DepEntry, deps_size_bytes
+from repro.core.node import ChainNode
+from repro.core.stability import StabilityTracker
+
+__all__ = [
+    "ChainReactionConfig",
+    "ChainReactionStore",
+    "ChainClientSession",
+    "ChainNode",
+    "GeoProxy",
+    "StabilityTracker",
+    "DepEntry",
+    "deps_size_bytes",
+]

@@ -1,0 +1,328 @@
+"""The ChainReaction client library.
+
+This is where causal+ becomes cheap: instead of shipping dependency
+graphs with every operation (COPS-style), the client keeps a small table
+of **unstable** versions it has observed — ``key → (version, deepest
+chain index known to hold it)`` — and
+
+- routes each read to a chain position guaranteed to hold everything
+  the session depends on (any position for keys with no entry, i.e.
+  whose observed versions are DC-stable),
+- attaches the table to each put so the head can hold the write until
+  those versions stabilise,
+- **collapses** the table to just the new write after a put succeeds:
+  the write transitively covers everything before it.
+
+Entries disappear as soon as a read reports the version stable, so in
+steady state the table stays tiny — the effect measured by experiment E8.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.api import ClientSession, GetResult, PutResult, SnapshotResult
+from repro.cluster.membership import RingView
+from repro.core.config import ChainReactionConfig
+from repro.core.messages import DepEntry, PutReply, PutRequest, deps_size_bytes
+from repro.errors import RemoteError, ReproError, RequestTimeout
+from repro.net.actor import Actor
+from repro.net.network import Address, Network
+from repro.sim.kernel import Simulator
+from repro.sim.process import Future, all_of, spawn, with_timeout
+
+import random
+
+__all__ = ["ChainClientSession"]
+
+
+class ChainClientSession(Actor, ClientSession):
+    """One sequential client of a ChainReaction deployment."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        site: str,
+        name: str,
+        initial_view: RingView,
+        config: ChainReactionConfig,
+        rng: random.Random,
+    ):
+        super().__init__(sim, network, Address(site, name))
+        self.site = site
+        self.session_id = f"{site}:{name}"
+        self.view = initial_view
+        self.config = config
+        self._rng = rng
+        self._manager = Address(site, "manager")
+        self._deps: Dict[str, DepEntry] = {}
+        self._pending_puts: Dict[int, Future] = {}
+        self._request_seq = 0
+        # observability
+        self.retries = 0
+        self.failed_ops = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Future:
+        return spawn(self.sim, self._get_gen(key), name=f"get:{key}")
+
+    def put(self, key: str, value: Any) -> Future:
+        return spawn(self.sim, self._put_gen(key, value, False), name=f"put:{key}")
+
+    def delete(self, key: str) -> Future:
+        return spawn(self.sim, self._put_gen(key, None, True), name=f"del:{key}")
+
+    def metadata_bytes(self) -> int:
+        return deps_size_bytes(self._deps)
+
+    def metadata_entries(self) -> int:
+        return len(self._deps)
+
+    def dependency_table(self) -> Dict[str, DepEntry]:
+        """Copy of the session's current causality metadata (for tests/E8)."""
+        return dict(self._deps)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def _read_target_index(self, chain_len: int, key: str, force_head: bool) -> int:
+        """Pick the chain position to read from.
+
+        With prefix reads enabled, the choice is uniform over the prefix
+        known to hold the session's observed version — the whole chain
+        when that version is stable. The uniform choice is what spreads
+        read load across all R replicas (experiment E1).
+        """
+        if force_head:
+            return 0
+        if not self.config.allow_prefix_reads:
+            return chain_len - 1
+        entry = self._deps.get(key)
+        bound = chain_len - 1 if entry is None else min(entry.index, chain_len - 1)
+        return self._rng.randint(0, bound)
+
+    def _get_gen(self, key: str):
+        force_head = False
+        for attempt in range(self.config.max_retries):
+            chain = self.view.chain_for(key)
+            index = self._read_target_index(len(chain), key, force_head)
+            target = self.view.address_of(chain[index])
+            try:
+                reply = yield self.call(
+                    target, "get", key, timeout=self.config.op_timeout
+                )
+            except (RequestTimeout, RemoteError):
+                self.retries += 1
+                yield from self._backoff_and_refresh()
+                continue
+
+            version = reply["version"]
+            entry = self._deps.get(key)
+            if entry is not None and not version.dominates(entry.version):
+                # The server lost chain positions in a reconfiguration and
+                # does not hold the version this session already observed;
+                # fall back to the head, which is never behind.
+                self.retries += 1
+                force_head = True
+                yield from self._backoff_and_refresh()
+                continue
+
+            self._note_observed(key, reply)
+            return GetResult(
+                key=key,
+                value=reply["value"],
+                version=version,
+                stable=reply["stable"],
+                served_by=chain[index],
+            )
+        self.failed_ops += 1
+        raise RequestTimeout(f"get({key!r}) failed after {self.config.max_retries} attempts")
+
+    def _note_observed(self, key: str, reply: Dict[str, Any]) -> None:
+        version = reply["version"]
+        if reply.get("global", reply["stable"]):
+            # Globally stable (== DC-stable in a single-DC deployment):
+            # every replica everywhere serves it, so it constrains nothing.
+            if self.config.collapse_deps_on_put:
+                self._deps.pop(key, None)
+            else:
+                self._deps[key] = DepEntry(version, reply["index"])
+            return
+        if reply["stable"]:
+            # DC-stable but not yet globally: any *local* replica may
+            # serve reads, but the entry must survive to ride along on
+            # puts — remote DCs still need the dependency.
+            index = len(self.view.chain_for(key)) - 1
+        else:
+            entry = self._deps.get(key)
+            if entry is not None and entry.version == version:
+                # Same version seen again: keep the deepest known position.
+                index = max(entry.index, reply["index"])
+            else:
+                index = reply["index"]
+        self._deps[key] = DepEntry(version, index)
+
+    # ------------------------------------------------------------------
+    # snapshot reads (multi_get)
+    # ------------------------------------------------------------------
+    def multi_get(self, keys) -> Future:
+        """Causally consistent snapshot of several keys.
+
+        Built on DC-stability: every key's newest *stable* version is
+        fetched, together with the dependency list of the write that
+        produced it. Because a stable write's dependencies were stable
+        before it became visible, the per-key latest-stable cut is
+        causally closed — except for writes that stabilise *between* the
+        individual reads. Those are caught by validating each result
+        against the dependency floors of the others and re-reading the
+        keys that fall short (stability is monotone, so a re-read always
+        satisfies the floor); in practice one extra round suffices.
+        """
+        return spawn(self.sim, self._multi_get_gen(list(keys)), name="multi-get")
+
+    def _multi_get_gen(self, keys):
+        results: Dict[str, Dict[str, Any]] = {}
+        pending = list(dict.fromkeys(keys))
+        rounds = 0
+        max_rounds = 8
+        while pending and rounds < max_rounds:
+            rounds += 1
+            reads = [
+                spawn(self.sim, self._get_stable_one(key), name=f"snap:{key}")
+                for key in pending
+            ]
+            replies = yield all_of(self.sim, reads)
+            results.update(zip(pending, replies))
+
+            # Mutual-consistency floors: every returned write's deps that
+            # point at other snapshot keys must be covered by what we
+            # return for those keys.
+            floors: Dict[str, Any] = {}
+            for reply in results.values():
+                for dep_key, dep_version in reply["deps"].items():
+                    if dep_key in results:
+                        current = floors.get(dep_key)
+                        floors[dep_key] = (
+                            dep_version if current is None else current.merge(dep_version)
+                        )
+            pending = [
+                key
+                for key, floor in floors.items()
+                if not results[key]["version"].dominates(floor)
+            ]
+        if pending:
+            self.failed_ops += 1
+            raise RequestTimeout(
+                f"snapshot over {len(keys)} keys did not stabilise in {max_rounds} rounds"
+            )
+        return SnapshotResult(
+            values={key: results[key]["value"] for key in keys},
+            versions={key: results[key]["version"] for key in keys},
+            rounds=rounds,
+        )
+
+    def _get_stable_one(self, key: str):
+        for _attempt in range(self.config.max_retries):
+            chain = self.view.chain_for(key)
+            # Stable versions live on every replica: load-balance freely.
+            target = self.view.address_of(chain[self._rng.randrange(len(chain))])
+            try:
+                reply = yield self.call(
+                    target, "get_stable", key, timeout=self.config.op_timeout
+                )
+                return reply
+            except (RequestTimeout, RemoteError):
+                self.retries += 1
+                yield from self._backoff_and_refresh()
+        self.failed_ops += 1
+        raise RequestTimeout(
+            f"snapshot read of {key!r} failed after {self.config.max_retries} attempts"
+        )
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def _put_gen(self, key: str, value: Any, is_delete: bool):
+        # The same-key entry rides along too: locally it is subsumed by
+        # chain order, but remote DCs need it for *transitive* causality
+        # — the new write dominates its predecessor, so without the
+        # entry it could become visible remotely before the
+        # predecessor's own dependencies have arrived.
+        deps = dict(self._deps)
+        for attempt in range(self.config.max_retries):
+            self._request_seq += 1
+            request_id = self._request_seq
+            fut: Future = Future(self.sim)
+            self._pending_puts[request_id] = fut
+            head = self.view.address_of(self.view.chain_for(key)[0])
+            self.send(
+                head,
+                PutRequest(
+                    request_id=request_id,
+                    key=key,
+                    value=value,
+                    deps=deps,
+                    reply_to=self.address,
+                    is_delete=is_delete,
+                ),
+            )
+            try:
+                reply: PutReply = yield with_timeout(
+                    self.sim, fut, self.config.op_timeout, f"put({key!r})"
+                )
+            except RequestTimeout:
+                self._pending_puts.pop(request_id, None)
+                self.retries += 1
+                yield from self._backoff_and_refresh()
+                continue
+            if not reply.ok:
+                # syncing / not-head / not-responsible: refresh and retry
+                self.retries += 1
+                yield from self._backoff_and_refresh()
+                continue
+
+            stable = reply.index >= reply.chain_len - 1
+            self._record_put(key, reply, stable)
+            return PutResult(
+                key=key, version=reply.version, stable=stable, acked_by=str(reply.index)
+            )
+        self.failed_ops += 1
+        raise RequestTimeout(f"put({key!r}) failed after {self.config.max_retries} attempts")
+
+    def _record_put(self, key: str, reply: PutReply, stable: bool) -> None:
+        if self.config.collapse_deps_on_put:
+            # The new write causally covers everything this session did
+            # before it — the table collapses to a single entry (or none,
+            # if k == R made the write immediately stable in a single-DC
+            # deployment; geo deployments keep the entry until a read
+            # reports it globally stable, because remote DCs still need
+            # the dependency).
+            self._deps.clear()
+            if not stable or self.config.is_geo:
+                index = len(self.view.chain_for(key)) - 1 if stable else reply.index
+                self._deps[key] = DepEntry(reply.version, index)
+        else:
+            # Ablation mode: accumulate forever (measured in E8).
+            self._deps[key] = DepEntry(reply.version, reply.index)
+
+    def on_put_reply(self, msg: PutReply, src: Address) -> None:
+        fut = self._pending_puts.pop(msg.request_id, None)
+        if fut is not None:
+            fut.try_set_result(msg)
+
+    # ------------------------------------------------------------------
+    # view refresh
+    # ------------------------------------------------------------------
+    def _backoff_and_refresh(self):
+        yield self.config.client_retry_backoff
+        try:
+            view = yield self.call(
+                self._manager, "get_view", timeout=self.config.op_timeout
+            )
+        except ReproError:
+            return  # manager briefly unreachable; retry with the stale view
+        if view.epoch > self.view.epoch:
+            self.view = view

@@ -1,0 +1,111 @@
+"""Configuration for a ChainReaction deployment.
+
+One dataclass carries every knob the paper discusses plus the ablation
+switches called out in DESIGN.md §6, with validation at construction so
+misconfigured experiments fail loudly before any virtual time elapses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+from repro.errors import ConfigError
+
+__all__ = ["ChainReactionConfig"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ChainReactionConfig:
+    """Deployment and protocol parameters.
+
+    Attributes:
+        sites: datacenter names; one full replica set per site.
+        servers_per_site: storage servers in each DC's ring.
+        chain_length: R — replicas per key within a DC.
+        ack_k: k — chain positions that must apply a put before the
+            client is acknowledged (the paper's latency/durability knob).
+        allow_prefix_reads: ChainReaction's read distribution. False
+            degenerates reads to the tail, i.e. classic chain
+            replication read behaviour (ablation, DESIGN.md §6.3).
+        collapse_deps_on_put: reset the client's dependency metadata to
+            the new write after each put (ablation §6.2 when False).
+        geo_causal_delivery: apply remote updates only after their
+            dependencies are DC-stable locally (ablation §6.4).
+        dep_wait_timeout: how long a head waits for a dependency to
+            stabilise before proceeding anyway (counts as a
+            ``dep_wait_timeouts`` event; only reachable after data loss).
+        op_timeout: client-side per-attempt deadline for get/put. Kept
+            well below a second so a crashed server costs a client one
+            short stall, not a multi-second blackout (E9).
+        client_retry_backoff: delay between client retries.
+        max_retries: client attempts before an operation fails.
+        lan_median / wan_median: link latency medians in seconds.
+        heartbeat_interval / failure_timeout: failure-detector tuning.
+        durable_storage: back each server's store with a FAWN-KV-style
+            append-only log; a crash loses memory but not the log, and
+            recovery replays it before chain repair fills the rest.
+        compaction_interval: how often a durable server checks whether
+            its log has outgrown the live set and compacts it.
+        service_time: per-request CPU time a storage server spends on
+            client operations and chain propagation; bounds each server's
+            capacity at roughly 1/service_time ops/sec.
+        sync_timeout: upper bound on a server's read-unavailability window
+            while chain repair streams state after a view change.
+        virtual_nodes: consistent-hashing virtual nodes per server.
+        seed: root seed for every random stream in the deployment.
+    """
+
+    sites: Tuple[str, ...] = ("dc0",)
+    servers_per_site: int = 6
+    chain_length: int = 3
+    ack_k: int = 2
+    allow_prefix_reads: bool = True
+    collapse_deps_on_put: bool = True
+    geo_causal_delivery: bool = True
+    dep_wait_timeout: float = 1.0
+    op_timeout: float = 0.25
+    client_retry_backoff: float = 0.02
+    max_retries: int = 25
+    lan_median: float = 0.0003
+    wan_median: float = 0.040
+    heartbeat_interval: float = 0.05
+    failure_timeout: float = 0.25
+    durable_storage: bool = False
+    compaction_interval: float = 1.0
+    service_time: float = 0.0001
+    sync_timeout: float = 1.0
+    virtual_nodes: int = 64
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if not self.sites:
+            raise ConfigError("at least one site is required")
+        if len(set(self.sites)) != len(self.sites):
+            raise ConfigError(f"duplicate site names: {self.sites}")
+        if self.servers_per_site < 1:
+            raise ConfigError("servers_per_site must be >= 1")
+        if self.chain_length < 1:
+            raise ConfigError("chain_length must be >= 1")
+        if self.chain_length > self.servers_per_site:
+            raise ConfigError(
+                f"chain_length {self.chain_length} exceeds servers_per_site "
+                f"{self.servers_per_site}"
+            )
+        if not 1 <= self.ack_k <= self.chain_length:
+            raise ConfigError(
+                f"ack_k must be in [1, chain_length]; got k={self.ack_k}, "
+                f"R={self.chain_length}"
+            )
+        if self.dep_wait_timeout <= 0 or self.op_timeout <= 0:
+            raise ConfigError("timeouts must be positive")
+        if self.max_retries < 1:
+            raise ConfigError("max_retries must be >= 1")
+
+    @property
+    def is_geo(self) -> bool:
+        return len(self.sites) > 1
+
+    def with_updates(self, **changes: object) -> "ChainReactionConfig":
+        """A copy with the given fields replaced (re-validated)."""
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]

@@ -1,0 +1,215 @@
+"""Deployment facade: build and operate a ChainReaction cluster.
+
+:class:`ChainReactionStore` wires together everything a deployment
+needs — one simulator, one network, and per site a cluster manager, the
+storage servers, and a geo-proxy — and exposes the protocol-agnostic
+:class:`~repro.api.Datastore` surface that workloads, checkers, and
+benchmarks run against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.api import Datastore
+from repro.cluster.membership import ClusterManager
+from repro.core.client import ChainClientSession
+from repro.core.config import ChainReactionConfig
+from repro.core.geo import GeoProxy
+from repro.core.node import ChainNode
+from repro.errors import ConfigError
+from repro.net.latency import lan_latency, wan_latency
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.storage.merge import ConflictResolver
+from repro.storage.version import VersionVector
+
+__all__ = ["ChainReactionStore"]
+
+
+class ChainReactionStore(Datastore):
+    """A running ChainReaction deployment on a discrete-event simulator."""
+
+    name = "chainreaction"
+
+    def __init__(
+        self,
+        config: Optional[ChainReactionConfig] = None,
+        sim: Optional[Simulator] = None,
+        network: Optional[Network] = None,
+        resolver: Optional[ConflictResolver] = None,
+    ):
+        self.config = config or ChainReactionConfig()
+        self.sim = sim or Simulator()
+        self.rng = RngRegistry(self.config.seed)
+        self.network = network or Network(
+            self.sim,
+            rng=self.rng,
+            lan=lan_latency(self.config.lan_median),
+            wan=wan_latency(self.config.wan_median),
+        )
+        self.managers: Dict[str, ClusterManager] = {}
+        self.nodes: Dict[str, List[ChainNode]] = {}
+        self.proxies: Dict[str, GeoProxy] = {}
+        self._sessions: List[ChainClientSession] = []
+        self._session_seq = 0
+        self._resolver = resolver
+
+        for site in self.config.sites:
+            server_names = [f"s{i}" for i in range(self.config.servers_per_site)]
+            manager = ClusterManager(
+                self.sim,
+                self.network,
+                site=site,
+                servers=server_names,
+                chain_length=self.config.chain_length,
+                heartbeat_interval=self.config.heartbeat_interval,
+                failure_timeout=self.config.failure_timeout,
+                virtual_nodes=self.config.virtual_nodes,
+            )
+            self.managers[site] = manager
+            self.nodes[site] = [
+                ChainNode(
+                    self.sim,
+                    self.network,
+                    site=site,
+                    name=name,
+                    initial_view=manager.view,
+                    config=self.config,
+                    resolver=resolver,
+                )
+                for name in server_names
+            ]
+            if self.config.is_geo:
+                proxy = GeoProxy(
+                    self.sim,
+                    self.network,
+                    site=site,
+                    all_sites=self.config.sites,
+                    initial_view=manager.view,
+                    config=self.config,
+                )
+                manager.add_view_listener(proxy.set_view)
+                self.proxies[site] = proxy
+
+    # ------------------------------------------------------------------
+    # Datastore surface
+    # ------------------------------------------------------------------
+    @property
+    def sites(self) -> List[str]:
+        return list(self.config.sites)
+
+    def session(
+        self, site: Optional[str] = None, session_id: Optional[str] = None
+    ) -> ChainClientSession:
+        site = site or self.config.sites[0]
+        if site not in self.managers:
+            raise ConfigError(f"unknown site {site!r}; have {self.sites}")
+        self._session_seq += 1
+        name = session_id or f"client{self._session_seq}"
+        session = ChainClientSession(
+            self.sim,
+            self.network,
+            site=site,
+            name=name,
+            initial_view=self.managers[site].view,
+            config=self.config,
+            rng=self.rng.stream(f"client:{site}:{name}"),
+        )
+        session.tracer = getattr(self, "_tracer", None)
+        self._sessions.append(session)
+        return session
+
+    def servers(self, site: Optional[str] = None) -> List[ChainNode]:
+        if site is not None:
+            return list(self.nodes[site])
+        return [node for nodes in self.nodes.values() for node in nodes]
+
+    def converged(self, key: str) -> bool:
+        """True when every replica of ``key``, in every DC, holds the same
+        (value, version) — including tombstones."""
+        observed = set()
+        for site, manager in self.managers.items():
+            for server_name in manager.view.chain_for(key):
+                node = self._node(site, server_name)
+                record = node.store.get_record(key)
+                if record is None:
+                    observed.add((None, VersionVector()))
+                else:
+                    observed.add((record.value, record.version))
+        return len(observed) == 1
+
+    # ------------------------------------------------------------------
+    # harness helpers
+    # ------------------------------------------------------------------
+    def _node(self, site: str, name: str) -> ChainNode:
+        for node in self.nodes[site]:
+            if node.name == name:
+                return node
+        raise ConfigError(f"no node {name!r} in {site!r}")
+
+    def preload(self, data: Dict[str, Any]) -> None:
+        """Install records on every replica directly (skipping the protocol)
+        and mark them DC-stable — the benchmark warm-up path.
+
+        All sites receive identical, already-stable state, exactly what a
+        long-converged deployment would hold.
+        """
+        version = VersionVector({"preload": 1})
+        for key, value in data.items():
+            for site, manager in self.managers.items():
+                for server_name in manager.view.chain_for(key):
+                    node = self._node(site, server_name)
+                    node.store.apply(key, value, version, self.sim.now)
+                    node.stability.record(key, version)
+                    node.global_stability.record(key, version)
+                    node._refresh_stable_record(key)
+
+    def attach_tracer(self, capacity: int = 100_000):
+        """Attach a structured-trace collector to every actor in the
+        deployment (servers, managers, proxies, and future sessions);
+        returns the :class:`~repro.trace.Tracer`."""
+        from repro.trace import Tracer
+
+        tracer = Tracer(self.sim, capacity=capacity)
+        for node in self.servers():
+            node.tracer = tracer
+        for manager in self.managers.values():
+            manager.tracer = tracer
+        for proxy in self.proxies.values():
+            proxy.tracer = tracer
+        for session in self._sessions:
+            session.tracer = tracer
+        self._tracer = tracer
+        return tracer
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Advance the simulation (convenience passthrough)."""
+        return self.sim.run(until=until)
+
+    def protocol_stats(self) -> Dict[str, Any]:
+        """Aggregated protocol counters across all servers and proxies."""
+        nodes = self.servers()
+        stats: Dict[str, Any] = {
+            "puts_served": sum(n.puts_served for n in nodes),
+            "gets_served": sum(n.gets_served for n in nodes),
+            "remote_applies": sum(n.remote_applies for n in nodes),
+            "dep_waits": sum(n.dep_waits for n in nodes),
+            "dep_wait_timeouts": sum(n.dep_wait_timeouts for n in nodes),
+            "rejected_ops": sum(n.rejected_ops for n in nodes),
+            "conflicts_resolved": sum(n.store.conflicts_resolved for n in nodes),
+            "messages_sent": self.network.stats.messages_sent,
+            "bytes_sent": self.network.stats.bytes_sent,
+            "cross_site_bytes": self.network.stats.cross_site_bytes,
+        }
+        if self.proxies:
+            stats["updates_shipped"] = sum(p.updates_shipped for p in self.proxies.values())
+            stats["updates_applied"] = sum(p.updates_applied for p in self.proxies.values())
+            stats["visibility_samples"] = [
+                s for p in self.proxies.values() for s in p.visibility_samples
+            ]
+            stats["global_stability_samples"] = [
+                s for p in self.proxies.values() for s in p.global_stability_samples
+            ]
+        return stats

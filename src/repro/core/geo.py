@@ -1,0 +1,232 @@
+"""Geo-replication: one proxy per datacenter.
+
+The proxy is the only component that talks across the WAN. The local
+chain tails notify it when a write becomes DC-stable; for locally
+originated writes it ships a :class:`RemoteUpdate` (value + the put's
+dependency list) to every peer DC, and for remotely originated writes it
+reports a :class:`GlobalAck` back to the origin.
+
+On the receiving side, a remote update is injected into the local chain
+**head** — so remote and local writes share one serialisation point per
+key — but only after every dependency it carries is DC-stable locally
+(when ``geo_causal_delivery`` is on). That gate is what makes a remote
+reader unable to observe a write before the writes it causally depends
+on; switching it off (DESIGN.md §6.4) reintroduces the anomalies that
+experiment E10 counts.
+
+A write acknowledged DC-stable by every datacenter is **globally
+stable**; the proxy at the origin records the latency of both milestones
+for experiment E7.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.cluster.membership import RingView
+from repro.core.config import ChainReactionConfig
+from repro.core.messages import GlobalAck, GlobalStableNotice, RemoteUpdate, TailStable
+from repro.errors import RemoteError, ReproError, RequestTimeout
+from repro.net.actor import Actor
+from repro.net.network import Address, Network
+from repro.sim.kernel import Simulator
+from repro.sim.process import Future, all_of, spawn, with_timeout
+from repro.storage.version import VersionVector
+
+__all__ = ["GeoProxy"]
+
+
+class GeoProxy(Actor):
+    """Ships DC-stable writes across datacenters and applies inbound ones."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        site: str,
+        all_sites: Tuple[str, ...],
+        initial_view: RingView,
+        config: ChainReactionConfig,
+    ):
+        super().__init__(sim, network, Address(site, "geoproxy"))
+        self.site = site
+        self.config = config
+        self.view = initial_view
+        self._peers = [Address(s, "geoproxy") for s in all_sites if s != site]
+        #: (key, version) → (sites yet to ack, origin put time)
+        self._pending_global: Dict[Tuple[str, VersionVector], Tuple[Set[str], float]] = {}
+        # metrics
+        self.updates_shipped = 0
+        self.updates_applied = 0
+        self.duplicate_ships = 0
+        #: (origin_put_at→applied-at-local-head) latencies, remote side
+        self.visibility_samples: List[float] = []
+        #: (origin_put_at→acked-by-every-DC) latencies, origin side
+        self.global_stability_samples: List[float] = []
+        self._shipped: Set[Tuple[str, VersionVector]] = set()
+        #: per-key chain of in-flight remote applications (FIFO per key)
+        self._key_apply_tail: Dict[str, object] = {}
+
+    def set_view(self, view: RingView) -> None:
+        """Installed as a manager view listener by the datastore."""
+        if view.epoch > self.view.epoch:
+            self.view = view
+
+    # ------------------------------------------------------------------
+    # outbound: local tail says a write is DC-stable
+    # ------------------------------------------------------------------
+    def on_tail_stable(self, msg: TailStable, src: Address) -> None:
+        token = (msg.key, msg.version)
+        if msg.origin_site != self.site:
+            # Remote-origin write finished our chain: tell the origin.
+            origin = Address(msg.origin_site, "geoproxy")
+            self.send(origin, GlobalAck(key=msg.key, version=msg.version, site=self.site))
+            return
+        if token in self._shipped:
+            # Repair re-stabilisation can re-announce a version.
+            self.duplicate_ships += 1
+            return
+        self._shipped.add(token)
+        self.updates_shipped += 1
+        self.trace("geo", "ship", msg.key, version=str(msg.version))
+        if self._peers:
+            self._pending_global[token] = ({p.site for p in self._peers}, msg.origin_put_at)
+            for peer in self._peers:
+                self.send(
+                    peer,
+                    RemoteUpdate(
+                        key=msg.key,
+                        value=msg.value,
+                        version=msg.version,
+                        stamp=msg.stamp,
+                        deps=msg.deps,
+                        origin_site=self.site,
+                        origin_put_at=msg.origin_put_at,
+                    ),
+                )
+        else:
+            self.global_stability_samples.append(self.sim.now - msg.origin_put_at)
+            self._announce_global(msg.key, msg.version)
+
+    def on_global_ack(self, msg: GlobalAck, src: Address) -> None:
+        token = (msg.key, msg.version)
+        pending = self._pending_global.get(token)
+        if pending is None:
+            return  # duplicate ack after completion
+        waiting, origin_put_at = pending
+        waiting.discard(msg.site)
+        if not waiting:
+            del self._pending_global[token]
+            self.global_stability_samples.append(self.sim.now - origin_put_at)
+            self._announce_global(msg.key, msg.version)
+
+    def _announce_global(self, key: str, version: VersionVector) -> None:
+        """Tell every DC (and our own chain members) the write is globally
+        stable, so client dependency tables can prune it."""
+        for peer in self._peers:
+            self.send(peer, GlobalStableNotice(key=key, version=version, fan_out=True))
+        self._fan_out_global(key, version)
+        # Globally stable writes need no duplicate-ship suppression any
+        # more; dropping the token keeps proxy memory proportional to
+        # in-flight writes rather than to history.
+        self._shipped.discard((key, version))
+
+    def _fan_out_global(self, key: str, version: VersionVector) -> None:
+        for server in self.view.chain_for(key):
+            self.send(
+                self.view.address_of(server),
+                GlobalStableNotice(key=key, version=version),
+            )
+
+    def on_global_stable_notice(self, msg: GlobalStableNotice, src: Address) -> None:
+        if msg.fan_out:
+            self._fan_out_global(msg.key, msg.version)
+
+    # ------------------------------------------------------------------
+    # inbound: apply a remote update into the local chain
+    # ------------------------------------------------------------------
+    def on_remote_update(self, msg: RemoteUpdate, src: Address) -> None:
+        # Same-key updates must be *injected* in arrival order: a
+        # dependency-free write would otherwise overtake its same-key
+        # predecessor and become visible before the predecessor's own
+        # dependencies are satisfied here — a transitive causality leak.
+        # Each update carries a gate future, resolved once its injection
+        # has been issued (after its dependency waits); the next update
+        # for the key waits on that gate. Dependency waits themselves run
+        # concurrently, so ordering costs no pipeline stalls.
+        gate = Future(self.sim)
+        previous_gate = self._key_apply_tail.get(msg.key)
+        self._key_apply_tail[msg.key] = gate
+        spawn(
+            self.sim,
+            self._apply_remote(msg, previous_gate, gate),
+            name=f"remote:{msg.key}",
+        )
+
+    def _apply_remote(self, msg: RemoteUpdate, previous_gate, gate: Future):
+        try:
+            if self.config.geo_causal_delivery and msg.deps:
+                waits = [
+                    spawn(
+                        self.sim,
+                        self._wait_dep_stable(dep_key, entry.version),
+                        name=f"geo-dep:{dep_key}",
+                    )
+                    for dep_key, entry in msg.deps.items()
+                    # Same-key order is already enforced by the gate chain
+                    # below; waiting for the predecessor's DC-stability
+                    # here would serialise the whole chain latency per
+                    # update instead of pipelining it.
+                    if dep_key != msg.key
+                ]
+                if waits:
+                    yield all_of(self.sim, waits)
+            if previous_gate is not None and not previous_gate.done():
+                yield previous_gate
+        finally:
+            # Open the gate exactly when this update's injection is
+            # issued (first attempt) — successors may then issue theirs;
+            # per-link FIFO keeps the heads applying them in order.
+            self.sim.call_soon(gate.try_set_result, True)
+        yield from self._inject_at_head(msg)
+        self.updates_applied += 1
+        self.trace("geo", "remote-apply", msg.key, origin=msg.origin_site)
+        self.visibility_samples.append(self.sim.now - msg.origin_put_at)
+
+    def _wait_dep_stable(self, key: str, version: VersionVector):
+        """Wait until the local DC has stabilised a dependency version."""
+        deadline = self.sim.now + self.config.dep_wait_timeout
+        attempt = max(self.config.dep_wait_timeout / 3.0, 0.05)
+        while self.sim.now < deadline:
+            remaining = deadline - self.sim.now
+            tail = self.view.address_of(self.view.chain_for(key)[-1])
+            try:
+                yield self.call(
+                    tail,
+                    "wait_stable",
+                    (key, version.entries()),
+                    timeout=min(attempt, remaining),
+                )
+                return True
+            except (RequestTimeout, RemoteError):
+                continue
+        return False
+
+    def _inject_at_head(self, msg: RemoteUpdate):
+        payload = {
+            "key": msg.key,
+            "value": msg.value,
+            "version": msg.version,
+            "stamp": msg.stamp,
+            "deps": msg.deps,
+            "origin_site": msg.origin_site,
+            "origin_put_at": msg.origin_put_at,
+        }
+        for _attempt in range(self.config.max_retries):
+            head = self.view.address_of(self.view.chain_for(msg.key)[0])
+            try:
+                yield self.call(head, "apply_remote", payload, timeout=self.config.op_timeout)
+                return True
+            except (RequestTimeout, RemoteError):
+                yield self.config.client_retry_backoff
+        return False

@@ -1,0 +1,200 @@
+"""Wire messages of the ChainReaction protocol.
+
+Three planes:
+
+- **client plane** — ``PutRequest`` travels from a client session to a
+  chain head; ``PutReply`` returns *directly* from whichever chain
+  position acknowledges (the k-th server), saving the back-hop that a
+  conventional RPC would pay. Reads use the actor RPC layer (single
+  round-trip to one chosen server) and so have no message types here.
+- **chain plane** — ``ChainPut`` carries a write down the chain;
+  ``ChainStable`` carries the tail's stability notification back up.
+- **geo plane** — ``RemoteUpdate`` ships a DC-stable write to the other
+  datacenters; ``GlobalAck`` flows back to the origin so it can declare
+  the write globally stable.
+
+``DepEntry`` is the unit of the client library's causality metadata:
+the version of an object the session observed and the deepest chain
+position known to hold it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, ClassVar, Dict, Optional, Tuple
+
+from repro.net.message import Message
+from repro.net.network import Address
+from repro.storage.version import VersionVector
+
+__all__ = [
+    "DepEntry",
+    "Deps",
+    "deps_size_bytes",
+    "PutRequest",
+    "PutReply",
+    "ChainPut",
+    "ChainStable",
+    "TailStable",
+    "RemoteUpdate",
+    "GlobalAck",
+    "GlobalStableNotice",
+    "StateTransfer",
+    "TransferDone",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class DepEntry:
+    """One tracked causal dependency: (version seen, chain index holding it)."""
+
+    version: VersionVector
+    index: int
+
+    def size_bytes(self) -> int:
+        return self.version.size_bytes() + 4
+
+
+Deps = Dict[str, DepEntry]
+
+
+def deps_size_bytes(deps: Deps) -> int:
+    """Wire size of a dependency map as carried on a PutRequest."""
+    return 4 + sum(4 + len(k) + d.size_bytes() for k, d in deps.items())
+
+
+@dataclasses.dataclass
+class PutRequest(Message):
+    """Client → chain head. Carries the session's unstable dependencies."""
+
+    type_name: ClassVar[str] = "put-request"
+    request_id: int = 0
+    key: str = ""
+    value: Any = None
+    deps: Deps = dataclasses.field(default_factory=dict)
+    reply_to: Optional[Address] = None
+    is_delete: bool = False
+
+
+@dataclasses.dataclass
+class PutReply(Message):
+    """k-th chain server → client, acknowledging the write."""
+
+    type_name: ClassVar[str] = "put-reply"
+    request_id: int = 0
+    key: str = ""
+    version: VersionVector = dataclasses.field(default_factory=VersionVector)
+    index: int = 0
+    chain_len: int = 1
+    ok: bool = True
+    error: str = ""
+
+
+@dataclasses.dataclass
+class ChainPut(Message):
+    """Propagation of a write down the chain (head → ... → tail)."""
+
+    type_name: ClassVar[str] = "chain-put"
+    key: str = ""
+    value: Any = None
+    version: VersionVector = dataclasses.field(default_factory=VersionVector)
+    origin_site: str = ""
+    deps: Deps = dataclasses.field(default_factory=dict)
+    #: chain position the message is being delivered to (head sends 1, ...)
+    position: int = 0
+    #: acknowledge the client once the server at ``ack_index`` applies
+    ack_index: int = -1
+    request_id: int = 0
+    reply_to: Optional[Address] = None
+    #: virtual time the originating client issued the put (geo metrics)
+    origin_put_at: float = 0.0
+
+
+@dataclasses.dataclass
+class ChainStable(Message):
+    """Tail → ... → head: this version is now DC-stable."""
+
+    type_name: ClassVar[str] = "chain-stable"
+    key: str = ""
+    version: VersionVector = dataclasses.field(default_factory=VersionVector)
+    position: int = 0
+
+
+@dataclasses.dataclass
+class TailStable(Message):
+    """Chain tail → local geo-proxy: a write just became DC-stable here.
+
+    For locally-originated writes the proxy ships it to the other DCs;
+    for remote-originated writes the proxy reports a :class:`GlobalAck`
+    back to the origin.
+    """
+
+    type_name: ClassVar[str] = "tail-stable"
+    key: str = ""
+    value: Any = None
+    version: VersionVector = dataclasses.field(default_factory=VersionVector)
+    #: arbitration stamp of the surviving write (None = derive from version)
+    stamp: Any = None
+    deps: Deps = dataclasses.field(default_factory=dict)
+    origin_site: str = ""
+    origin_put_at: float = 0.0
+
+
+@dataclasses.dataclass
+class RemoteUpdate(Message):
+    """Origin geo-proxy → remote geo-proxy: ship a DC-stable write."""
+
+    type_name: ClassVar[str] = "remote-update"
+    key: str = ""
+    value: Any = None
+    version: VersionVector = dataclasses.field(default_factory=VersionVector)
+    #: arbitration stamp of the surviving write (None = derive from version)
+    stamp: Any = None
+    deps: Deps = dataclasses.field(default_factory=dict)
+    origin_site: str = ""
+    origin_put_at: float = 0.0
+
+
+@dataclasses.dataclass
+class GlobalAck(Message):
+    """Remote geo-proxy → origin geo-proxy: the write is DC-stable here."""
+
+    type_name: ClassVar[str] = "global-ack"
+    key: str = ""
+    version: VersionVector = dataclasses.field(default_factory=VersionVector)
+    site: str = ""
+
+
+@dataclasses.dataclass
+class GlobalStableNotice(Message):
+    """Origin geo-proxy → peer proxies → chain members: globally stable.
+
+    A version acknowledged DC-stable by *every* datacenter can be pruned
+    from client dependency tables — servers learn it from this notice
+    and report it on reads.
+    """
+
+    type_name: ClassVar[str] = "global-stable-notice"
+    key: str = ""
+    version: VersionVector = dataclasses.field(default_factory=VersionVector)
+    #: True on the proxy→proxy hop; the receiving proxy fans out locally.
+    fan_out: bool = False
+
+
+@dataclasses.dataclass
+class StateTransfer(Message):
+    """Chain repair: records (with stability) pushed to a chain member."""
+
+    type_name: ClassVar[str] = "state-transfer"
+    #: (key, value, version, stable_version, stamp) tuples
+    records: Tuple = ()
+    epoch: int = 0
+
+
+@dataclasses.dataclass
+class TransferDone(Message):
+    """Chain repair: sender finished streaming state for this epoch."""
+
+    type_name: ClassVar[str] = "transfer-done"
+    epoch: int = 0
+    sender: str = ""

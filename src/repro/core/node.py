@@ -1,0 +1,569 @@
+"""The ChainReaction storage server.
+
+One :class:`ChainNode` plays every chain role at once — it is the head
+for some keys, an interior replica for others, the tail for others
+still, as consistent hashing dictates. The node implements:
+
+- **k-ack puts** — a put is applied at the head, propagated down the
+  chain, and acknowledged to the client by the server at chain position
+  ``k - 1``; propagation continues lazily to the tail.
+- **dependency waits** — a put whose client metadata lists unstable
+  dependencies is held at the head until those versions are DC-stable
+  (confirmed by the dependency's chain tail), the mechanism that makes
+  reads-anywhere safe for causality.
+- **stability propagation** — the tail marks versions DC-stable and
+  notifies the chain (and the geo-proxy) so reads can fan out to all
+  ``R`` replicas.
+- **prefix reads** — a get is served by whichever chain position the
+  client chose; the reply carries the server's position and a stability
+  flag so the client can maintain its metadata.
+- **chain repair** — on a membership change every server streams the
+  records each new chain member is responsible for, and pauses
+  client-facing service until it has received its peers' transfers
+  (bounded by ``sync_timeout``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.cluster.membership import RingView
+from repro.cluster.ring import chain_positions
+from repro.cluster.server_base import RingServer
+from repro.core.config import ChainReactionConfig
+from repro.core.messages import (
+    ChainPut,
+    ChainStable,
+    Deps,
+    GlobalStableNotice,
+    PutReply,
+    PutRequest,
+    StateTransfer,
+    TailStable,
+    TransferDone,
+)
+from repro.core.stability import StabilityTracker
+from repro.errors import NotResponsibleError, RemoteError, RequestTimeout, StorageError
+from repro.net.network import Address, Network
+from repro.sim.kernel import Simulator
+from repro.sim.process import all_of, spawn, with_timeout
+from repro.storage.merge import ConflictResolver
+from repro.storage.logstore import DurableStore
+from repro.storage.store import TOMBSTONE
+from repro.storage.version import VersionVector
+
+__all__ = ["ChainNode"]
+
+_GEOPROXY = "geoproxy"
+
+
+class ChainNode(RingServer):
+    """A ChainReaction server: head/replica/tail for its share of chains."""
+
+    SERVICED_TYPES = frozenset(
+        {"rpc-request", "put-request", "chain-put", "state-transfer"}
+    )
+
+    def service_cost(self, msg) -> float:
+        # Stability queries are version comparisons, not data operations;
+        # charging them a full service slot would tax every dependency-
+        # carrying put with capacity it doesn't consume in reality.
+        if getattr(msg, "method", None) == "wait_stable":
+            return 0.0
+        return super().service_cost(msg)
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        site: str,
+        name: str,
+        initial_view: RingView,
+        config: ChainReactionConfig,
+        resolver: Optional[ConflictResolver] = None,
+    ):
+        super().__init__(
+            sim, network, site, name, initial_view, resolver,
+            service_time=config.service_time,
+        )
+        self.config = config
+        if config.durable_storage:
+            # FAWN-KV-style log-structured datastore: survives crashes
+            # that wipe memory; compaction bounds log growth.
+            self.store = DurableStore(resolver)
+            self.set_timer(config.compaction_interval, self._compaction_tick)
+        self.stability = StabilityTracker()
+        #: versions DC-stable in *every* datacenter; in a single-DC
+        #: deployment this coincides with plain DC-stability
+        self.global_stability = StabilityTracker()
+        self.syncing = False
+        #: newest record known DC-stable per key, with the dependency list
+        #: of the write that produced it — the unit served to causally
+        #: consistent snapshot reads (multi_get)
+        self._stable_records: Dict[str, Tuple[Any, Any]] = {}
+        self._record_deps: Dict[str, Deps] = {}
+        self._sync_epoch = initial_view.epoch
+        self._transfer_pending: Set[str] = set()
+        self._done_received: Set[Tuple[int, str]] = set()
+        # counters surfaced by the harness
+        self.puts_served = 0
+        self.gets_served = 0
+        self.remote_applies = 0
+        self.dep_waits = 0
+        self.dep_wait_timeouts = 0
+        self.rejected_ops = 0
+        self.forced_sync_exits = 0
+
+    # ------------------------------------------------------------------
+    # client puts (head role)
+    # ------------------------------------------------------------------
+    def on_put_request(self, msg: PutRequest, src: Address) -> None:
+        error = self._put_admission_error(msg.key)
+        if error is not None:
+            self.rejected_ops += 1
+            if msg.reply_to is not None:
+                self.send(
+                    msg.reply_to,
+                    PutReply(request_id=msg.request_id, key=msg.key, ok=False, error=error),
+                )
+            return
+        self.trace("put", "received", msg.key, deps=len(msg.deps))
+        spawn(self.sim, self._serve_put(msg), name=f"put:{msg.key}")
+
+    def _put_admission_error(self, key: str) -> Optional[str]:
+        if self.syncing:
+            return "syncing"
+        pos = chain_positions(self.chain_for(key), self.name)
+        if pos is None:
+            return "not-responsible"
+        if pos != 0:
+            return "not-head"
+        return None
+
+    def _serve_put(self, msg: PutRequest):
+        """Hold the put until its dependencies are DC-stable, then apply."""
+        unresolved = [
+            (dep_key, entry.version)
+            for dep_key, entry in msg.deps.items()
+            # Same-key dependencies need no wait here: the chain orders
+            # this put after them, and shipping only on DC-stability
+            # means they are stable before this write leaves the DC.
+            if dep_key != msg.key
+            and not self.stability.is_stable(dep_key, entry.version)
+        ]
+        if unresolved:
+            self.dep_waits += 1
+            self.trace("put", "dep-wait", msg.key, waiting_on=len(unresolved))
+            waits = [
+                spawn(self.sim, self._wait_dep(dep_key, version), name=f"dep:{dep_key}")
+                for dep_key, version in unresolved
+            ]
+            yield all_of(self.sim, waits)
+
+        value = TOMBSTONE if msg.is_delete else msg.value
+        # The version is assigned at apply time (not at arrival) so that
+        # puts held by dependency waits serialise correctly with puts
+        # that overtook them on the same key.
+        version = self.store.version_of(msg.key).increment(self.site)
+        self.puts_served += 1
+        self.trace("put", "apply-head", msg.key, version=str(version))
+        self._apply_and_propagate(
+            key=msg.key,
+            value=value,
+            version=version,
+            origin_site=self.site,
+            deps=dict(msg.deps),
+            ack_index=self.config.ack_k - 1,
+            request_id=msg.request_id,
+            reply_to=msg.reply_to,
+            origin_put_at=self.sim.now,
+        )
+        return version
+
+    def _wait_dep(self, key: str, version: VersionVector):
+        """Block until ``version`` of ``key`` is DC-stable (or time out).
+
+        The wait is answered by the dependency's chain tail; view changes
+        mid-wait are handled by re-asking whoever the tail now is. After
+        ``dep_wait_timeout`` the put proceeds anyway — the dependency can
+        only be permanently missing if its data was lost, in which case
+        no reader can observe it and waiting longer helps nobody.
+        """
+        deadline = self.sim.now + self.config.dep_wait_timeout
+        attempt = max(self.config.dep_wait_timeout / 3.0, 0.05)
+        while self.sim.now < deadline:
+            remaining = deadline - self.sim.now
+            chain = self.chain_for(key)
+            tail_name = chain[-1]
+            try:
+                if tail_name == self.name:
+                    yield with_timeout(
+                        self.sim, self.stability.wait(self.sim, key, version), remaining
+                    )
+                else:
+                    yield self.call(
+                        self.view.address_of(tail_name),
+                        "wait_stable",
+                        (key, version.entries()),
+                        timeout=min(attempt, remaining),
+                    )
+                return True
+            except (RequestTimeout, RemoteError):
+                continue
+        self.dep_wait_timeouts += 1
+        return False
+
+    # ------------------------------------------------------------------
+    # chain propagation
+    # ------------------------------------------------------------------
+    def _apply_and_propagate(
+        self,
+        key: str,
+        value: Any,
+        version: VersionVector,
+        origin_site: str,
+        deps: Deps,
+        ack_index: int,
+        request_id: int,
+        reply_to: Optional[Address],
+        origin_put_at: float,
+        stamp: Any = None,
+    ) -> None:
+        """Apply a write locally and play this node's chain role for it:
+        acknowledge the client if we sit at the ack position, declare
+        stability if we are the tail, otherwise forward downstream.
+
+        ``stamp`` is None on the normal path, where ``version`` is the
+        write's original vector; remote re-applications of merged
+        records pass the surviving stamp explicitly.
+        """
+        self._apply_local(key, value, version, stamp, deps)
+        chain = self.chain_for(key)
+        pos = chain_positions(chain, self.name)
+        if pos is None:
+            # A view change moved this chain away mid-flight; the repair
+            # scan redistributes the record, nothing more to do here.
+            return
+        tail_pos = len(chain) - 1
+        if ack_index >= 0 and pos == min(ack_index, tail_pos) and reply_to is not None:
+            self.trace("put", "ack-client", key, position=pos)
+            self.send(
+                reply_to,
+                PutReply(
+                    request_id=request_id,
+                    key=key,
+                    version=version,
+                    index=pos,
+                    chain_len=len(chain),
+                ),
+            )
+        if pos == tail_pos:
+            self._tail_stabilise(
+                key, value, version, deps, origin_site, origin_put_at, chain, stamp=stamp
+            )
+        else:
+            self.send(
+                self.view.address_of(chain[pos + 1]),
+                ChainPut(
+                    key=key,
+                    value=value,
+                    version=version,
+                    origin_site=origin_site,
+                    deps=deps,
+                    position=pos + 1,
+                    ack_index=ack_index,
+                    request_id=request_id,
+                    reply_to=reply_to,
+                    origin_put_at=origin_put_at,
+                ),
+            )
+
+    def _apply_local(self, key: str, value: Any, version: VersionVector,
+                     stamp: Any, deps: Deps) -> None:
+        """Apply to the local store, preserving the newest *stable* record
+        (snapshot reads serve it even after newer unstable writes land)
+        and tracking the surviving write's dependency list."""
+        existing = self.store.get_record(key)
+        if existing is not None and self.stability.is_stable(key, existing.version):
+            self._stable_records[key] = (existing, self._record_deps.get(key, {}))
+        result = self.store.apply(key, value, version, self.sim.now, stamp)
+        if result.applied:
+            if result.was_conflict:
+                merged = dict(self._record_deps.get(key, {}))
+                for dep_key, entry in deps.items():
+                    mine = merged.get(dep_key)
+                    if mine is None or entry.version.dominates(mine.version):
+                        merged[dep_key] = entry
+                self._record_deps[key] = merged
+            else:
+                self._record_deps[key] = dict(deps)
+        self._refresh_stable_record(key)
+
+    def _refresh_stable_record(self, key: str) -> None:
+        record = self.store.get_record(key)
+        if record is not None and self.stability.is_stable(key, record.version):
+            self._stable_records[key] = (record, self._record_deps.get(key, {}))
+
+    def on_chain_put(self, msg: ChainPut, src: Address) -> None:
+        self._apply_and_propagate(
+            key=msg.key,
+            value=msg.value,
+            version=msg.version,
+            origin_site=msg.origin_site,
+            deps=msg.deps,
+            ack_index=msg.ack_index,
+            request_id=msg.request_id,
+            reply_to=msg.reply_to,
+            origin_put_at=msg.origin_put_at,
+        )
+
+    def _tail_stabilise(
+        self,
+        key: str,
+        value: Any,
+        version: VersionVector,
+        deps: Deps,
+        origin_site: str,
+        origin_put_at: float,
+        chain: List[str],
+        stamp: Any = None,
+    ) -> None:
+        self.stability.record(key, version)
+        self._refresh_stable_record(key)
+        self.trace("stability", "dc-stable", key, version=str(version))
+        if len(chain) > 1:
+            self.send(
+                self.view.address_of(chain[-2]),
+                ChainStable(key=key, version=version, position=len(chain) - 2),
+            )
+        if self.config.is_geo:
+            self.send(
+                Address(self.site, _GEOPROXY),
+                TailStable(
+                    key=key,
+                    value=value,
+                    version=version,
+                    stamp=stamp,
+                    deps=deps,
+                    origin_site=origin_site,
+                    origin_put_at=origin_put_at,
+                ),
+            )
+
+    def on_chain_stable(self, msg: ChainStable, src: Address) -> None:
+        self.stability.record(msg.key, msg.version)
+        self._refresh_stable_record(msg.key)
+        chain = self.chain_for(msg.key)
+        pos = chain_positions(chain, self.name)
+        if pos is not None and pos > 0:
+            self.send(
+                self.view.address_of(chain[pos - 1]),
+                ChainStable(key=msg.key, version=msg.version, position=pos - 1),
+            )
+
+    # ------------------------------------------------------------------
+    # reads (any chain position)
+    # ------------------------------------------------------------------
+    def rpc_get(self, key: str, src: Address) -> Dict[str, Any]:
+        if self.syncing:
+            self.rejected_ops += 1
+            raise StorageError("syncing")
+        pos = chain_positions(self.chain_for(key), self.name)
+        if pos is None:
+            self.rejected_ops += 1
+            raise NotResponsibleError(f"{self.name} not in chain for {key!r}")
+        self.gets_served += 1
+        record = self.store.get_record(key)
+        if record is None:
+            return {
+                "value": None,
+                "version": VersionVector(),
+                "stable": True,
+                "global": True,
+                "index": pos,
+            }
+        version = record.version
+        dc_stable = self.stability.is_stable(key, version)
+        if self.config.is_geo:
+            globally = self.global_stability.is_stable(key, version)
+        else:
+            globally = dc_stable
+        return {
+            "value": None if record.is_deleted else record.value,
+            "version": version,
+            "stable": dc_stable,
+            "global": globally,
+            "index": pos,
+        }
+
+    def on_global_stable_notice(self, msg: GlobalStableNotice, src: Address) -> None:
+        self.trace("stability", "global-stable", msg.key, version=str(msg.version))
+        self.global_stability.record(msg.key, msg.version)
+
+    def rpc_get_stable(self, key: str, src: Address) -> Dict[str, Any]:
+        """Serve the newest DC-stable record for ``key``, with the deps of
+        the write that produced it — one leg of a causally consistent
+        snapshot read. Any chain position can answer: stable versions
+        are on every replica by definition."""
+        if self.syncing:
+            self.rejected_ops += 1
+            raise StorageError("syncing")
+        if chain_positions(self.chain_for(key), self.name) is None:
+            self.rejected_ops += 1
+            raise NotResponsibleError(f"{self.name} not in chain for {key!r}")
+        self.gets_served += 1
+        entry = self._stable_records.get(key)
+        if entry is None:
+            return {
+                "found": False,
+                "value": None,
+                "version": VersionVector(),
+                "deps": {},
+            }
+        record, deps = entry
+        return {
+            "found": True,
+            "value": None if record.is_deleted else record.value,
+            "version": record.version,
+            "deps": {k: e.version for k, e in deps.items()},
+        }
+
+    # ------------------------------------------------------------------
+    # stability queries (tail role)
+    # ------------------------------------------------------------------
+    def rpc_wait_stable(self, payload: Tuple[str, Dict[str, int]], src: Address):
+        key, entries = payload
+        return self.stability.wait(self.sim, key, VersionVector(entries))
+
+    # ------------------------------------------------------------------
+    # remote updates injected by the geo-proxy (head role)
+    # ------------------------------------------------------------------
+    def rpc_apply_remote(self, payload: Dict[str, Any], src: Address) -> bool:
+        key = payload["key"]
+        if self.syncing:
+            raise StorageError("syncing")
+        pos = chain_positions(self.chain_for(key), self.name)
+        if pos is None or pos != 0:
+            raise NotResponsibleError(f"{self.name} is not head for {key!r}")
+        self.remote_applies += 1
+        self._apply_and_propagate(
+            key=key,
+            value=payload["value"],
+            version=payload["version"],
+            origin_site=payload["origin_site"],
+            deps=payload.get("deps", {}),
+            ack_index=-1,
+            request_id=0,
+            reply_to=None,
+            origin_put_at=payload.get("origin_put_at", self.sim.now),
+            stamp=payload.get("stamp"),
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    # chain repair
+    # ------------------------------------------------------------------
+    def handle_view_change(self, old: RingView, new: RingView) -> None:
+        """Stream state to the members of every chain under the new view.
+
+        Every server pushes each of its records to the record's other
+        new-chain members (idempotent at the receiver), then signals
+        completion. Client-facing service pauses until all peers'
+        transfers arrive, bounded by ``sync_timeout``.
+        """
+        self.trace("repair", "view-change", epoch=new.epoch, members=len(new.servers))
+        self._sync_epoch = new.epoch
+        self.syncing = True
+        self._transfer_pending = set(new.servers) - {self.name}
+        self.set_timer(self.config.sync_timeout, self._sync_deadline, new.epoch)
+
+        outgoing: Dict[str, List[Tuple[str, Any, VersionVector, VersionVector]]] = {}
+        for record in self.store.all_records():
+            chain = new.chain_for(record.key)
+            if self.name not in chain:
+                continue
+            entry = (
+                record.key,
+                record.value,
+                record.version,
+                self.stability.stable_version(record.key),
+                record.stamp,
+            )
+            for server in chain:
+                if server != self.name:
+                    outgoing.setdefault(server, []).append(entry)
+        for server in new.servers:
+            if server == self.name:
+                continue
+            dst = new.address_of(server)
+            records = tuple(outgoing.get(server, ()))
+            if records:
+                self.send(dst, StateTransfer(records=records, epoch=new.epoch))
+            self.send(dst, TransferDone(epoch=new.epoch, sender=self.name))
+        self._maybe_finish_sync()
+
+    def on_state_transfer(self, msg: StateTransfer, src: Address) -> None:
+        for key, value, version, stable_version, stamp in msg.records:
+            self._apply_local(key, value, version, stamp, {})
+            if not stable_version.is_zero():
+                self.stability.record(key, stable_version)
+                self._refresh_stable_record(key)
+            chain = self.chain_for(key)
+            pos = chain_positions(chain, self.name)
+            if pos is not None and pos == len(chain) - 1:
+                record = self.store.get_record(key)
+                if record is not None and not self.stability.is_stable(key, record.version):
+                    # Writes stranded mid-chain by the failure reach the new
+                    # tail here; stabilising them re-opens reads-anywhere and
+                    # (in geo mode) re-ships anything the old tail never sent.
+                    self._tail_stabilise(
+                        key,
+                        record.value,
+                        record.version,
+                        {},
+                        self.site,
+                        self.sim.now,
+                        chain,
+                        stamp=record.stamp,
+                    )
+
+    def on_transfer_done(self, msg: TransferDone, src: Address) -> None:
+        self._done_received.add((msg.epoch, msg.sender))
+        self._maybe_finish_sync()
+
+    def _maybe_finish_sync(self) -> None:
+        if not self.syncing:
+            return
+        missing = {
+            server
+            for server in self._transfer_pending
+            if (self._sync_epoch, server) not in self._done_received
+        }
+        if not missing:
+            self.syncing = False
+            self.trace("repair", "sync-complete", epoch=self._sync_epoch)
+            self._done_received = {
+                item for item in self._done_received if item[0] >= self._sync_epoch
+            }
+
+    def _compaction_tick(self) -> None:
+        reclaimed = self.store.maybe_compact()
+        if reclaimed:
+            self.trace("storage", "compaction", reclaimed=reclaimed)
+        self.set_timer(self.config.compaction_interval, self._compaction_tick)
+
+    def on_recover(self) -> None:
+        if isinstance(self.store, DurableStore) and len(self.store) == 0 and len(self.store.log):
+            replayed = self.store.recover_from_log()
+            self.trace("storage", "log-recovery", replayed=replayed)
+            # Replayed records that were stable before the crash become
+            # stable again via the repair transfer that follows re-admission.
+            self.set_timer(self.config.compaction_interval, self._compaction_tick)
+        super().on_recover()
+
+    def _sync_deadline(self, epoch: int) -> None:
+        if self.syncing and self._sync_epoch == epoch:
+            # A peer died mid-repair and its TransferDone will never come;
+            # resume service rather than staying unavailable.
+            self.syncing = False
+            self.forced_sync_exits += 1

@@ -1,0 +1,72 @@
+"""DC-stability bookkeeping.
+
+A version is **DC-stable** once the chain tail has applied it: every
+chain position then holds it, so it can be read from any replica and can
+safely anchor causal dependencies. Each server tracks, per key, the
+highest stable version it has learnt of (stability notifications flow
+tail → head), and parks *waiters* — futures belonging to puts or remote
+updates whose dependencies have not stabilised yet.
+
+The stable version per key only ever grows (vector merge), so waiters
+resolve exactly once and in stability order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.sim.kernel import Simulator
+from repro.sim.process import Future
+from repro.storage.version import VersionVector
+
+__all__ = ["StabilityTracker"]
+
+
+class StabilityTracker:
+    """Per-server map of key → highest DC-stable version, with waiters."""
+
+    def __init__(self) -> None:
+        self._stable: Dict[str, VersionVector] = {}
+        self._waiters: Dict[str, List[Tuple[VersionVector, Future]]] = {}
+        self.notifications = 0
+
+    def stable_version(self, key: str) -> VersionVector:
+        return self._stable.get(key, VersionVector())
+
+    def is_stable(self, key: str, version: VersionVector) -> bool:
+        return self.stable_version(key).dominates(version)
+
+    def record(self, key: str, version: VersionVector) -> None:
+        """Note that ``version`` of ``key`` is DC-stable; wake waiters."""
+        merged = self.stable_version(key).merge(version)
+        self._stable[key] = merged
+        self.notifications += 1
+        waiters = self._waiters.get(key)
+        if not waiters:
+            return
+        still_waiting = []
+        for wanted, fut in waiters:
+            if merged.dominates(wanted):
+                fut.try_set_result(True)
+            else:
+                still_waiting.append((wanted, fut))
+        if still_waiting:
+            self._waiters[key] = still_waiting
+        else:
+            del self._waiters[key]
+
+    def wait(self, sim: Simulator, key: str, version: VersionVector) -> Future:
+        """A future resolving (to True) once ``version`` is DC-stable."""
+        fut = Future(sim)
+        if self.is_stable(key, version):
+            fut.set_result(True)
+        else:
+            self._waiters.setdefault(key, []).append((version, fut))
+        return fut
+
+    def pending_waiters(self) -> int:
+        return sum(len(ws) for ws in self._waiters.values())
+
+    def snapshot(self) -> Dict[str, VersionVector]:
+        """Copy of the stable map — used for chain-repair state transfer."""
+        return dict(self._stable)

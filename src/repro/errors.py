@@ -1,0 +1,87 @@
+"""Exception hierarchy for the ChainReaction reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type at the API boundary. Protocol-level failures
+that a real deployment would surface to clients (timeouts, unavailable
+chains) get their own subclasses because benchmark harnesses and tests
+need to tell them apart.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "NetworkError",
+    "AddressUnknownError",
+    "RequestTimeout",
+    "RemoteError",
+    "ClusterError",
+    "ChainUnavailableError",
+    "NotResponsibleError",
+    "StorageError",
+    "VersionConflictError",
+    "CheckerError",
+    "HistoryViolation",
+    "ConfigError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event kernel (past scheduling, reentrancy, livelock)."""
+
+
+class NetworkError(ReproError):
+    """Message could not be delivered (partition, dropped link, dead actor)."""
+
+
+class AddressUnknownError(NetworkError):
+    """Destination address was never registered with the network."""
+
+
+class RequestTimeout(NetworkError):
+    """An RPC did not receive a response within its deadline."""
+
+
+class RemoteError(NetworkError):
+    """The remote side of an RPC raised an error while handling the request."""
+
+
+class ClusterError(ReproError):
+    """Cluster-level failures: membership, placement, reconfiguration."""
+
+
+class ChainUnavailableError(ClusterError):
+    """No live replica chain exists for the requested key."""
+
+
+class NotResponsibleError(ClusterError):
+    """A server received a request for a key outside the chains it serves."""
+
+
+class StorageError(ReproError):
+    """Local store failures."""
+
+
+class VersionConflictError(StorageError):
+    """A conditional update observed a newer version than expected."""
+
+
+class CheckerError(ReproError):
+    """The consistency checker was fed a malformed history."""
+
+
+class HistoryViolation(CheckerError):
+    """A recorded history violates the consistency model being checked.
+
+    Raised only in ``strict`` mode; the default checker API returns the
+    violations as data so tests and benchmarks can count them.
+    """
+
+
+class ConfigError(ReproError):
+    """Invalid experiment or protocol configuration."""

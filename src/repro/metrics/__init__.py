@@ -1,0 +1,13 @@
+"""Measurement utilities: latency reservoirs, throughput timelines, rendering."""
+
+from repro.metrics.reservoir import LatencyReservoir
+from repro.metrics.series import ThroughputTimeline
+from repro.metrics.summary import format_number, render_series, render_table
+
+__all__ = [
+    "LatencyReservoir",
+    "ThroughputTimeline",
+    "render_table",
+    "render_series",
+    "format_number",
+]

@@ -1,0 +1,108 @@
+"""Latency sample collection.
+
+A :class:`LatencyReservoir` keeps up to ``capacity`` samples using
+Vitter's reservoir sampling, so percentile estimates stay unbiased on
+arbitrarily long runs with bounded memory — while short runs (below the
+cap) are exact. All latencies in this repository are virtual-time
+seconds.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Sequence, Tuple
+
+__all__ = ["LatencyReservoir"]
+
+
+class LatencyReservoir:
+    """Bounded, unbiased sample of a latency stream."""
+
+    def __init__(self, capacity: int = 50_000, seed: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._rng = random.Random(seed)
+        self._samples: List[float] = []
+        self._sorted: List[float] = []
+        self._dirty = False
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, sample: float) -> None:
+        self.count += 1
+        self.total += sample
+        if sample < self.min:
+            self.min = sample
+        if sample > self.max:
+            self.max = sample
+        if len(self._samples) < self._capacity:
+            self._samples.append(sample)
+            self._dirty = True
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self._capacity:
+                self._samples[slot] = sample
+                self._dirty = True
+
+    def extend(self, samples: Sequence[float]) -> None:
+        for sample in samples:
+            self.add(sample)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def _ensure_sorted(self) -> List[float]:
+        if self._dirty:
+            self._sorted = sorted(self._samples)
+            self._dirty = False
+        return self._sorted
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile, ``p`` in [0, 100]."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        data = self._ensure_sorted()
+        if not data:
+            return 0.0
+        if len(data) == 1:
+            return data[0]
+        rank = (p / 100.0) * (len(data) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(data) - 1)
+        frac = rank - lo
+        return data[lo] * (1 - frac) + data[hi] * frac
+
+    def median(self) -> float:
+        return self.percentile(50)
+
+    def cdf(self, points: int = 100) -> List[Tuple[float, float]]:
+        """(latency, cumulative fraction) pairs for CDF plots/tables."""
+        data = self._ensure_sorted()
+        if not data:
+            return []
+        out = []
+        for i in range(1, points + 1):
+            frac = i / points
+            idx = min(int(frac * len(data)) - 1, len(data) - 1)
+            idx = max(idx, 0)
+            out.append((data[idx], frac))
+        return out
+
+    def summary(self) -> dict:
+        """The per-figure latency row: count/mean/percentiles, in ms."""
+        to_ms = 1000.0
+        return {
+            "count": self.count,
+            "mean_ms": self.mean() * to_ms,
+            "p50_ms": self.percentile(50) * to_ms,
+            "p95_ms": self.percentile(95) * to_ms,
+            "p99_ms": self.percentile(99) * to_ms,
+            "max_ms": (self.max if self.count else 0.0) * to_ms,
+        }

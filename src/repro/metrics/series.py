@@ -1,0 +1,57 @@
+"""Time-bucketed event series — throughput timelines.
+
+The fault-tolerance experiment (E9) reports throughput *over time*
+around a failure; :class:`ThroughputTimeline` buckets operation
+completions into fixed windows so the dip and recovery are visible as a
+series.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+__all__ = ["ThroughputTimeline"]
+
+
+class ThroughputTimeline:
+    """Counts events per fixed-width time bucket."""
+
+    def __init__(self, bucket_width: float = 0.1):
+        if bucket_width <= 0:
+            raise ValueError(f"bucket_width must be positive, got {bucket_width}")
+        self.bucket_width = bucket_width
+        self._counts: Dict[int, int] = defaultdict(int)
+
+    def record(self, time: float, n: int = 1) -> None:
+        self._counts[int(time / self.bucket_width)] += n
+
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    def series(self) -> List[Tuple[float, float]]:
+        """(bucket start time, ops/sec) pairs, gaps filled with zeros."""
+        if not self._counts:
+            return []
+        first = min(self._counts)
+        last = max(self._counts)
+        return [
+            (b * self.bucket_width, self._counts.get(b, 0) / self.bucket_width)
+            for b in range(first, last + 1)
+        ]
+
+    def rate_between(self, start: float, end: float) -> float:
+        """Average ops/sec over [start, end)."""
+        if end <= start:
+            raise ValueError(f"need start < end, got [{start}, {end})")
+        total = sum(
+            n
+            for bucket, n in self._counts.items()
+            if start <= bucket * self.bucket_width < end
+        )
+        return total / (end - start)
+
+    def min_rate(self) -> float:
+        """Lowest bucket rate — the depth of a failure dip."""
+        series = self.series()
+        return min(rate for _t, rate in series) if series else 0.0

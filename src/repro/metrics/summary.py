@@ -1,0 +1,52 @@
+"""Plain-text rendering of benchmark tables and series.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that output aligned and consistent across the
+ten experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["render_table", "render_series", "format_number"]
+
+
+def format_number(value: object, precision: int = 2) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Fixed-width text table; numbers right-aligned, strings left-aligned."""
+    str_rows: List[List[str]] = [[format_number(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append(fmt(["-" * w for w in widths]))
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Sequence[Tuple[float, float]],
+    x_label: str = "t",
+    y_label: str = "value",
+    title: str = "",
+) -> str:
+    """Two-column rendering of an (x, y) series."""
+    return render_table([x_label, y_label], [(x, y) for x, y in series], title=title)

@@ -1,0 +1,32 @@
+"""Simulated network substrate: messages, latency models, fabric, actors."""
+
+from repro.net.actor import Actor, RpcRequest, RpcResponse
+from repro.net.latency import (
+    FixedLatency,
+    LatencyModel,
+    LogNormalLatency,
+    NormalLatency,
+    UniformLatency,
+    lan_latency,
+    wan_latency,
+)
+from repro.net.message import Message, estimate_size
+from repro.net.network import Address, Network, NetworkStats
+
+__all__ = [
+    "Actor",
+    "RpcRequest",
+    "RpcResponse",
+    "Message",
+    "estimate_size",
+    "Address",
+    "Network",
+    "NetworkStats",
+    "LatencyModel",
+    "FixedLatency",
+    "UniformLatency",
+    "NormalLatency",
+    "LogNormalLatency",
+    "lan_latency",
+    "wan_latency",
+]

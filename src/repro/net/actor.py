@@ -1,0 +1,265 @@
+"""Actors: addressable event-driven participants in the simulation.
+
+Every server, proxy, and client-library endpoint in the reproduction is
+an :class:`Actor`. An actor reacts to messages through ``on_<type>``
+handler methods (dispatched on the message's ``type_name``), owns timers
+that die with it, and can be crashed and recovered for fault-injection
+experiments.
+
+A built-in request/response layer (:meth:`Actor.call` /
+``rpc_<method>`` handlers) covers the client-facing paths where
+sequential code wants a :class:`~repro.sim.process.Future` back.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, ClassVar, Dict, Optional, Set
+
+from repro.errors import RemoteError, ReproError, RequestTimeout
+from repro.net.message import Message
+from repro.net.network import Address, Network
+from repro.sim.kernel import ScheduledEvent, Simulator
+from repro.sim.process import Future
+
+__all__ = ["Actor", "RpcRequest", "RpcResponse"]
+
+#: Default RPC deadline. Generous relative to LAN latencies so that the
+#: steady-state experiments never trip it; fault tests override it.
+DEFAULT_RPC_TIMEOUT = 5.0
+
+
+@dataclasses.dataclass
+class RpcRequest(Message):
+    type_name: ClassVar[str] = "rpc-request"
+    request_id: int = 0
+    method: str = ""
+    payload: Any = None
+
+
+@dataclasses.dataclass
+class RpcResponse(Message):
+    type_name: ClassVar[str] = "rpc-response"
+    request_id: int = 0
+    ok: bool = True
+    payload: Any = None
+    error: str = ""
+
+
+class Actor:
+    """Base class for all protocol participants.
+
+    Subclasses implement message handlers named ``on_<type_name>`` with
+    dashes replaced by underscores (e.g. ``type_name = "chain-ack"`` →
+    ``def on_chain_ack(self, msg, src)``), and RPC handlers named
+    ``rpc_<method>`` that return either a plain value or a Future.
+    """
+
+    #: message types whose handling consumes ``service_time`` (subclasses
+    #: override; empty set = infinitely fast actor, e.g. clients)
+    SERVICED_TYPES: ClassVar[frozenset] = frozenset()
+
+    def __init__(self, sim: Simulator, network: Network, address: Address):
+        self.sim = sim
+        self.network = network
+        self.address = address
+        self.crashed = False
+        #: per-message CPU cost; with SERVICED_TYPES this makes the actor
+        #: a single-server queue, giving it finite capacity — the thing
+        #: that lets saturation (and tail-read bottlenecks) exist at all
+        self.service_time = 0.0
+        self._busy_until = 0.0
+        #: optional structured-trace collector (see repro.trace); the
+        #: trace() helper is a no-op until one is attached
+        self.tracer = None
+        self._timers: Set[ScheduledEvent] = set()
+        self._rpc_seq = 0
+        self._rpc_pending: Dict[int, Future] = {}
+        network.register(address, self._receive)
+
+    # ------------------------------------------------------------------
+    # messaging
+    # ------------------------------------------------------------------
+    def send(self, dst: Address, msg: Message) -> None:
+        """Fire-and-forget send; no-op while crashed."""
+        if self.crashed:
+            return
+        self.network.send(self.address, dst, msg)
+
+    def trace(self, category: str, event: str, key: str = "", **fields) -> None:
+        """Record a structured protocol event if tracing is attached."""
+        if self.tracer is not None:
+            self.tracer.record(str(self.address), category, event, key, **fields)
+
+    def service_cost(self, msg: Message) -> float:
+        """CPU time consumed to handle ``msg``; 0 = free (control traffic)."""
+        if self.service_time > 0 and msg.type_name in self.SERVICED_TYPES:
+            return self.service_time
+        return 0.0
+
+    def _receive(self, msg: Message, src: Address) -> None:
+        if self.crashed:
+            return
+        cost = self.service_cost(msg)
+        if cost > 0:
+            # Single-server queue: processing starts when the CPU frees
+            # up and the result is visible after the service time.
+            start = max(self.sim.now, self._busy_until)
+            self._busy_until = start + cost
+            self.sim.schedule_at(self._busy_until, self._dispatch, msg, src)
+            return
+        self._dispatch(msg, src)
+
+    def _dispatch(self, msg: Message, src: Address) -> None:
+        if self.crashed:
+            return
+        if isinstance(msg, RpcRequest):
+            self._handle_rpc_request(msg, src)
+            return
+        if isinstance(msg, RpcResponse):
+            self._handle_rpc_response(msg)
+            return
+        handler = getattr(self, "on_" + msg.type_name.replace("-", "_"), None)
+        if handler is None:
+            self.on_unhandled(msg, src)
+        else:
+            handler(msg, src)
+
+    def on_unhandled(self, msg: Message, src: Address) -> None:
+        """Hook for messages with no matching handler; default: ignore."""
+
+    # ------------------------------------------------------------------
+    # timers
+    # ------------------------------------------------------------------
+    def set_timer(self, delay: float, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
+        """Schedule a callback that is implicitly cancelled if this actor crashes."""
+        handle: ScheduledEvent = self.sim.schedule(delay, self._fire_timer, None, callback, args)
+        # Rebind args so the timer can remove itself from the live set.
+        handle.args = (handle, callback, args)
+        self._timers.add(handle)
+        return handle
+
+    def _fire_timer(self, handle: ScheduledEvent, callback: Callable[..., Any], args: tuple) -> None:
+        self._timers.discard(handle)
+        if self.crashed:
+            return
+        callback(*args)
+
+    def cancel_timer(self, handle: ScheduledEvent) -> None:
+        handle.cancel()
+        self._timers.discard(handle)
+
+    # ------------------------------------------------------------------
+    # crash / recover
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Fail-stop: drop all state-machine timers and in-flight RPCs."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self.network.set_down(self.address, True)
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+        pending, self._rpc_pending = self._rpc_pending, {}
+        for fut in pending.values():
+            fut.try_set_exception(RequestTimeout(f"{self.address} crashed with RPC in flight"))
+
+    def recover(self) -> None:
+        """Bring a crashed actor back; volatile protocol state is NOT restored
+        here — subclasses override :meth:`on_recover` for their recovery logic."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self._busy_until = self.sim.now
+        self.network.set_down(self.address, False)
+        self.on_recover()
+
+    def on_recover(self) -> None:
+        """Hook invoked after the actor rejoins the network."""
+
+    # ------------------------------------------------------------------
+    # RPC
+    # ------------------------------------------------------------------
+    def call(
+        self,
+        dst: Address,
+        method: str,
+        payload: Any = None,
+        timeout: float = DEFAULT_RPC_TIMEOUT,
+    ) -> Future:
+        """Invoke ``rpc_<method>`` on the actor at ``dst``.
+
+        Resolves with the remote return value, or fails with
+        :class:`RequestTimeout` / :class:`RemoteError`.
+        """
+        fut = Future(self.sim)
+        if self.crashed:
+            fut.set_exception(RequestTimeout(f"{self.address} is crashed"))
+            return fut
+        self._rpc_seq += 1
+        rid = self._rpc_seq
+        self._rpc_pending[rid] = fut
+        timer = self.set_timer(timeout, self._rpc_timeout, rid, method, dst)
+        fut.add_callback(lambda _f: self.cancel_timer(timer))
+        self.send(dst, RpcRequest(request_id=rid, method=method, payload=payload))
+        return fut
+
+    def _rpc_timeout(self, rid: int, method: str, dst: Address) -> None:
+        fut = self._rpc_pending.pop(rid, None)
+        if fut is not None:
+            fut.try_set_exception(
+                RequestTimeout(f"rpc {method!r} to {dst} timed out")
+            )
+
+    def _handle_rpc_request(self, msg: RpcRequest, src: Address) -> None:
+        handler = getattr(self, "rpc_" + msg.method, None)
+        if handler is None:
+            self.send(
+                src,
+                RpcResponse(
+                    request_id=msg.request_id,
+                    ok=False,
+                    error=f"no rpc handler {msg.method!r} on {type(self).__name__}",
+                ),
+            )
+            return
+        try:
+            result = handler(msg.payload, src)
+        except ReproError as exc:
+            self.send(
+                src,
+                RpcResponse(request_id=msg.request_id, ok=False, error=str(exc)),
+            )
+            return
+        if isinstance(result, Future):
+            result.add_callback(
+                lambda fut: self._reply_from_future(src, msg.request_id, fut)
+            )
+        else:
+            self.send(src, RpcResponse(request_id=msg.request_id, ok=True, payload=result))
+
+    def _reply_from_future(self, src: Address, request_id: int, fut: Future) -> None:
+        if fut.failed():
+            self.send(
+                src,
+                RpcResponse(request_id=request_id, ok=False, error=str(fut.exception())),
+            )
+        else:
+            self.send(
+                src,
+                RpcResponse(request_id=request_id, ok=True, payload=fut.result()),
+            )
+
+    def _handle_rpc_response(self, msg: RpcResponse) -> None:
+        fut = self._rpc_pending.pop(msg.request_id, None)
+        if fut is None:
+            return  # late response after timeout; drop
+        if msg.ok:
+            fut.try_set_result(msg.payload)
+        else:
+            fut.try_set_exception(RemoteError(msg.error))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "crashed" if self.crashed else "up"
+        return f"<{type(self).__name__} {self.address} {state}>"

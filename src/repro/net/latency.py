@@ -1,0 +1,127 @@
+"""Link latency models.
+
+The paper's testbed has two qualitatively different links: intra-DC
+(sub-millisecond, low variance) and inter-DC WAN (tens of milliseconds,
+heavier tail). Each model is a distribution over one-way delivery
+delays; the network samples one delay per message from the appropriate
+model, so latency shapes — not just means — carry through to the
+latency-CDF experiments (E3/E4).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+__all__ = [
+    "LatencyModel",
+    "FixedLatency",
+    "UniformLatency",
+    "NormalLatency",
+    "LogNormalLatency",
+    "lan_latency",
+    "wan_latency",
+]
+
+
+class LatencyModel:
+    """Distribution over one-way message delays (seconds)."""
+
+    def sample(self, rng: random.Random) -> float:
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        """Expected delay; used for sanity checks and documentation."""
+        raise NotImplementedError
+
+
+class FixedLatency(LatencyModel):
+    """Constant delay; useful for deterministic protocol tests."""
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise ValueError(f"latency must be non-negative, got {delay}")
+        self.delay = delay
+
+    def sample(self, rng: random.Random) -> float:
+        return self.delay
+
+    def mean(self) -> float:
+        return self.delay
+
+    def __repr__(self) -> str:
+        return f"FixedLatency({self.delay})"
+
+
+class UniformLatency(LatencyModel):
+    """Uniform delay in ``[low, high]``."""
+
+    def __init__(self, low: float, high: float):
+        if not 0 <= low <= high:
+            raise ValueError(f"need 0 <= low <= high, got [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def __repr__(self) -> str:
+        return f"UniformLatency({self.low}, {self.high})"
+
+
+class NormalLatency(LatencyModel):
+    """Gaussian delay truncated below at ``floor`` (default: 10% of the mean)."""
+
+    def __init__(self, mu: float, sigma: float, floor: Optional[float] = None):
+        if mu <= 0 or sigma < 0:
+            raise ValueError(f"need mu > 0 and sigma >= 0, got mu={mu}, sigma={sigma}")
+        self.mu = mu
+        self.sigma = sigma
+        self.floor = mu * 0.1 if floor is None else floor
+
+    def sample(self, rng: random.Random) -> float:
+        return max(self.floor, rng.gauss(self.mu, self.sigma))
+
+    def mean(self) -> float:
+        return self.mu
+
+    def __repr__(self) -> str:
+        return f"NormalLatency(mu={self.mu}, sigma={self.sigma})"
+
+
+class LogNormalLatency(LatencyModel):
+    """Log-normal delay — the classic heavy-ish tail of real networks.
+
+    Parameterised by the *median* delay and sigma of the underlying
+    normal, which is how network measurements are usually reported.
+    """
+
+    def __init__(self, median: float, sigma: float = 0.3):
+        if median <= 0 or sigma < 0:
+            raise ValueError(f"need median > 0, sigma >= 0, got {median}, {sigma}")
+        self.median = median
+        self.sigma = sigma
+        self._mu = math.log(median)
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.lognormvariate(self._mu, self.sigma)
+
+    def mean(self) -> float:
+        return math.exp(self._mu + self.sigma**2 / 2.0)
+
+    def __repr__(self) -> str:
+        return f"LogNormalLatency(median={self.median}, sigma={self.sigma})"
+
+
+def lan_latency(median: float = 0.0003) -> LatencyModel:
+    """Default intra-datacenter link: ~0.3 ms median, light tail."""
+    return LogNormalLatency(median=median, sigma=0.2)
+
+
+def wan_latency(median: float = 0.040) -> LatencyModel:
+    """Default inter-datacenter link: ~40 ms median, heavier tail."""
+    return LogNormalLatency(median=median, sigma=0.1)

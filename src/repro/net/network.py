@@ -1,0 +1,212 @@
+"""The simulated network fabric.
+
+Addresses are ``(site, node)`` pairs — a *site* is a datacenter. Links
+within a site use the LAN latency model; links between sites use the WAN
+model for that site pair. Delivery between any ordered pair of addresses
+is FIFO (as over a TCP connection): a message handed to the network
+later never overtakes one handed over earlier, even if its sampled
+latency is smaller. Chain replication's correctness argument leans on
+exactly this property.
+
+Failure injection:
+
+- ``set_down(addr)`` silently discards traffic to/from a crashed node,
+- ``block(a, b)`` / ``heal()`` model network partitions at site or
+  address granularity,
+- ``add_filter(fn)`` installs an arbitrary drop predicate for targeted
+  fault tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple, Union
+
+from repro.errors import AddressUnknownError, NetworkError
+from repro.net.latency import LatencyModel, lan_latency, wan_latency
+from repro.net.message import Message
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+
+__all__ = ["Address", "Network", "NetworkStats"]
+
+#: Minimum spacing enforced between FIFO deliveries on one link (seconds).
+_FIFO_EPSILON = 1e-9
+
+Handler = Callable[[Message, "Address"], None]
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Address:
+    """Network address of an actor: a node name within a site (datacenter)."""
+
+    site: str
+    node: str
+
+    def __str__(self) -> str:
+        return f"{self.site}:{self.node}"
+
+    def size_bytes(self) -> int:
+        return 4 + len(self.site) + 4 + len(self.node)
+
+
+@dataclasses.dataclass
+class NetworkStats:
+    """Counters of everything the fabric delivered or dropped."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    messages_dropped: int = 0
+    by_type: Dict[str, int] = dataclasses.field(default_factory=lambda: defaultdict(int))
+    bytes_by_type: Dict[str, int] = dataclasses.field(
+        default_factory=lambda: defaultdict(int)
+    )
+    cross_site_messages: int = 0
+    cross_site_bytes: int = 0
+
+    def record(self, msg: Message, size: int, cross_site: bool) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += size
+        self.by_type[msg.type_name] += 1
+        self.bytes_by_type[msg.type_name] += size
+        if cross_site:
+            self.cross_site_messages += 1
+            self.cross_site_bytes += size
+
+
+class Network:
+    """Message fabric connecting actors over simulated links."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: Optional[RngRegistry] = None,
+        lan: Optional[LatencyModel] = None,
+        wan: Optional[LatencyModel] = None,
+    ):
+        self.sim = sim
+        self._rng = (rng or RngRegistry(0)).stream("network")
+        self._lan = lan or lan_latency()
+        self._wan = wan or wan_latency()
+        self._site_links: Dict[FrozenSet[str], LatencyModel] = {}
+        self._handlers: Dict[Address, Handler] = {}
+        self._down: Set[Address] = set()
+        self._blocked: Set[FrozenSet[str]] = set()
+        self._filters: List[Callable[[Address, Address, Message], bool]] = []
+        self._fifo_horizon: Dict[Tuple[Address, Address], float] = {}
+        self.stats = NetworkStats()
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    def set_link(self, site_a: str, site_b: str, model: LatencyModel) -> None:
+        """Override the latency model between two sites (or within one)."""
+        self._site_links[frozenset((site_a, site_b))] = model
+
+    def latency_model(self, src: Address, dst: Address) -> LatencyModel:
+        override = self._site_links.get(frozenset((src.site, dst.site)))
+        if override is not None:
+            return override
+        return self._lan if src.site == dst.site else self._wan
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, address: Address, handler: Handler) -> None:
+        if address in self._handlers:
+            raise NetworkError(f"address {address} already registered")
+        self._handlers[address] = handler
+        self._down.discard(address)
+
+    def unregister(self, address: Address) -> None:
+        self._handlers.pop(address, None)
+
+    def is_registered(self, address: Address) -> bool:
+        return address in self._handlers
+
+    # ------------------------------------------------------------------
+    # failure injection
+    # ------------------------------------------------------------------
+    def set_down(self, address: Address, down: bool = True) -> None:
+        """Crash (or un-crash) a node: traffic to and from it is discarded."""
+        if down:
+            self._down.add(address)
+        else:
+            self._down.discard(address)
+
+    def is_down(self, address: Address) -> bool:
+        return address in self._down
+
+    def block(self, a: Union[str, Address], b: Union[str, Address]) -> None:
+        """Partition two endpoints (site names or addresses), both directions."""
+        self._blocked.add(frozenset((str(a), str(b))))
+
+    def unblock(self, a: Union[str, Address], b: Union[str, Address]) -> None:
+        self._blocked.discard(frozenset((str(a), str(b))))
+
+    def heal(self) -> None:
+        """Remove every partition (crashed nodes stay crashed)."""
+        self._blocked.clear()
+
+    def add_filter(self, fn: Callable[[Address, Address, Message], bool]) -> None:
+        """Install a predicate; messages for which it returns False are dropped."""
+        self._filters.append(fn)
+
+    def clear_filters(self) -> None:
+        self._filters.clear()
+
+    def _is_blocked(self, src: Address, dst: Address) -> bool:
+        if not self._blocked:
+            return False
+        candidates = (
+            frozenset((str(src), str(dst))),
+            frozenset((src.site, dst.site)),
+            frozenset((str(src), dst.site)),
+            frozenset((src.site, str(dst))),
+        )
+        return any(pair in self._blocked for pair in candidates)
+
+    # ------------------------------------------------------------------
+    # delivery
+    # ------------------------------------------------------------------
+    def send(self, src: Address, dst: Address, msg: Message) -> None:
+        """Hand a message to the fabric for asynchronous FIFO delivery.
+
+        Sending is always fire-and-forget; undeliverable messages are
+        silently dropped (and counted), mirroring a real network where
+        the sender cannot tell a slow peer from a dead one.
+        """
+        if dst not in self._handlers:
+            raise AddressUnknownError(f"no actor registered at {dst}")
+        size = msg.size_bytes()
+        if (
+            src in self._down
+            or dst in self._down
+            or self._is_blocked(src, dst)
+            or any(not keep(src, dst, msg) for keep in self._filters)
+        ):
+            self.stats.messages_dropped += 1
+            return
+        self.stats.record(msg, size, cross_site=src.site != dst.site)
+
+        delay = self.latency_model(src, dst).sample(self._rng)
+        link = (src, dst)
+        deliver_at = max(
+            self.sim.now + delay,
+            self._fifo_horizon.get(link, 0.0) + _FIFO_EPSILON,
+        )
+        self._fifo_horizon[link] = deliver_at
+        self.sim.schedule_at(deliver_at, self._deliver, src, dst, msg)
+
+    def _deliver(self, src: Address, dst: Address, msg: Message) -> None:
+        # Conditions are re-checked at delivery time: a node that crashed
+        # or got partitioned while the message was in flight never sees it.
+        if src in self._down or dst in self._down or self._is_blocked(src, dst):
+            self.stats.messages_dropped += 1
+            return
+        handler = self._handlers.get(dst)
+        if handler is None:
+            self.stats.messages_dropped += 1
+            return
+        handler(msg, src)

@@ -1,0 +1,167 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel owns virtual time. Everything in the reproduction — network
+delivery, protocol timers, client think time — is expressed as callbacks
+scheduled on a single :class:`Simulator` instance, so a run with a fixed
+seed is exactly reproducible.
+
+Events with equal timestamps fire in the order they were scheduled
+(FIFO tie-break via a monotonically increasing sequence number), which
+keeps executions deterministic even when many messages land on the same
+instant.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["Simulator", "ScheduledEvent"]
+
+
+class ScheduledEvent:
+    """Handle for a scheduled callback; supports cancellation.
+
+    Cancellation is lazy: the heap entry stays in place and is skipped
+    when popped, which keeps ``cancel`` O(1).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing. Safe to call more than once."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<ScheduledEvent t={self.time:.6f} seq={self.seq} {state}>"
+
+
+class Simulator:
+    """A single-threaded discrete-event simulator with virtual time.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.schedule(1.5, print, "fires at t=1.5")
+        sim.run()
+
+    Virtual time is a float in **seconds**. The simulator never sleeps on
+    the wall clock; ``run`` simply drains the event heap.
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._seq: int = 0
+        self._heap: List[ScheduledEvent] = []
+        self._running = False
+        self._events_processed: int = 0
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of callbacks executed so far (cancelled ones excluded)."""
+        return self._events_processed
+
+    def pending_events(self) -> int:
+        """Number of not-yet-fired, not-cancelled events."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at an absolute virtual time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} which is before now={self._now}"
+            )
+        ev = ScheduledEvent(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def call_soon(self, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at the current instant (after the
+        currently-executing event and anything already queued for now)."""
+        return self.schedule(0.0, callback, *args)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next event. Returns False if the heap is empty."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self._now = ev.time
+            self._events_processed += 1
+            ev.callback(*ev.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Drain the event heap.
+
+        Args:
+            until: stop once virtual time would exceed this value; the
+                clock is advanced to ``until`` on return.
+            max_events: safety valve against runaway simulations; raises
+                :class:`SimulationError` when exceeded.
+
+        Returns:
+            The virtual time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant: run() called from a callback")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                ev = self._heap[0]
+                if ev.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and ev.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = ev.time
+                self._events_processed += 1
+                ev.callback(*ev.args)
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(
+                        f"simulation exceeded max_events={max_events}; "
+                        "likely a livelock (self-rescheduling event loop)"
+                    )
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now

@@ -1,0 +1,24 @@
+"""Versioned storage substrate: version vectors, convergent stores, resolvers."""
+
+from repro.storage.logstore import AppendLog, DurableStore, LogEntry
+from repro.storage.merge import ConflictResolver, LWWResolver, MergingResolver, Stamp, stamp_of
+from repro.storage.store import TOMBSTONE, ApplyResult, Record, Tombstone, VersionedStore
+from repro.storage.version import ZERO, VersionVector
+
+__all__ = [
+    "VersionVector",
+    "ZERO",
+    "VersionedStore",
+    "DurableStore",
+    "AppendLog",
+    "LogEntry",
+    "Record",
+    "ApplyResult",
+    "TOMBSTONE",
+    "Tombstone",
+    "ConflictResolver",
+    "Stamp",
+    "stamp_of",
+    "LWWResolver",
+    "MergingResolver",
+]

@@ -1,0 +1,101 @@
+"""Convergent conflict handling — the "+" in causal+.
+
+Causal consistency alone lets replicas diverge forever on concurrent
+writes. Causal+ adds the requirement that all replicas resolve every
+conflict *identically*, so they converge once they have seen the same
+writes.
+
+Arbitration uses a per-write **stamp**: the total-order key of the
+write's *original* version vector, fixed at write time. Resolving on
+the record's current (possibly merged) vector instead would be
+order-dependent — the merged vector keeps growing as conflicts
+accumulate, so different arrival orders would compare different keys.
+Original vectors are unique per key (each DC's counter is assigned at
+one serialisation point), so the stamp totally orders a key's writes,
+and because a causally later write always carries a strictly larger
+total, the stamp order extends causality.
+
+The resolver is pluggable: the default is last-writer-wins by stamp,
+and applications can install a commutative/associative merge function
+instead (the paper's mergeable-objects example).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Tuple
+
+from repro.storage.version import VersionVector
+
+__all__ = ["Stamp", "stamp_of", "ConflictResolver", "LWWResolver", "MergingResolver"]
+
+#: Immutable arbitration stamp: the total-order key of the write's
+#: original version vector.
+Stamp = Tuple[int, Tuple[Tuple[str, int], ...]]
+
+
+def stamp_of(original_version: VersionVector) -> Stamp:
+    """The arbitration stamp of a write, from its original version."""
+    return original_version.total_order_key()
+
+
+class ConflictResolver:
+    """Decides the surviving value for two concurrent writes.
+
+    ``resolve`` receives each candidate's value and stamp and returns
+    the winning ``(value, stamp)``; the caller merges the version
+    vectors. Implementations MUST be deterministic and symmetric:
+    ``resolve(a, b)`` and ``resolve(b, a)`` must pick the same winner,
+    or replicas applying writes in different orders will diverge.
+    """
+
+    def resolve(
+        self,
+        value_a: Any,
+        stamp_a: Stamp,
+        value_b: Any,
+        stamp_b: Stamp,
+    ) -> Tuple[Any, Stamp]:
+        raise NotImplementedError
+
+
+class LWWResolver(ConflictResolver):
+    """Last-writer-wins over the stamp order (extends causality)."""
+
+    def resolve(
+        self,
+        value_a: Any,
+        stamp_a: Stamp,
+        value_b: Any,
+        stamp_b: Stamp,
+    ) -> Tuple[Any, Stamp]:
+        if stamp_a >= stamp_b:
+            return value_a, stamp_a
+        return value_b, stamp_b
+
+
+class MergingResolver(ConflictResolver):
+    """Application-supplied commutative merge of the two values.
+
+    ``merge_fn(a, b)`` must be commutative and associative; order of
+    arrival then cannot affect the result. The surviving stamp is the
+    larger input stamp, keeping arbitration deterministic when a merged
+    value later meets a third concurrent write.
+    """
+
+    def __init__(self, merge_fn: Callable[[Any, Any], Any]):
+        self._merge_fn = merge_fn
+
+    def resolve(
+        self,
+        value_a: Any,
+        stamp_a: Stamp,
+        value_b: Any,
+        stamp_b: Stamp,
+    ) -> Tuple[Any, Stamp]:
+        # Feed arguments in a canonical order so even a non-commutative
+        # user function cannot silently diverge replicas.
+        if stamp_a <= stamp_b:
+            merged = self._merge_fn(value_a, value_b)
+        else:
+            merged = self._merge_fn(value_b, value_a)
+        return merged, max(stamp_a, stamp_b)

@@ -1,0 +1,134 @@
+"""Version types for causal+ replication.
+
+ChainReaction names versions with **version vectors carrying one entry
+per datacenter** (not per server — chain order already serialises
+updates inside a DC, so a single counter per DC suffices). In a single-
+DC deployment the vector degenerates to one counter, which is exactly
+the per-key sequence number the chain head assigns.
+
+The partial order over vectors is causality: ``a < b`` iff every entry
+of ``a`` is ≤ the matching entry of ``b`` and at least one is strictly
+smaller. Incomparable vectors are *concurrent* — those are the writes
+that the convergent conflict handler (the "+" in causal+) must resolve
+identically at every replica.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple
+
+__all__ = ["VersionVector", "ZERO"]
+
+
+class VersionVector:
+    """An immutable mapping from datacenter id to update counter.
+
+    Missing entries are implicitly zero, so vectors from deployments
+    with different DC sets compare correctly.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Mapping[str, int] = ()):
+        cleaned = {dc: n for dc, n in dict(entries).items() if n != 0}
+        for dc, n in cleaned.items():
+            if n < 0:
+                raise ValueError(f"negative counter for {dc!r}: {n}")
+        self._entries: Tuple[Tuple[str, int], ...] = tuple(sorted(cleaned.items()))
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    def get(self, dc: str) -> int:
+        for name, n in self._entries:
+            if name == dc:
+                return n
+        return 0
+
+    def entries(self) -> Dict[str, int]:
+        return dict(self._entries)
+
+    def datacenters(self) -> Tuple[str, ...]:
+        return tuple(dc for dc, _ in self._entries)
+
+    def is_zero(self) -> bool:
+        return not self._entries
+
+    def total(self) -> int:
+        """Sum of all counters — the number of writes this version reflects."""
+        return sum(n for _, n in self._entries)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def increment(self, dc: str) -> "VersionVector":
+        updated = dict(self._entries)
+        updated[dc] = updated.get(dc, 0) + 1
+        return VersionVector(updated)
+
+    def merge(self, other: "VersionVector") -> "VersionVector":
+        """Pointwise maximum — the least upper bound under causality."""
+        merged = dict(self._entries)
+        for dc, n in other._entries:
+            if n > merged.get(dc, 0):
+                merged[dc] = n
+        return VersionVector(merged)
+
+    @staticmethod
+    def join(vectors: Iterable["VersionVector"]) -> "VersionVector":
+        out = ZERO
+        for vv in vectors:
+            out = out.merge(vv)
+        return out
+
+    # ------------------------------------------------------------------
+    # causality order
+    # ------------------------------------------------------------------
+    def dominates(self, other: "VersionVector") -> bool:
+        """True iff ``self`` ≥ ``other`` pointwise (reflexive)."""
+        return all(self.get(dc) >= n for dc, n in other._entries)
+
+    def happens_before(self, other: "VersionVector") -> bool:
+        """Strict causal precedence: ``self`` < ``other``."""
+        return other.dominates(self) and self._entries != other._entries
+
+    def concurrent_with(self, other: "VersionVector") -> bool:
+        return not self.dominates(other) and not other.dominates(self)
+
+    def total_order_key(self) -> Tuple[int, Tuple[Tuple[str, int], ...]]:
+        """Key for a deterministic total order extending causality.
+
+        If ``a`` happens-before ``b`` then ``a.total() < b.total()``, so
+        sorting by ``(total, entries)`` never inverts a causal pair; the
+        lexicographic entry tuple breaks ties among concurrent vectors
+        identically at every replica — this is the LWW arbitration rule.
+        """
+        return (self.total(), self._entries)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VersionVector) and self._entries == other._entries
+
+    def __hash__(self) -> int:
+        return hash(self._entries)
+
+    def __lt__(self, other: "VersionVector") -> bool:
+        """Total order used for LWW arbitration (extends causality)."""
+        return self.total_order_key() < other.total_order_key()
+
+    def __le__(self, other: "VersionVector") -> bool:
+        return self == other or self < other
+
+    def size_bytes(self) -> int:
+        """Wire size: one (dc-id, counter) pair per non-zero entry."""
+        return 4 + sum(4 + len(dc) + 8 for dc, _ in self._entries)
+
+    def __repr__(self) -> str:
+        inner = ",".join(f"{dc}:{n}" for dc, n in self._entries)
+        return f"VV({inner})"
+
+
+#: The empty vector — causally before everything.
+ZERO = VersionVector()

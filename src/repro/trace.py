@@ -1,0 +1,130 @@
+"""Structured protocol tracing (Dapper-lite).
+
+Debugging a distributed protocol means reconstructing *which replica did
+what, when, and why*. A :class:`Tracer` collects structured events from
+every actor in a deployment into one bounded, time-ordered buffer that
+can be filtered by key, node, or category and rendered as a readable
+timeline.
+
+Tracing is opt-in and zero-cost when off: actors call
+:meth:`~repro.net.actor.Actor.trace`, which is a no-op until a tracer is
+attached (``ChainReactionStore(..., tracer=Tracer(sim))`` or
+``store.attach_tracer()``).
+
+Example::
+
+    store = ChainReactionStore(config)
+    tracer = store.attach_tracer()
+    ... run a workload ...
+    print(tracer.format(key="user001"))   # the life of one key
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter, deque
+from typing import Any, Deque, Dict, Iterable, List, Optional
+
+from repro.sim.kernel import Simulator
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One protocol event."""
+
+    t: float
+    actor: str
+    category: str
+    event: str
+    key: str = ""
+    fields: tuple = ()
+
+    def format(self) -> str:
+        details = " ".join(f"{name}={value}" for name, value in self.fields)
+        key_part = f" key={self.key}" if self.key else ""
+        return (
+            f"{self.t*1000:10.3f}ms  {self.actor:14s} "
+            f"[{self.category}] {self.event}{key_part} {details}".rstrip()
+        )
+
+
+class Tracer:
+    """Bounded collector of :class:`TraceEvent` from a whole deployment."""
+
+    def __init__(self, sim: Simulator, capacity: int = 100_000):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+        self._capacity = capacity
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        actor: str,
+        category: str,
+        event: str,
+        key: str = "",
+        **fields: Any,
+    ) -> None:
+        if len(self._events) == self._capacity:
+            self.dropped += 1
+        self._events.append(
+            TraceEvent(
+                t=self.sim.now,
+                actor=actor,
+                category=category,
+                event=event,
+                key=key,
+                fields=tuple(sorted(fields.items())),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def events(
+        self,
+        key: Optional[str] = None,
+        category: Optional[str] = None,
+        actor: Optional[str] = None,
+        since: float = 0.0,
+    ) -> List[TraceEvent]:
+        """Events matching every given filter, in time order."""
+        return [
+            ev
+            for ev in self._events
+            if ev.t >= since
+            and (key is None or ev.key == key)
+            and (category is None or ev.category == category)
+            and (actor is None or ev.actor == actor)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def counts(self) -> Dict[str, int]:
+        """Event counts per (category, event) — a protocol activity summary."""
+        return dict(Counter(f"{ev.category}:{ev.event}" for ev in self._events))
+
+    def format(
+        self,
+        key: Optional[str] = None,
+        category: Optional[str] = None,
+        actor: Optional[str] = None,
+        last: Optional[int] = None,
+    ) -> str:
+        """Readable timeline of the matching events."""
+        matching = self.events(key=key, category=category, actor=actor)
+        if last is not None:
+            matching = matching[-last:]
+        return "\n".join(ev.format() for ev in matching)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0

@@ -1,0 +1,29 @@
+"""YCSB-style workload generation and closed-loop execution."""
+
+from repro.workload.distributions import (
+    KeyChooser,
+    LatestKeys,
+    ScrambledZipfianKeys,
+    UniformKeys,
+    ZipfianKeys,
+)
+from repro.workload.driver import RunResult, SessionDriver, WorkloadRunner
+from repro.workload.probes import ProbeConfig, run_causality_probe, run_relay_probe
+from repro.workload.ycsb import WORKLOADS, WorkloadSpec, workload
+
+__all__ = [
+    "WorkloadSpec",
+    "WORKLOADS",
+    "workload",
+    "WorkloadRunner",
+    "SessionDriver",
+    "RunResult",
+    "ProbeConfig",
+    "run_causality_probe",
+    "run_relay_probe",
+    "KeyChooser",
+    "UniformKeys",
+    "ZipfianKeys",
+    "ScrambledZipfianKeys",
+    "LatestKeys",
+]

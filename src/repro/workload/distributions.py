@@ -1,0 +1,114 @@
+"""Key-popularity distributions (YCSB-compatible).
+
+The paper drives its evaluation with YCSB workloads, whose request
+distributions are reproduced here:
+
+- :class:`UniformKeys` — uniform over the keyspace,
+- :class:`ZipfianKeys` — Gray's rejection-free zipfian generator (the
+  YCSB algorithm), giving the skewed popularity that creates hot chains,
+- :class:`ScrambledZipfianKeys` — zipfian ranks hashed over the
+  keyspace, so the hot keys are not clustered on one ring segment,
+- :class:`LatestKeys` — zipfian over recency, for YCSB workload D.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+__all__ = [
+    "KeyChooser",
+    "UniformKeys",
+    "ZipfianKeys",
+    "ScrambledZipfianKeys",
+    "LatestKeys",
+]
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def _fnv64(value: int) -> int:
+    """FNV-1a over the 8 bytes of ``value`` — YCSB's scrambling hash."""
+    h = _FNV_OFFSET
+    for _ in range(8):
+        h ^= value & 0xFF
+        h = (h * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+        value >>= 8
+    return h
+
+
+class KeyChooser:
+    """Chooses key indices in ``[0, n)``."""
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError(f"keyspace must have >= 1 key, got {n}")
+        self.n = n
+
+    def choose(self, rng: random.Random) -> int:
+        raise NotImplementedError
+
+
+class UniformKeys(KeyChooser):
+    def choose(self, rng: random.Random) -> int:
+        return rng.randrange(self.n)
+
+
+class ZipfianKeys(KeyChooser):
+    """Zipfian over ``[0, n)`` with parameter ``theta`` (default 0.99).
+
+    Implements the Gray et al. "Quickly generating billion-record
+    synthetic databases" algorithm used verbatim by YCSB: constant-time
+    sampling after an O(n) zeta precomputation.
+    """
+
+    def __init__(self, n: int, theta: float = 0.99):
+        super().__init__(n)
+        if not 0 < theta < 1:
+            raise ValueError(f"theta must be in (0, 1), got {theta}")
+        self.theta = theta
+        self._zeta_n = sum(1.0 / (i**theta) for i in range(1, n + 1))
+        self._zeta_2 = 1.0 + 0.5**theta
+        self._alpha = 1.0 / (1.0 - theta)
+        if n > 2:
+            self._eta = (1.0 - (2.0 / n) ** (1.0 - theta)) / (
+                1.0 - self._zeta_2 / self._zeta_n
+            )
+        else:
+            # For n <= 2 every draw is resolved by the first two branches
+            # of choose(); eta is never consulted.
+            self._eta = 0.0
+
+    def choose(self, rng: random.Random) -> int:
+        u = rng.random()
+        uz = u * self._zeta_n
+        if uz < 1.0:
+            return 0
+        if uz < self._zeta_2:
+            return 1
+        return int(self.n * math.pow(self._eta * u - self._eta + 1.0, self._alpha))
+
+
+class ScrambledZipfianKeys(ZipfianKeys):
+    """Zipfian ranks spread over the keyspace by hashing (YCSB default).
+
+    Without scrambling the most popular keys are consecutive indices,
+    which consistent hashing would happen to co-locate or not in an
+    arbitrary way; hashing makes popularity independent of placement.
+    """
+
+    def choose(self, rng: random.Random) -> int:
+        rank = super().choose(rng)
+        return _fnv64(rank) % self.n
+
+
+class LatestKeys(KeyChooser):
+    """Zipfian over recency: index ``n-1`` is the most popular (YCSB D)."""
+
+    def __init__(self, n: int, theta: float = 0.99):
+        super().__init__(n)
+        self._zipf = ZipfianKeys(n, theta)
+
+    def choose(self, rng: random.Random) -> int:
+        return self.n - 1 - self._zipf.choose(rng)

@@ -1,0 +1,220 @@
+"""Closed-loop workload execution.
+
+One :class:`SessionDriver` per client session runs the YCSB-style loop —
+choose an operation, execute it, record latency/history, repeat — and a
+:class:`WorkloadRunner` orchestrates a whole experiment: preload the
+keyspace, open N sessions spread over the datacenters, run for a warm-up
+period plus a measured window, then drain and aggregate into a
+:class:`RunResult`.
+
+All drivers are closed-loop (one outstanding request per client), which
+is how YCSB loads a store: offered load rises with the client count,
+the x-axis of the paper's throughput figures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional
+
+from repro.api import ClientSession, Datastore
+from repro.checker.history import GET, PUT, History
+from repro.errors import ReproError
+from repro.metrics.reservoir import LatencyReservoir
+from repro.metrics.series import ThroughputTimeline
+from repro.sim.process import Process, spawn
+from repro.workload.ycsb import WorkloadSpec
+
+__all__ = ["RunResult", "SessionDriver", "WorkloadRunner"]
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Everything one workload run produced."""
+
+    protocol: str
+    workload: str
+    n_clients: int
+    duration: float
+    ops_completed: int
+    throughput: float
+    get_latency: LatencyReservoir
+    put_latency: LatencyReservoir
+    timeline: ThroughputTimeline
+    history: History
+    errors: int
+    metadata_bytes: LatencyReservoir
+    store: Datastore
+
+    def summary_row(self) -> Dict[str, Any]:
+        return {
+            "protocol": self.protocol,
+            "workload": self.workload,
+            "clients": self.n_clients,
+            "throughput_ops_s": self.throughput,
+            "get_p50_ms": self.get_latency.percentile(50) * 1000,
+            "get_p99_ms": self.get_latency.percentile(99) * 1000,
+            "put_p50_ms": self.put_latency.percentile(50) * 1000,
+            "put_p99_ms": self.put_latency.percentile(99) * 1000,
+            "errors": self.errors,
+        }
+
+
+class SessionDriver:
+    """Closed-loop client: one operation at a time until ``stop_at``."""
+
+    def __init__(
+        self,
+        session: ClientSession,
+        spec: WorkloadSpec,
+        rng,
+        stop_at: float,
+        measure_from: float,
+        result: "RunResult",
+        record_history: bool = True,
+    ):
+        self.session = session
+        self.spec = spec
+        self.rng = rng
+        self.stop_at = stop_at
+        self.measure_from = measure_from
+        self.result = result
+        self.record_history = record_history
+        self._chooser = spec.make_chooser(spec.record_count)
+        self._insert_count = [spec.record_count]
+        self._op_seq = 0
+        self.process: Optional[Process] = None
+
+    def start(self, sim) -> Process:
+        self.process = spawn(sim, self._loop(sim), name=f"driver:{self.session.session_id}")
+        return self.process
+
+    def _payload(self) -> str:
+        """A unique value padded to the workload's value size."""
+        self._op_seq += 1
+        stamp = f"{self.session.session_id}#{self._op_seq}:"
+        return stamp + "x" * max(0, self.spec.value_size - len(stamp))
+
+    def _next_request(self):
+        op = self.spec.choose_op(self.rng)
+        if op == "get":
+            return GET, self.spec.key(self._chooser.choose(self.rng))
+        if op == "update":
+            return PUT, self.spec.key(self._chooser.choose(self.rng))
+        # insert: extend the keyspace (workload D)
+        index = self._insert_count[0]
+        self._insert_count[0] += 1
+        return PUT, self.spec.key(index)
+
+    def _loop(self, sim):
+        while sim.now < self.stop_at:
+            op, key = self._next_request()
+            t_invoke = sim.now
+            try:
+                if op == GET:
+                    outcome = yield self.session.get(key)
+                else:
+                    outcome = yield self.session.put(key, self._payload())
+            except ReproError:
+                if sim.now >= self.measure_from:
+                    self.result.errors += 1
+                continue
+            t_return = sim.now
+            if t_return < self.measure_from:
+                continue  # warm-up
+            self._record(op, key, outcome, t_invoke, t_return)
+        return self._op_seq
+
+    def _record(self, op: str, key: str, outcome, t_invoke: float, t_return: float) -> None:
+        latency = t_return - t_invoke
+        self.result.ops_completed += 1
+        self.result.timeline.record(t_return)
+        if op == GET:
+            self.result.get_latency.add(latency)
+            value, version = outcome.value, outcome.version
+        else:
+            self.result.put_latency.add(latency)
+            value, version = None, outcome.version
+        self.result.metadata_bytes.add(float(self.session.metadata_bytes()))
+        if self.record_history:
+            self.result.history.add(
+                session=self.session.session_id,
+                op=op,
+                key=key,
+                value=value,
+                version=version,
+                t_invoke=t_invoke,
+                t_return=t_return,
+                site=getattr(self.session, "site", ""),
+            )
+
+
+class WorkloadRunner:
+    """Run one (store, workload, client count) experiment to completion."""
+
+    def __init__(
+        self,
+        store: Datastore,
+        spec: WorkloadSpec,
+        n_clients: int,
+        duration: float = 5.0,
+        warmup: float = 0.5,
+        drain: float = 2.0,
+        record_history: bool = True,
+        preload_value: str = "initial",
+    ):
+        self.store = store
+        self.spec = spec
+        self.n_clients = n_clients
+        self.duration = duration
+        self.warmup = warmup
+        self.drain = drain
+        self.record_history = record_history
+        self.preload_value = preload_value
+        self.drivers: List[SessionDriver] = []
+
+    def run(self) -> RunResult:
+        sim = self.store.sim  # every deployment exposes its simulator
+        start = sim.now
+        result = RunResult(
+            protocol=self.store.name,
+            workload=self.spec.name,
+            n_clients=self.n_clients,
+            duration=self.duration,
+            ops_completed=0,
+            throughput=0.0,
+            get_latency=LatencyReservoir(seed=2),
+            put_latency=LatencyReservoir(seed=3),
+            timeline=ThroughputTimeline(bucket_width=0.1),
+            history=History(),
+            errors=0,
+            metadata_bytes=LatencyReservoir(seed=4),
+            store=self.store,
+        )
+
+        pad = "y" * self.spec.value_size
+        self.store.preload(
+            {self.spec.key(i): pad for i in range(self.spec.record_count)}
+        )
+
+        sites = self.store.sites
+        stop_at = start + self.warmup + self.duration
+        measure_from = start + self.warmup
+        processes = []
+        for i in range(self.n_clients):
+            session = self.store.session(site=sites[i % len(sites)])
+            driver = SessionDriver(
+                session=session,
+                spec=self.spec,
+                rng=self.store.rng.stream(f"driver:{i}"),
+                stop_at=stop_at,
+                measure_from=measure_from,
+                result=result,
+                record_history=self.record_history,
+            )
+            self.drivers.append(driver)
+            processes.append(driver.start(sim))
+
+        sim.run(until=stop_at + self.drain)
+        result.throughput = result.ops_completed / self.duration
+        return result

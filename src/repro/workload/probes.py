@@ -1,0 +1,182 @@
+"""Causality-probe workload for the consistency-anomaly experiment (E10).
+
+The probe reproduces the photo-album pattern the causal-consistency
+literature uses: a *writer* updates object ``a`` and then object ``b``
+(so ``b`` causally depends on ``a``), while *readers* — deliberately in
+remote datacenters when there are several — read ``b`` first and then
+``a``. Under causal+ semantics a reader that observes the new ``b``
+must observe at least the corresponding ``a``; under weaker protocols it
+frequently does not. The recorded history goes through the causal and
+session checkers, whose violation counts form the E10 table.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from repro.api import Datastore
+from repro.checker.history import GET, PUT, History
+from repro.errors import ReproError
+from repro.sim.process import spawn
+
+__all__ = ["ProbeConfig", "run_causality_probe", "run_relay_probe"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ProbeConfig:
+    """Shape of the probe run."""
+
+    n_pairs: int = 20
+    rounds: int = 25
+    n_readers: int = 4
+    write_gap: float = 0.002
+    read_gap: float = 0.001
+
+
+def _writer_loop(sim, session, history: History, config: ProbeConfig, pair: int):
+    """Alternately update a_<pair> then b_<pair>, round after round."""
+    key_a, key_b = f"a{pair:04d}", f"b{pair:04d}"
+    for round_no in range(config.rounds):
+        for key in (key_a, key_b):
+            t0 = sim.now
+            try:
+                res = yield session.put(key, f"r{round_no}")
+            except ReproError:
+                continue
+            history.add(session.session_id, PUT, key, f"r{round_no}", res.version, t0, sim.now)
+            yield config.write_gap
+    return config.rounds
+
+
+def _reader_loop(sim, session, history: History, config: ProbeConfig, stop_at: float):
+    """Round-robin the pairs, always reading b before a."""
+    pair = 0
+    while sim.now < stop_at:
+        key_b, key_a = f"b{pair % config.n_pairs:04d}", f"a{pair % config.n_pairs:04d}"
+        pair += 1
+        for key in (key_b, key_a):
+            t0 = sim.now
+            try:
+                res = yield session.get(key)
+            except ReproError:
+                continue
+            history.add(session.session_id, GET, key, res.value, res.version, t0, sim.now)
+            yield config.read_gap
+    return pair
+
+
+def _relay_loop(sim, writer, relay, reader, history: History, config: ProbeConfig, pair: int):
+    """Three-DC transitive causality: write in DC0, read+write in DC1, read in DC2.
+
+    ``b`` causally depends on ``a`` *through a different datacenter*, so
+    ``b`` reaches DC2 over the dc1→dc2 link while ``a`` arrives over
+    dc0→dc2. Only dependency-checked delivery keeps them ordered there —
+    FIFO shipping cannot, which is exactly what the geo-causal-delivery
+    ablation (DESIGN.md §6.4) needs to expose.
+    """
+    key_a, key_b = f"ra{pair:04d}", f"rb{pair:04d}"
+    for round_no in range(config.rounds):
+        t0 = sim.now
+        try:
+            res = yield writer.put(key_a, f"r{round_no}")
+        except ReproError:
+            continue
+        history.add(writer.session_id, PUT, key_a, f"r{round_no}", res.version, t0, sim.now)
+
+        # Relay in DC1: poll until the new a is visible, then write b.
+        observed = None
+        for _poll in range(200):
+            t0 = sim.now
+            try:
+                got = yield relay.get(key_a)
+            except ReproError:
+                continue
+            history.add(relay.session_id, GET, key_a, got.value, got.version, t0, sim.now)
+            if got.value == f"r{round_no}":
+                observed = got
+                break
+            yield config.read_gap
+        if observed is None:
+            continue
+        t0 = sim.now
+        try:
+            res = yield relay.put(key_b, f"r{round_no}")
+        except ReproError:
+            continue
+        history.add(relay.session_id, PUT, key_b, f"r{round_no}", res.version, t0, sim.now)
+
+        # Reader in DC2 races the two WAN links: b first, then a.
+        for _probe in range(30):
+            for key in (key_b, key_a):
+                t0 = sim.now
+                try:
+                    got = yield reader.get(key)
+                except ReproError:
+                    continue
+                history.add(reader.session_id, GET, key, got.value, got.version, t0, sim.now)
+            yield config.read_gap
+    return config.rounds
+
+
+def run_relay_probe(store: Datastore, config: ProbeConfig = ProbeConfig()) -> History:
+    """Transitive cross-DC causality probe; requires >= 3 sites.
+
+    Returns the recorded history; feed it to
+    :func:`~repro.checker.causal.check_causal`.
+    """
+    sites = store.sites
+    if len(sites) < 3:
+        raise ValueError(f"relay probe needs >= 3 sites, got {sites}")
+    sim = store.sim
+    history = History()
+    procs = []
+    for pair in range(config.n_pairs):
+        writer = store.session(site=sites[0], session_id=f"relay-w{pair}")
+        relay = store.session(site=sites[1], session_id=f"relay-m{pair}")
+        reader = store.session(site=sites[2], session_id=f"relay-r{pair}")
+        procs.append(
+            spawn(
+                sim,
+                _relay_loop(sim, writer, relay, reader, history, config, pair),
+                name=f"relay{pair}",
+            )
+        )
+    # WAN hops bound each round; budget generously and stop when done.
+    deadline = sim.now + config.rounds * 2.0 + 10.0
+    sim.run(until=deadline)
+    return history
+
+
+def run_causality_probe(store: Datastore, config: ProbeConfig = ProbeConfig()) -> History:
+    """Drive the probe against ``store`` and return the recorded history.
+
+    Writers run in the first site; readers are spread over the *other*
+    sites when the deployment is geo-replicated (that is where weaker
+    protocols show anomalies), or share the writers' site otherwise.
+    """
+    sim = store.sim
+    history = History()
+    sites = store.sites
+    reader_sites = sites[1:] or sites
+
+    writer_procs = []
+    for pair in range(config.n_pairs):
+        session = store.session(site=sites[0], session_id=f"writer{pair}")
+        writer_procs.append(
+            spawn(sim, _writer_loop(sim, session, history, config, pair), name=f"w{pair}")
+        )
+
+    # Budget enough virtual time for every write round plus slack.
+    stop_at = sim.now + config.rounds * (config.write_gap + 0.05) * 2 + 1.0
+    reader_procs = []
+    for i in range(config.n_readers):
+        session = store.session(
+            site=reader_sites[i % len(reader_sites)], session_id=f"reader{i}"
+        )
+        reader_procs.append(
+            spawn(sim, _reader_loop(sim, session, history, config, stop_at), name=f"r{i}")
+        )
+
+    sim.run(until=stop_at + 2.0)
+    return history

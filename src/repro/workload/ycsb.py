@@ -1,0 +1,106 @@
+"""YCSB-style workload specifications.
+
+A :class:`WorkloadSpec` fixes the operation mix, keyspace size, request
+distribution, and value size; the standard workload letters the paper's
+evaluation uses are predefined:
+
+========  =============================  ==================
+workload  mix                            distribution
+========  =============================  ==================
+A         50% read / 50% update          scrambled zipfian
+B         95% read / 5% update           scrambled zipfian
+C         100% read                      scrambled zipfian
+D         95% read / 5% insert           latest
+========  =============================  ==================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict
+
+from repro.errors import ConfigError
+from repro.workload.distributions import (
+    KeyChooser,
+    LatestKeys,
+    ScrambledZipfianKeys,
+    UniformKeys,
+    ZipfianKeys,
+)
+
+__all__ = ["WorkloadSpec", "WORKLOADS", "workload"]
+
+_DISTRIBUTIONS = {
+    "uniform": UniformKeys,
+    "zipfian": ZipfianKeys,
+    "scrambled": ScrambledZipfianKeys,
+    "latest": LatestKeys,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadSpec:
+    """One workload: mix proportions must sum to 1."""
+
+    name: str
+    read_proportion: float
+    update_proportion: float
+    insert_proportion: float = 0.0
+    record_count: int = 1000
+    distribution: str = "scrambled"
+    value_size: int = 128
+    key_prefix: str = "user"
+
+    def __post_init__(self) -> None:
+        total = self.read_proportion + self.update_proportion + self.insert_proportion
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigError(f"proportions sum to {total}, expected 1.0")
+        if self.record_count < 1:
+            raise ConfigError("record_count must be >= 1")
+        if self.distribution not in _DISTRIBUTIONS:
+            raise ConfigError(
+                f"unknown distribution {self.distribution!r}; "
+                f"choose from {sorted(_DISTRIBUTIONS)}"
+            )
+        if self.value_size < 1:
+            raise ConfigError("value_size must be >= 1")
+
+    def key(self, index: int) -> str:
+        return f"{self.key_prefix}{index:08d}"
+
+    def make_chooser(self, n: int) -> KeyChooser:
+        return _DISTRIBUTIONS[self.distribution](n)
+
+    def choose_op(self, rng: random.Random) -> str:
+        roll = rng.random()
+        if roll < self.read_proportion:
+            return "get"
+        if roll < self.read_proportion + self.update_proportion:
+            return "update"
+        return "insert"
+
+    def with_updates(self, **changes: object) -> "WorkloadSpec":
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+
+WORKLOADS: Dict[str, WorkloadSpec] = {
+    "A": WorkloadSpec("A", read_proportion=0.5, update_proportion=0.5),
+    "B": WorkloadSpec("B", read_proportion=0.95, update_proportion=0.05),
+    "C": WorkloadSpec("C", read_proportion=1.0, update_proportion=0.0),
+    "D": WorkloadSpec(
+        "D",
+        read_proportion=0.95,
+        update_proportion=0.0,
+        insert_proportion=0.05,
+        distribution="latest",
+    ),
+}
+
+
+def workload(name: str, **changes: object) -> WorkloadSpec:
+    """Fetch a standard workload, optionally adjusted (e.g. record_count)."""
+    if name not in WORKLOADS:
+        raise ConfigError(f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}")
+    spec = WORKLOADS[name]
+    return spec.with_updates(**changes) if changes else spec

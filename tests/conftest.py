@@ -1,0 +1,19 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import FixedLatency, Network
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def network(sim):
+    """A deterministic network: every link exactly 1 ms."""
+    return Network(sim, lan=FixedLatency(0.001), wan=FixedLatency(0.010))

@@ -1,0 +1,47 @@
+"""Shared builders for the test suite (importable without conftest magic)."""
+
+from __future__ import annotations
+
+from repro.baselines import build_store
+from repro.core import ChainReactionConfig, ChainReactionStore
+
+
+def make_store(**overrides) -> ChainReactionStore:
+    """A small single-DC ChainReaction deployment for protocol tests."""
+    defaults = dict(
+        sites=("dc0",),
+        servers_per_site=4,
+        chain_length=3,
+        ack_k=2,
+        seed=7,
+        service_time=0.0,  # protocol tests want latency without queueing
+    )
+    defaults.update(overrides)
+    return ChainReactionStore(ChainReactionConfig(**defaults))
+
+
+def make_geo_store(n_sites: int = 2, **overrides) -> ChainReactionStore:
+    sites = tuple(f"dc{i}" for i in range(n_sites))
+    return make_store(sites=sites, **overrides)
+
+
+def run_op(store, future, extra: float = 1.0):
+    """Advance virtual time just until a client operation resolves.
+
+    Unlike ``sim.run(until=...)`` this stops at the resolution instant,
+    so tests can interleave operations with precise timing.
+    """
+    deadline = store.sim.now + extra
+    sim = store.sim
+    while not future.done():
+        if sim.now >= deadline or not sim.step():
+            break
+    assert future.done(), f"operation still pending at t={sim.now}"
+    return future.result()
+
+
+def build(protocol: str, **kwargs):
+    """Registry passthrough with small-test defaults."""
+    defaults = dict(servers_per_site=4, chain_length=3, seed=7)
+    defaults.update(kwargs)
+    return build_store(protocol, **defaults)

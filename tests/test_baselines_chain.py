@@ -1,0 +1,89 @@
+"""Tests for the classic chain-replication baseline."""
+
+import pytest
+
+from helpers import run_op
+
+from repro.baselines import ChainReplicationStore, chain_replication_config
+from repro.checker import GET, PUT, History, check_linearizability
+from repro.core import ChainReactionConfig
+from repro.sim import spawn
+
+
+def make_chain(**overrides):
+    defaults = dict(
+        sites=("dc0",), servers_per_site=4, chain_length=3, seed=7, service_time=0.0
+    )
+    defaults.update(overrides)
+    return ChainReplicationStore(ChainReactionConfig(**defaults))
+
+
+class TestConfiguration:
+    def test_config_rewritten_to_classic_mode(self):
+        config = chain_replication_config(ChainReactionConfig(chain_length=3, ack_k=1))
+        assert config.ack_k == 3
+        assert config.allow_prefix_reads is False
+
+    def test_store_name(self):
+        assert make_chain().name == "chain"
+
+
+class TestClassicBehaviour:
+    def test_put_acked_by_tail(self):
+        store = make_chain()
+        s = store.session()
+        result = run_op(store, s.put("k", "v"))
+        assert result.acked_by == "2"
+        assert result.stable
+
+    def test_reads_served_only_by_tail(self):
+        store = make_chain()
+        s = store.session()
+        run_op(store, s.put("k", "v"))
+        tail = store.managers["dc0"].view.chain_for("k")[-1]
+        for _ in range(15):
+            assert run_op(store, s.get("k")).served_by == tail
+
+    def test_dependency_machinery_never_engages(self):
+        """Tail acks + tail reads mean every observed version is stable:
+        the client table stays empty and no put ever dependency-waits."""
+        store = make_chain()
+        s = store.session()
+        for i in range(10):
+            run_op(store, s.put(f"k{i}", i))
+            run_op(store, s.get(f"k{i}"))
+        assert s.dependency_table() == {}
+        assert sum(n.dep_waits for n in store.servers()) == 0
+
+
+class TestLinearizability:
+    def test_concurrent_history_is_linearizable_per_key(self):
+        """Drive concurrent readers/writers and check the recorded history
+        with the linearizability checker — the guarantee ChainReaction
+        relaxes and classic chain replication keeps."""
+        store = make_chain()
+        history = History()
+        sim = store.sim
+
+        def writer(session, n):
+            for i in range(n):
+                t0 = sim.now
+                value = f"{session.session_id}:{i}"
+                res = yield session.put("reg", value)
+                history.add(session.session_id, PUT, "reg", value, res.version, t0, sim.now)
+                yield 0.001
+
+        def reader(session, n):
+            for _ in range(n):
+                t0 = sim.now
+                res = yield session.get("reg")
+                history.add(session.session_id, GET, "reg", res.value, res.version, t0, sim.now)
+                yield 0.0007
+
+        for i in range(2):
+            spawn(sim, writer(store.session(), 15))
+        for i in range(3):
+            spawn(sim, reader(store.session(), 30))
+        store.run(until=5.0)
+        assert len(history) > 50
+        assert check_linearizability(history, initial_values={"reg": None}) == []

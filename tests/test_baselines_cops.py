@@ -1,0 +1,133 @@
+"""Tests for the COPS-like baseline."""
+
+import pytest
+
+from helpers import run_op
+
+from repro.baselines import BaselineConfig, CopsStore
+from repro.storage import VersionVector
+
+
+def make_cops(**overrides):
+    defaults = dict(sites=("dc0", "dc1"), servers_per_site=4, seed=7, service_time=0.0)
+    defaults.update(overrides)
+    return CopsStore(BaselineConfig(**defaults))
+
+
+class TestPartitioning:
+    def test_chain_length_forced_to_one(self):
+        store = make_cops()
+        assert store.config.chain_length == 1
+
+    def test_exactly_one_owner_per_key_per_site(self):
+        store = make_cops()
+        s = store.session("dc0")
+        run_op(store, s.put("k", "v"))
+        holders = [n for n in store.nodes["dc0"] if n.store.get("k") is not None]
+        assert len(holders) == 1
+
+
+class TestBasicOps:
+    def test_put_then_get_local(self):
+        store = make_cops()
+        s = store.session("dc0")
+        run_op(store, s.put("k", "v"))
+        assert run_op(store, s.get("k")).value == "v"
+
+    def test_remote_visibility(self):
+        store = make_cops()
+        a = store.session("dc0")
+        b = store.session("dc1")
+        run_op(store, a.put("k", "v"))
+        store.run(until=1.0)
+        assert run_op(store, b.get("k")).value == "v"
+
+    def test_delete(self):
+        store = make_cops()
+        s = store.session("dc0")
+        run_op(store, s.put("k", "v"))
+        run_op(store, s.delete("k"))
+        assert run_op(store, s.get("k")).value is None
+
+
+class TestContext:
+    def test_context_grows_on_reads_and_collapses_on_put(self):
+        store = make_cops()
+        s = store.session("dc0")
+        run_op(store, s.put("a", "1"))
+        run_op(store, s.get("a"))
+        run_op(store, s.put("b", "2"))
+        # put_after semantics: context is now just {b}
+        assert list(s._context) == ["b"]
+
+    def test_metadata_bytes_nonzero_after_ops(self):
+        store = make_cops()
+        s = store.session("dc0")
+        run_op(store, s.put("a", "1"))
+        assert s.metadata_bytes() > 4
+
+
+class TestDepChecks:
+    def test_remote_write_waits_for_dependency(self):
+        """b (which depends on a) must not become visible at the remote DC
+        before a, even if a's replication is delayed."""
+        store = make_cops()
+        # Delay: drop a's remote write once, let everything else through.
+        dropped = []
+
+        def drop_first_a(_s, _d, msg):
+            if (
+                msg.type_name == "cops-remote-write"
+                and msg.key == "a"
+                and not dropped
+            ):
+                dropped.append(msg)
+                return False
+            return True
+
+        store.network.add_filter(drop_first_a)
+        writer = store.session("dc0")
+        run_op(store, writer.put("a", "1"))
+        run_op(store, writer.get("a"))
+        run_op(store, writer.put("b", "2"))
+        store.run(until=store.sim.now + 0.5)
+        reader = store.session("dc1")
+        # b's dep-check on a cannot pass: b invisible remotely.
+        assert run_op(store, reader.get("b")).value is None
+        assert dropped, "filter never engaged"
+        # Re-deliver a (simulating retransmission): b becomes visible.
+        store.network.clear_filters()
+        owner = next(
+            n for n in store.nodes["dc1"]
+            if n.view.chain_for("a")[0] == n.name
+        )
+        msg = dropped[0]
+        owner.on_cops_remote_write(msg, store.nodes["dc0"][0].address)
+        store.run(until=store.sim.now + 1.0)
+        assert run_op(store, reader.get("b")).value == "2"
+
+    def test_dep_check_counter_increments(self):
+        store = make_cops()
+        writer = store.session("dc0")
+        run_op(store, writer.put("a", "1"))
+        run_op(store, writer.put("b", "2"))  # deps: {a}
+        store.run(until=store.sim.now + 1.0)
+        assert sum(n.dep_checks for n in store.servers()) >= 1
+
+
+class TestConvergence:
+    def test_concurrent_cross_dc_writes_converge(self):
+        store = make_cops()
+        a = store.session("dc0")
+        b = store.session("dc1")
+        a.put("k", "x")
+        b.put("k", "y")
+        store.run(until=3.0)
+        assert store.converged("k")
+
+    def test_visibility_samples_recorded(self):
+        store = make_cops()
+        s = store.session("dc0")
+        run_op(store, s.put("k", "v"))
+        store.run(until=1.0)
+        assert len(store.protocol_stats()["visibility_samples"]) == 1

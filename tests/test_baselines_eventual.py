@@ -1,0 +1,109 @@
+"""Tests for the eventually-consistent baseline."""
+
+import pytest
+
+from helpers import build, run_op
+
+from repro.baselines import BaselineConfig, EventualStore
+from repro.checker import await_convergence
+
+
+def make_eventual(**overrides):
+    defaults = dict(
+        sites=("dc0",), servers_per_site=4, chain_length=3, seed=7, service_time=0.0
+    )
+    defaults.update(overrides)
+    return EventualStore(BaselineConfig(**defaults))
+
+
+class TestBasicOps:
+    def test_put_then_get(self):
+        store = make_eventual()
+        s = store.session()
+        run_op(store, s.put("k", "v"))
+        store.run(until=1.0)
+        assert run_op(store, s.get("k")).value == "v"
+
+    def test_get_missing(self):
+        store = make_eventual()
+        s = store.session()
+        result = run_op(store, s.get("ghost"))
+        assert result.value is None
+
+    def test_delete(self):
+        store = make_eventual()
+        s = store.session()
+        run_op(store, s.put("k", "v"))
+        store.run(until=1.0)
+        run_op(store, s.delete("k"))
+        store.run(until=1.0)
+        assert run_op(store, s.get("k")).value is None
+
+    def test_immediate_ack_single_round_trip(self):
+        store = make_eventual()
+        s = store.session()
+        fut = s.put("k", "v")
+        run_op(store, fut)
+        # one round trip to one replica: ~2 fixed LAN hops
+        assert fut.resolved_at < 0.01
+
+
+class TestReplication:
+    def test_direct_replication_reaches_all_replicas(self):
+        store = make_eventual()
+        s = store.session()
+        run_op(store, s.put("k", "v"))
+        store.run(until=1.0)
+        view = store.managers["dc0"].view
+        for name in view.chain_for("k"):
+            node = store._node("dc0", name)
+            assert node.store.get("k").value == "v"
+
+    def test_stale_read_window_exists(self):
+        """Immediately after the ack, some replica may not have the write —
+        the anomaly window ChainReaction closes."""
+        store = make_eventual()
+        s = store.session()
+        fut = s.put("k", "v")
+        run_op(store, fut)
+        view = store.managers["dc0"].view
+        values = {
+            store._node("dc0", name).store.get("k") is not None
+            for name in view.chain_for("k")
+        }
+        assert values == {True, False}
+
+    def test_anti_entropy_repairs_missed_updates(self):
+        store = make_eventual(anti_entropy_interval=0.2)
+        s = store.session()
+        # Drop direct replication entirely; only anti-entropy remains.
+        store.network.add_filter(lambda _s, _d, m: m.type_name != "ev-replicate")
+        run_op(store, s.put("k", "v"))
+        report = await_convergence(store, ["k"], max_extra_time=5.0)
+        assert report.converged
+
+    def test_geo_replication_converges(self):
+        store = make_eventual(sites=("dc0", "dc1"))
+        a = store.session("dc0")
+        b = store.session("dc1")
+        a.put("k", "x")
+        b.put("k", "y")
+        report = await_convergence(store, ["k"], max_extra_time=5.0)
+        assert report.converged
+
+
+class TestAnomalies:
+    def test_read_your_writes_can_fail(self):
+        """Reading a different replica right after the ack misses the write."""
+        store = make_eventual()
+        s = store.session()
+        fut = s.put("k", "v")
+        run_op(store, fut)
+        view = store.managers["dc0"].view
+        chain = view.chain_for("k")
+        missing = [
+            name
+            for name in chain
+            if store._node("dc0", name).store.get("k") is None
+        ]
+        assert missing, "no stale replica to demonstrate the anomaly"

@@ -1,0 +1,107 @@
+"""Tests for the quorum-replicated baseline."""
+
+import pytest
+
+from helpers import run_op
+
+from repro.baselines import BaselineConfig, QuorumStore
+
+
+def make_quorum(**overrides):
+    defaults = dict(
+        sites=("dc0",), servers_per_site=4, chain_length=3,
+        write_quorum=2, read_quorum=2, seed=7, service_time=0.0,
+    )
+    defaults.update(overrides)
+    return QuorumStore(BaselineConfig(**defaults))
+
+
+class TestBasicOps:
+    def test_put_then_get(self):
+        store = make_quorum()
+        s = store.session()
+        run_op(store, s.put("k", "v"))
+        assert run_op(store, s.get("k")).value == "v"
+
+    def test_delete(self):
+        store = make_quorum()
+        s = store.session()
+        run_op(store, s.put("k", "v"))
+        run_op(store, s.delete("k"))
+        assert run_op(store, s.get("k")).value is None
+
+    def test_get_missing(self):
+        store = make_quorum()
+        s = store.session()
+        assert run_op(store, s.get("ghost")).value is None
+
+
+class TestQuorumSemantics:
+    def test_write_waits_for_w_replicas(self):
+        store = make_quorum(write_quorum=3)
+        s = store.session()
+        fut = s.put("k", "v")
+        run_op(store, fut)
+        view = store.managers["dc0"].view
+        present = sum(
+            1
+            for name in view.chain_for("k")
+            if store._node("dc0", name).store.get("k") is not None
+        )
+        assert present >= 3
+
+    def test_overlapping_quorums_read_your_writes(self):
+        """W=2, R=2 over N=3 intersect: every read sees the session's
+        latest write, no matter which coordinator it lands on."""
+        store = make_quorum(write_quorum=2, read_quorum=2)
+        s = store.session()
+        for i in range(25):
+            run_op(store, s.put("k", f"v{i}"))
+            assert run_op(store, s.get("k")).value == f"v{i}"
+
+    def test_non_overlapping_quorums_can_go_stale(self):
+        """W=1, R=1 with frozen replication: a read from another replica
+        misses the write — the configuration E10 penalises."""
+        store = make_quorum(write_quorum=1, read_quorum=1)
+        # Replication rides replica_write RPCs; block those so only the
+        # coordinator that took the write holds it.
+        store.network.add_filter(
+            lambda _s, _d, m: getattr(m, "method", None) != "replica_write"
+        )
+        s = store.session()
+        run_op(store, s.put("k", "v"))
+        stale = 0
+        for _ in range(30):
+            if run_op(store, s.get("k")).value is None:
+                stale += 1
+        assert stale > 0
+
+    def test_read_repair_heals_stale_replicas(self):
+        store = make_quorum(write_quorum=1, read_quorum=3)
+        # Stop direct replication; only read repair can spread the write.
+        store.network.add_filter(
+            lambda _s, _d, m: getattr(m, "method", None) != "replica_write"
+        )
+        s = store.session()
+        run_op(store, s.put("k", "v"))
+        # A full-quorum read triggers repair of the replicas that answered stale.
+        for _ in range(10):
+            run_op(store, s.get("k"))
+        store.network.clear_filters()
+        store.run(until=store.sim.now + 1.0)
+        view = store.managers["dc0"].view
+        present = sum(
+            1
+            for name in view.chain_for("k")
+            if store._node("dc0", name).store.get("k") is not None
+        )
+        assert present == 3
+        assert sum(n.read_repairs for n in store.servers()) > 0
+
+    def test_newest_version_wins_reads(self):
+        store = make_quorum()
+        s = store.session()
+        run_op(store, s.put("k", "old"))
+        run_op(store, s.put("k", "new"))
+        for _ in range(10):
+            assert run_op(store, s.get("k")).value == "new"

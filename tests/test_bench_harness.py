@@ -1,0 +1,90 @@
+"""Tests for the benchmark harness (configs, runner, probes)."""
+
+import dataclasses
+
+import pytest
+
+from repro.bench import QUICK, BenchScale, consistency_table, run_ycsb, throughput_sweep
+from repro.workload import ProbeConfig, run_causality_probe
+
+TINY = dataclasses.replace(
+    QUICK,
+    record_count=20,
+    duration=0.3,
+    warmup=0.1,
+    client_counts=(2,),
+    latency_clients=2,
+    probe_pairs=3,
+    probe_rounds=4,
+)
+
+
+class TestRunYcsb:
+    def test_produces_result_with_throughput(self):
+        result = run_ycsb("chainreaction", "B", 2, TINY)
+        assert result.throughput > 0
+        assert result.protocol == "chainreaction"
+        assert result.workload == "B"
+
+    def test_ack_k_override(self):
+        result = run_ycsb("chainreaction", "B", 2, TINY, ack_k=1)
+        assert result.store.config.ack_k == 1
+
+    def test_distribution_override(self):
+        result = run_ycsb("chainreaction", "C", 2, TINY, distribution="uniform")
+        assert result.ops_completed > 0
+
+    def test_config_overrides_reach_store(self):
+        result = run_ycsb(
+            "chainreaction", "B", 2, TINY, overrides={"allow_prefix_reads": False}
+        )
+        assert result.store.config.allow_prefix_reads is False
+
+
+class TestThroughputSweep:
+    def test_one_row_per_point(self):
+        rows = throughput_sweep(("chainreaction", "eventual"), "B", TINY)
+        assert len(rows) == 2  # 2 protocols × 1 client count
+        assert {row["protocol"] for row in rows} == {"chainreaction", "eventual"}
+        for row in rows:
+            assert row["throughput_ops_s"] > 0
+            assert row["errors"] == 0
+
+
+class TestConsistencyTable:
+    def test_row_fields(self):
+        rows = consistency_table(("chainreaction",), TINY, sites=("dc0", "dc1"))
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["protocol"] == "chainreaction"
+        assert row["operations"] > 0
+        assert row["causal"] == 0
+
+
+class TestProbe:
+    def test_probe_records_reads_and_writes(self):
+        from repro.baselines import build_store
+
+        store = build_store("chainreaction", sites=("dc0", "dc1"), servers_per_site=4)
+        history = run_causality_probe(store, ProbeConfig(n_pairs=2, rounds=3))
+        assert len(history.puts()) > 0
+        assert len(history.gets()) > 0
+        # writers live in dc0, readers elsewhere
+        sessions = history.sessions()
+        assert any(s.startswith("dc0:writer") for s in sessions)
+        assert any(s.startswith("dc1:reader") for s in sessions)
+
+    def test_relay_probe_requires_three_sites(self):
+        from repro.baselines import build_store
+        from repro.workload import run_relay_probe
+
+        store = build_store("chainreaction", sites=("dc0", "dc1"), servers_per_site=4)
+        with pytest.raises(ValueError):
+            run_relay_probe(store)
+
+
+class TestScales:
+    def test_quick_scale_sanity(self):
+        assert QUICK.chain_length <= QUICK.servers_per_site
+        assert 1 <= QUICK.ack_k <= QUICK.chain_length
+        assert all(c > 0 for c in QUICK.client_counts)

@@ -1,0 +1,168 @@
+"""Unit tests for the causal-consistency checker."""
+
+import pytest
+
+from repro.checker import GET, PUT, History, check_causal
+from repro.errors import CheckerError
+from repro.storage import VersionVector
+
+
+def vv(**entries):
+    return VersionVector(entries)
+
+
+def history(*ops):
+    h = History()
+    for i, (session, op, key, version) in enumerate(ops):
+        h.add(session, op, key, f"value{i}", version, float(i), float(i) + 0.5)
+    return h
+
+
+class TestCleanHistories:
+    def test_empty(self):
+        assert check_causal(History()) == []
+
+    def test_single_session_read_own_writes(self):
+        h = history(
+            ("s1", PUT, "a", vv(dc0=1)),
+            ("s1", PUT, "b", vv(dc0=1)),
+            ("s1", GET, "a", vv(dc0=1)),
+            ("s1", GET, "b", vv(dc0=1)),
+        )
+        assert check_causal(h) == []
+
+    def test_cross_session_fresh_reads(self):
+        h = history(
+            ("w", PUT, "a", vv(dc0=1)),
+            ("w", PUT, "b", vv(dc0=1)),
+            ("r", GET, "b", vv(dc0=1)),
+            ("r", GET, "a", vv(dc0=1)),
+        )
+        assert check_causal(h) == []
+
+    def test_reader_missing_both_is_causal(self):
+        """Seeing neither write violates nothing — causality permits
+        staleness, it forbids seeing effects without causes."""
+        h = history(
+            ("w", PUT, "a", vv(dc0=1)),
+            ("w", PUT, "b", vv(dc0=1)),
+            ("r", GET, "b", vv()),
+            ("r", GET, "a", vv()),
+        )
+        assert check_causal(h) == []
+
+    def test_seeing_cause_without_effect_is_causal(self):
+        h = history(
+            ("w", PUT, "a", vv(dc0=1)),
+            ("w", PUT, "b", vv(dc0=1)),
+            ("r", GET, "a", vv(dc0=1)),
+            ("r", GET, "b", vv()),
+        )
+        assert check_causal(h) == []
+
+
+class TestAnomalies:
+    def test_photo_album_anomaly(self):
+        """The classic anomaly: b (written after a by the same session) is
+        observed, but a subsequent read of a misses a."""
+        h = history(
+            ("w", PUT, "a", vv(dc0=1)),
+            ("w", PUT, "b", vv(dc0=1)),
+            ("r", GET, "b", vv(dc0=1)),  # saw the effect...
+            ("r", GET, "a", vv()),       # ...but not the cause
+        )
+        violations = check_causal(h)
+        assert len(violations) == 1
+        assert violations[0].key == "a"
+
+    def test_transitive_cross_session_anomaly(self):
+        """w writes a; m reads a then writes b; r sees b but not a."""
+        h = history(
+            ("w", PUT, "a", vv(dc0=1)),
+            ("m", GET, "a", vv(dc0=1)),
+            ("m", PUT, "b", vv(dc1=1)),
+            ("r", GET, "b", vv(dc1=1)),
+            ("r", GET, "a", vv()),
+        )
+        violations = check_causal(h)
+        assert len(violations) == 1
+        assert violations[0].key == "a"
+
+    def test_chain_of_three_sessions(self):
+        h = history(
+            ("s1", PUT, "x", vv(dc0=1)),
+            ("s2", GET, "x", vv(dc0=1)),
+            ("s2", PUT, "y", vv(dc1=1)),
+            ("s3", GET, "y", vv(dc1=1)),
+            ("s3", PUT, "z", vv(dc2=1)),
+            ("s4", GET, "z", vv(dc2=1)),
+            ("s4", GET, "x", vv()),  # three hops back — still required
+        )
+        assert len(check_causal(h)) == 1
+
+    def test_session_read_regression_detected(self):
+        """Monotonic-read violations are causal violations too."""
+        h = history(
+            ("w", PUT, "k", vv(dc0=1)),
+            ("w", PUT, "k", vv(dc0=2)),
+            ("r", GET, "k", vv(dc0=2)),
+            ("r", GET, "k", vv(dc0=1)),
+        )
+        assert len(check_causal(h)) == 1
+
+    def test_violation_count_per_offending_read(self):
+        h = history(
+            ("w", PUT, "a", vv(dc0=1)),
+            ("w", PUT, "b", vv(dc0=1)),
+            ("r", GET, "b", vv(dc0=1)),
+            ("r", GET, "a", vv()),
+            ("r", GET, "a", vv()),
+        )
+        assert len(check_causal(h)) == 2
+
+
+class TestMergedVersions:
+    def test_read_of_merged_version_imports_both_closures(self):
+        """A convergent merge covers both concurrent writes, so observing
+        it requires both writes' causal pasts."""
+        h = history(
+            ("w0", PUT, "dep0", vv(dc0=1)),
+            ("w0", PUT, "k", vv(dc0=1)),     # depends on dep0
+            ("w1", PUT, "dep1", vv(dc1=1)),
+            ("w1", PUT, "k", vv(dc1=1)),     # depends on dep1; concurrent
+            ("r", GET, "k", vv(dc0=1, dc1=1)),  # merged observation
+            ("r", GET, "dep0", vv()),        # must see dep0 → violation
+        )
+        violations = check_causal(h)
+        assert len(violations) == 1
+        assert violations[0].key == "dep0"
+
+
+class TestValidation:
+    def test_invalid_history_rejected(self):
+        h = History()
+        h.add("s1", PUT, "k", "v1", vv(dc0=1), 0.0, 1.0)
+        h.add("s1", PUT, "k", "v2", vv(dc0=1), 2.0, 3.0)
+        with pytest.raises(CheckerError):
+            check_causal(h)
+
+    def test_validation_can_be_skipped(self):
+        h = History()
+        h.add("s1", PUT, "k", "v1", vv(dc0=1), 0.0, 1.0)
+        h.add("s2", PUT, "k", "v2", vv(dc0=1), 2.0, 3.0)
+        # With validation off, the checker processes what it is given.
+        check_causal(h, validate=False)
+
+
+class TestPreloadVersions:
+    def test_reads_of_preloaded_state_are_clean(self):
+        """Reads returning versions with no matching put in the history
+        (warm-up preloads) create no spurious requirements."""
+        preload = vv(preload=1)
+        h = history(
+            ("r", GET, "k", preload),
+            ("r", GET, "k", preload),
+            ("w", PUT, "k", VersionVector({"preload": 1, "dc0": 1})),
+            ("r", GET, "k", VersionVector({"preload": 1, "dc0": 1})),
+        )
+        assert check_causal(h) == []

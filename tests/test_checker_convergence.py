@@ -1,0 +1,62 @@
+"""Tests for convergence checking against live deployments."""
+
+from helpers import make_geo_store, make_store, run_op
+
+from repro.checker import await_convergence, convergence_report
+
+
+class TestConvergenceReport:
+    def test_converged_store(self):
+        store = make_store()
+        s = store.session()
+        run_op(store, s.put("k", "v"))
+        store.run(until=2.0)
+        report = convergence_report(store, ["k"])
+        assert report.converged
+        assert report.checked == 1
+        assert "converged" in str(report)
+
+    def test_divergence_detected_mid_flight(self):
+        store = make_store(ack_k=1)
+        s = store.session()
+        fut = s.put("k", "v")
+        # Advance only until the head's ack: the tail has not applied yet.
+        run_op(store, fut)
+        report = convergence_report(store, ["k"])
+        assert not report.converged
+        assert report.divergent == ["k"]
+        assert "divergent" in str(report)
+
+    def test_unwritten_key_counts_as_converged(self):
+        store = make_store()
+        report = convergence_report(store, ["ghost"])
+        assert report.converged
+
+
+class TestAwaitConvergence:
+    def test_waits_for_replication(self):
+        store = make_store(ack_k=1)
+        s = store.session()
+        fut = s.put("k", "v")
+        run_op(store, fut)  # acked but tail still pending
+        report = await_convergence(store, ["k"], max_extra_time=2.0, step=0.1)
+        assert report.converged
+
+    def test_geo_convergence(self):
+        store = make_geo_store()
+        a = store.session("dc0")
+        b = store.session("dc1")
+        a.put("k", "x")
+        b.put("k", "y")
+        report = await_convergence(store, ["k"], max_extra_time=5.0)
+        assert report.converged
+
+    def test_gives_up_within_budget(self):
+        store = make_store(ack_k=1)
+        s = store.session()
+        fut = s.put("k", "v")
+        run_op(store, fut)
+        # Freeze chain propagation so convergence cannot complete.
+        store.network.add_filter(lambda _s, _d, msg: msg.type_name != "chain-put")
+        report = await_convergence(store, ["k"], max_extra_time=0.5, step=0.1)
+        assert not report.converged

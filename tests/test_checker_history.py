@@ -1,0 +1,76 @@
+"""Unit tests for operation histories."""
+
+import pytest
+
+from repro.checker import GET, PUT, History, Operation
+from repro.errors import CheckerError
+from repro.storage import VersionVector
+
+
+def vv(**entries):
+    return VersionVector(entries)
+
+
+class TestOperation:
+    def test_rejects_unknown_op(self):
+        with pytest.raises(CheckerError):
+            Operation("s", "scan", "k", None, vv(), 0.0, 1.0)
+
+    def test_rejects_return_before_invoke(self):
+        with pytest.raises(CheckerError):
+            Operation("s", GET, "k", None, vv(), 2.0, 1.0)
+
+
+class TestHistory:
+    def test_add_and_iterate(self):
+        h = History()
+        h.add("s1", PUT, "k", "v", vv(dc0=1), 0.0, 1.0)
+        h.add("s1", GET, "k", "v", vv(dc0=1), 1.0, 2.0)
+        assert len(h) == 2
+        assert [op.op for op in h] == [PUT, GET]
+
+    def test_by_session_orders_by_invocation(self):
+        h = History()
+        h.add("s2", GET, "k", None, vv(), 5.0, 6.0)
+        h.add("s1", PUT, "k", "v", vv(dc0=1), 0.0, 1.0)
+        h.add("s2", GET, "k", None, vv(), 2.0, 3.0)
+        grouped = h.by_session()
+        assert list(grouped) == ["s1", "s2"]
+        assert [op.t_invoke for op in grouped["s2"]] == [2.0, 5.0]
+
+    def test_filters(self):
+        h = History()
+        h.add("s1", PUT, "a", 1, vv(dc0=1), 0, 1)
+        h.add("s1", GET, "a", 1, vv(dc0=1), 1, 2)
+        h.add("s1", PUT, "b", 2, vv(dc0=1), 2, 3)
+        assert len(h.puts()) == 2
+        assert len(h.puts("a")) == 1
+        assert len(h.gets("a")) == 1
+        assert h.keys() == ["a", "b"]
+        assert h.sessions() == ["s1"]
+
+    def test_validate_accepts_sequential_sessions(self):
+        h = History()
+        h.add("s1", PUT, "k", "v", vv(dc0=1), 0.0, 1.0)
+        h.add("s1", GET, "k", "v", vv(dc0=1), 1.5, 2.0)
+        h.validate()
+
+    def test_validate_rejects_overlapping_ops_in_session(self):
+        h = History()
+        h.add("s1", PUT, "k", "v", vv(dc0=1), 0.0, 2.0)
+        h.add("s1", GET, "k", "v", vv(dc0=1), 1.0, 3.0)
+        with pytest.raises(CheckerError, match="overlapping"):
+            h.validate()
+
+    def test_validate_rejects_duplicate_put_versions(self):
+        h = History()
+        h.add("s1", PUT, "k", "v1", vv(dc0=1), 0.0, 1.0)
+        h.add("s2", PUT, "k", "v2", vv(dc0=1), 0.0, 1.0)
+        with pytest.raises(CheckerError, match="share"):
+            h.validate()
+
+    def test_validate_allows_same_version_on_different_keys(self):
+        h = History()
+        h.add("s1", PUT, "a", "v", vv(dc0=1), 0.0, 1.0)
+        h.add("s2", PUT, "b", "v", vv(dc0=1), 0.0, 1.0)
+        h.validate()

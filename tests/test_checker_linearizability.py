@@ -1,0 +1,106 @@
+"""Unit tests for the per-key linearizability checker."""
+
+import pytest
+
+from repro.checker import GET, PUT, History, check_linearizability, check_linearizable_key
+from repro.checker.history import Operation
+from repro.errors import CheckerError
+from repro.storage import VersionVector
+
+
+def op(session, kind, key, value, t0, t1):
+    return Operation(session, kind, key, value, VersionVector(), t0, t1)
+
+
+class TestLinearizableHistories:
+    def test_empty(self):
+        assert check_linearizable_key([]) is True
+
+    def test_sequential_write_then_read(self):
+        ops = [
+            op("w", PUT, "k", "a", 0.0, 1.0),
+            op("r", GET, "k", "a", 2.0, 3.0),
+        ]
+        assert check_linearizable_key(ops) is True
+
+    def test_read_of_initial_value(self):
+        ops = [op("r", GET, "k", None, 0.0, 1.0)]
+        assert check_linearizable_key(ops, initial_value=None) is True
+
+    def test_concurrent_read_may_see_either_side_of_write(self):
+        # read overlaps the write: both old and new values linearize
+        for observed in ("old", "new"):
+            ops = [
+                op("w", PUT, "k", "new", 1.0, 3.0),
+                op("r", GET, "k", observed, 0.0, 4.0),
+            ]
+            assert check_linearizable_key(ops, initial_value="old") is True
+
+    def test_interleaved_writers(self):
+        ops = [
+            op("w1", PUT, "k", "a", 0.0, 1.0),
+            op("w2", PUT, "k", "b", 2.0, 3.0),
+            op("r", GET, "k", "b", 4.0, 5.0),
+        ]
+        assert check_linearizable_key(ops) is True
+
+
+class TestNonLinearizableHistories:
+    def test_stale_read_after_write_completed(self):
+        ops = [
+            op("w", PUT, "k", "new", 0.0, 1.0),
+            op("r", GET, "k", "old", 2.0, 3.0),
+        ]
+        assert check_linearizable_key(ops, initial_value="old") is False
+
+    def test_read_of_never_written_value(self):
+        ops = [
+            op("w", PUT, "k", "a", 0.0, 1.0),
+            op("r", GET, "k", "ghost", 2.0, 3.0),
+        ]
+        assert check_linearizable_key(ops) is False
+
+    def test_new_old_inversion_between_two_readers(self):
+        """r1 sees the new value and completes before r2 starts, yet r2
+        sees the old value — the classic linearizability violation."""
+        ops = [
+            op("w", PUT, "k", "new", 0.0, 10.0),
+            op("r1", GET, "k", "new", 1.0, 2.0),
+            op("r2", GET, "k", "old", 3.0, 4.0),
+        ]
+        assert check_linearizable_key(ops, initial_value="old") is False
+
+
+class TestInputValidation:
+    def test_duplicate_write_values_rejected(self):
+        ops = [
+            op("w1", PUT, "k", "same", 0.0, 1.0),
+            op("w2", PUT, "k", "same", 2.0, 3.0),
+        ]
+        with pytest.raises(CheckerError):
+            check_linearizable_key(ops)
+
+    def test_multi_key_history_rejected(self):
+        ops = [
+            op("w", PUT, "a", "x", 0.0, 1.0),
+            op("w", PUT, "b", "y", 2.0, 3.0),
+        ]
+        with pytest.raises(CheckerError):
+            check_linearizable_key(ops)
+
+
+class TestWholeHistoryWrapper:
+    def test_checks_keys_independently(self):
+        h = History()
+        h.add("w", PUT, "good", "a", VersionVector(), 0.0, 1.0)
+        h.add("r", GET, "good", "a", VersionVector(), 2.0, 3.0)
+        h.add("w", PUT, "bad", "new", VersionVector(), 4.0, 5.0)
+        h.add("r", GET, "bad", "stale", VersionVector(), 6.0, 7.0)
+        failures = check_linearizability(h, initial_values={"bad": "stale0"})
+        assert failures == ["bad"]
+
+    def test_all_clean(self):
+        h = History()
+        h.add("w", PUT, "k", "a", VersionVector(), 0.0, 1.0)
+        h.add("r", GET, "k", "a", VersionVector(), 2.0, 3.0)
+        assert check_linearizability(h) == []

@@ -1,0 +1,146 @@
+"""Unit tests for session-guarantee checkers on hand-built histories."""
+
+from repro.checker import (
+    GET,
+    PUT,
+    History,
+    check_monotonic_reads,
+    check_monotonic_writes,
+    check_read_your_writes,
+    check_session_guarantees,
+    check_writes_follow_reads,
+)
+from repro.storage import VersionVector
+
+
+def vv(**entries):
+    return VersionVector(entries)
+
+
+def history(*ops):
+    h = History()
+    for i, (session, op, key, version) in enumerate(ops):
+        h.add(session, op, key, f"value{i}", version, float(i), float(i) + 0.5)
+    return h
+
+
+class TestReadYourWrites:
+    def test_clean(self):
+        h = history(
+            ("s1", PUT, "k", vv(dc0=1)),
+            ("s1", GET, "k", vv(dc0=1)),
+        )
+        assert check_read_your_writes(h) == []
+
+    def test_reading_newer_is_fine(self):
+        h = history(
+            ("s1", PUT, "k", vv(dc0=1)),
+            ("s1", GET, "k", vv(dc0=2)),
+        )
+        assert check_read_your_writes(h) == []
+
+    def test_stale_read_after_own_write_flagged(self):
+        h = history(
+            ("s1", PUT, "k", vv(dc0=2)),
+            ("s1", GET, "k", vv(dc0=1)),
+        )
+        violations = check_read_your_writes(h)
+        assert len(violations) == 1
+        assert violations[0].guarantee == "read-your-writes"
+
+    def test_other_sessions_reads_not_constrained(self):
+        h = history(
+            ("s1", PUT, "k", vv(dc0=2)),
+            ("s2", GET, "k", vv()),
+        )
+        assert check_read_your_writes(h) == []
+
+    def test_concurrent_version_read_flagged(self):
+        h = history(
+            ("s1", PUT, "k", vv(dc0=1)),
+            ("s1", GET, "k", vv(dc1=1)),
+        )
+        assert len(check_read_your_writes(h)) == 1
+
+
+class TestMonotonicReads:
+    def test_clean_progression(self):
+        h = history(
+            ("s1", GET, "k", vv(dc0=1)),
+            ("s1", GET, "k", vv(dc0=2)),
+        )
+        assert check_monotonic_reads(h) == []
+
+    def test_same_version_twice_is_fine(self):
+        h = history(
+            ("s1", GET, "k", vv(dc0=1)),
+            ("s1", GET, "k", vv(dc0=1)),
+        )
+        assert check_monotonic_reads(h) == []
+
+    def test_regression_flagged(self):
+        h = history(
+            ("s1", GET, "k", vv(dc0=2)),
+            ("s1", GET, "k", vv(dc0=1)),
+        )
+        assert len(check_monotonic_reads(h)) == 1
+
+    def test_different_keys_independent(self):
+        h = history(
+            ("s1", GET, "a", vv(dc0=2)),
+            ("s1", GET, "b", vv(dc0=1)),
+        )
+        assert check_monotonic_reads(h) == []
+
+
+class TestMonotonicWrites:
+    def test_ordered_writes_clean(self):
+        h = history(
+            ("s1", PUT, "k", vv(dc0=1)),
+            ("s1", PUT, "k", vv(dc0=2)),
+        )
+        assert check_monotonic_writes(h) == []
+
+    def test_concurrent_own_writes_flagged(self):
+        h = history(
+            ("s1", PUT, "k", vv(dc0=1)),
+            ("s1", PUT, "k", vv(dc1=1)),
+        )
+        assert len(check_monotonic_writes(h)) == 1
+
+
+class TestWritesFollowReads:
+    def test_ordered_clean(self):
+        h = history(
+            ("s1", GET, "k", vv(dc0=1)),
+            ("s1", PUT, "k", vv(dc0=2)),
+        )
+        assert check_writes_follow_reads(h) == []
+
+    def test_write_not_after_read_flagged(self):
+        h = history(
+            ("s1", GET, "k", vv(dc0=5)),
+            ("s1", PUT, "k", vv(dc1=1)),
+        )
+        assert len(check_writes_follow_reads(h)) == 1
+
+
+class TestAllGuarantees:
+    def test_clean_history_all_empty(self):
+        h = history(
+            ("s1", PUT, "a", vv(dc0=1)),
+            ("s1", GET, "a", vv(dc0=1)),
+            ("s2", GET, "a", vv(dc0=1)),
+            ("s2", PUT, "a", vv(dc0=2)),
+        )
+        result = check_session_guarantees(h)
+        assert all(not v for v in result.values()), result
+
+    def test_reports_keyed_by_guarantee(self):
+        result = check_session_guarantees(History())
+        assert set(result) == {
+            "read-your-writes",
+            "monotonic-reads",
+            "monotonic-writes",
+            "writes-follow-reads",
+        }

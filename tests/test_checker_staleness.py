@@ -1,0 +1,102 @@
+"""Tests for the staleness analyzer."""
+
+from repro.checker import GET, PUT, History, analyze_staleness
+from repro.storage import VersionVector
+
+
+def vv(**entries):
+    return VersionVector(entries)
+
+
+def history(*ops):
+    h = History()
+    for session, op, key, version, t0, t1 in ops:
+        h.add(session, op, key, "v", version, t0, t1)
+    return h
+
+
+class TestAnalyzeStaleness:
+    def test_empty_history(self):
+        report = analyze_staleness(History())
+        assert report.reads == 0
+        assert report.fresh_fraction == 1.0
+
+    def test_fresh_read_counts_fresh(self):
+        h = history(
+            ("w", PUT, "k", vv(dc0=1), 0.0, 1.0),
+            ("r", GET, "k", vv(dc0=1), 2.0, 3.0),
+        )
+        report = analyze_staleness(h)
+        assert report.reads == 1
+        assert report.fresh_reads == 1
+        assert report.version_lag.max == 0.0
+
+    def test_stale_read_counts_missed_writes(self):
+        h = history(
+            ("w", PUT, "k", vv(dc0=1), 0.0, 1.0),
+            ("w", PUT, "k", vv(dc0=2), 1.0, 2.0),
+            ("r", GET, "k", vv(), 5.0, 6.0),  # saw neither
+        )
+        report = analyze_staleness(h)
+        assert report.fresh_reads == 0
+        assert report.version_lag.max == 2.0
+        # newest missed write completed at t=2, read invoked at t=5
+        assert report.time_lag.max == 3.0
+
+    def test_partially_stale_read(self):
+        h = history(
+            ("w", PUT, "k", vv(dc0=1), 0.0, 1.0),
+            ("w", PUT, "k", vv(dc0=2), 1.0, 2.0),
+            ("r", GET, "k", vv(dc0=1), 5.0, 6.0),  # missed only the second
+        )
+        report = analyze_staleness(h)
+        assert report.version_lag.max == 1.0
+
+    def test_concurrent_write_not_counted(self):
+        """A write still in flight at read invocation imposes no freshness
+        obligation."""
+        h = history(
+            ("w", PUT, "k", vv(dc0=1), 0.0, 10.0),
+            ("r", GET, "k", vv(), 5.0, 6.0),
+        )
+        report = analyze_staleness(h)
+        assert report.fresh_reads == 1
+
+    def test_newer_than_any_write_is_fresh(self):
+        """Reads may see versions from writes outside the history (preload)."""
+        h = history(
+            ("r", GET, "k", vv(preload=1), 0.0, 1.0),
+        )
+        assert analyze_staleness(h).fresh_fraction == 1.0
+
+    def test_summary_fields(self):
+        h = history(
+            ("w", PUT, "k", vv(dc0=1), 0.0, 1.0),
+            ("r", GET, "k", vv(dc0=1), 2.0, 3.0),
+        )
+        summary = analyze_staleness(h).summary()
+        assert set(summary) == {
+            "reads",
+            "fresh_fraction",
+            "version_lag_p50",
+            "version_lag_p99",
+            "time_lag_p50_ms",
+            "time_lag_p99_ms",
+        }
+
+
+class TestOnLiveProtocols:
+    def test_chainreaction_mostly_fresh_at_low_load(self):
+        from repro.baselines import build_store
+        from repro.workload import WorkloadRunner, workload
+
+        store = build_store(
+            "chainreaction", servers_per_site=4, chain_length=3, seed=23,
+            overrides={"service_time": 0.0},
+        )
+        spec = workload("A", record_count=20, value_size=16)
+        result = WorkloadRunner(store, spec, n_clients=4, duration=0.4, warmup=0.1).run()
+        report = analyze_staleness(result.history)
+        assert report.reads > 50
+        # prefix reads may trail the newest write briefly; the bulk is fresh
+        assert report.fresh_fraction > 0.8

@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--protocol", "mysql"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.protocol == "chainreaction"
+        assert args.workload == "B"
+        assert args.clients == 16
+
+
+class TestInfo:
+    def test_lists_protocols_and_workloads(self):
+        code, output = run_cli("info")
+        assert code == 0
+        assert "chainreaction" in output
+        assert "A (50% read)" in output
+
+
+class TestRun:
+    def test_basic_run_prints_summary(self):
+        code, output = run_cli(
+            "run", "--clients", "4", "--duration", "0.3", "--warmup", "0.1",
+            "--records", "20",
+        )
+        assert code == 0
+        assert "throughput (ops/s)" in output
+        assert "errors" in output
+
+    def test_run_with_audit_and_staleness(self):
+        code, output = run_cli(
+            "run", "--clients", "4", "--duration", "0.3", "--warmup", "0.1",
+            "--records", "20", "--check", "--staleness",
+        )
+        assert code == 0
+        assert "consistency audit" in output
+        assert "causal" in output
+        assert "staleness" in output
+
+    def test_run_other_protocol_and_sites(self):
+        code, output = run_cli(
+            "run", "--protocol", "eventual", "--sites", "dc0", "dc1",
+            "--clients", "4", "--duration", "0.3", "--warmup", "0.1",
+            "--records", "20",
+        )
+        assert code == 0
+        assert "throughput" in output
+
+
+class TestConsistency:
+    def test_anomaly_table(self):
+        code, output = run_cli(
+            "consistency", "--protocols", "chainreaction", "eventual",
+            "--pairs", "4", "--rounds", "5",
+        )
+        assert code == 0
+        assert "chainreaction" in output
+        assert "eventual" in output
+        assert "causal" in output
+
+
+class TestTraceAndDurable:
+    def test_trace_prints_timeline(self):
+        code, output = run_cli(
+            "run", "--clients", "2", "--duration", "0.2", "--warmup", "0.05",
+            "--records", "5", "--trace", "user00000001",
+        )
+        assert code == 0
+        assert "trace for key" in output
+        assert "apply-head" in output or "(no events)" in output
+
+    def test_durable_flag_accepted_for_chainreaction(self):
+        code, output = run_cli(
+            "run", "--clients", "2", "--duration", "0.2", "--warmup", "0.05",
+            "--records", "5", "--durable",
+        )
+        assert code == 0
+
+    def test_durable_rejected_for_baselines(self):
+        code, output = run_cli("run", "--protocol", "eventual", "--durable")
+        assert code == 2
+        assert "chainreaction" in output

@@ -1,0 +1,93 @@
+"""Unit tests for the failure injector."""
+
+import pytest
+
+from repro.cluster import CrashEvent, FailureInjector, PartitionEvent
+from repro.net import Actor, Address, FixedLatency, Network
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def setup(sim):
+    net = Network(sim, lan=FixedLatency(0.001))
+    actor = Actor(sim, net, Address("dc0", "a"))
+    peer = Actor(sim, net, Address("dc0", "b"))
+    return net, actor, peer
+
+
+class TestCrashSchedule:
+    def test_crash_at_time(self, sim, setup):
+        net, actor, _ = setup
+        injector = FailureInjector(sim, net)
+        injector.schedule_crash(actor, at=1.0)
+        sim.run(until=0.9)
+        assert not actor.crashed
+        sim.run(until=1.1)
+        assert actor.crashed
+        assert injector.injected_crashes == 1
+
+    def test_recovery_at_time(self, sim, setup):
+        net, actor, _ = setup
+        injector = FailureInjector(sim, net)
+        injector.schedule_crash(actor, at=1.0, recover_at=2.0)
+        sim.run(until=3.0)
+        assert not actor.crashed
+
+    def test_recover_before_crash_rejected(self, sim, setup):
+        net, actor, _ = setup
+        injector = FailureInjector(sim, net)
+        with pytest.raises(ValueError):
+            injector.schedule_crash(actor, at=2.0, recover_at=1.0)
+
+    def test_wipe_storage(self, sim, setup):
+        from repro.storage import VersionedStore, VersionVector
+
+        net, actor, _ = setup
+        actor.store = VersionedStore()
+        actor.store.apply("k", 1, VersionVector({"dc0": 1}))
+        injector = FailureInjector(sim, net)
+        injector.schedule_crash(actor, at=1.0, wipe_storage=True)
+        sim.run(until=1.5)
+        assert len(actor.store) == 0
+
+
+class TestPartitionSchedule:
+    def test_partition_and_heal(self, sim, setup):
+        net, actor, peer = setup
+        injector = FailureInjector(sim, net)
+        injector.schedule_partition("dc0", "dc1", at=1.0, heal_at=2.0)
+        sim.run(until=1.5)
+        assert net._is_blocked(Address("dc0", "x"), Address("dc1", "y"))
+        sim.run(until=2.5)
+        assert not net._is_blocked(Address("dc0", "x"), Address("dc1", "y"))
+
+    def test_heal_before_partition_rejected(self, sim, setup):
+        net, _, _ = setup
+        injector = FailureInjector(sim, net)
+        with pytest.raises(ValueError):
+            injector.schedule_partition("a", "b", at=2.0, heal_at=1.0)
+
+
+class TestDeclarativeSchedule:
+    def test_apply_mixed_events(self, sim, setup):
+        net, actor, _ = setup
+        injector = FailureInjector(sim, net)
+        injector.apply(
+            [
+                CrashEvent(actor, at=1.0, recover_at=2.0),
+                PartitionEvent("dc0", "dc1", at=1.5, heal_at=2.5),
+            ]
+        )
+        sim.run(until=3.0)
+        assert injector.injected_crashes == 1
+        assert injector.injected_partitions == 1
+        assert len(injector.log) == 4
+
+    def test_log_is_chronological(self, sim, setup):
+        net, actor, _ = setup
+        injector = FailureInjector(sim, net)
+        injector.schedule_crash(actor, at=2.0)
+        injector.schedule_partition("a", "b", at=1.0)
+        sim.run(until=3.0)
+        assert "partition" in injector.log[0]
+        assert "crash" in injector.log[1]

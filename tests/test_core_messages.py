@@ -1,0 +1,84 @@
+"""Unit tests for ChainReaction wire messages and dependency accounting."""
+
+from repro.core.messages import (
+    ChainPut,
+    ChainStable,
+    DepEntry,
+    GlobalAck,
+    PutReply,
+    PutRequest,
+    RemoteUpdate,
+    deps_size_bytes,
+)
+from repro.net.message import WIRE_HEADER_BYTES
+from repro.storage import VersionVector
+
+
+def vv(**entries):
+    return VersionVector(entries)
+
+
+class TestDepEntry:
+    def test_size_counts_version_and_index(self):
+        entry = DepEntry(vv(dc0=1), 2)
+        assert entry.size_bytes() == vv(dc0=1).size_bytes() + 4
+
+    def test_entries_are_immutable_values(self):
+        assert DepEntry(vv(dc0=1), 2) == DepEntry(vv(dc0=1), 2)
+        assert DepEntry(vv(dc0=1), 2) != DepEntry(vv(dc0=1), 1)
+
+
+class TestDepsSize:
+    def test_empty_deps_cost_only_prefix(self):
+        assert deps_size_bytes({}) == 4
+
+    def test_grows_per_entry(self):
+        one = deps_size_bytes({"k": DepEntry(vv(dc0=1), 0)})
+        two = deps_size_bytes(
+            {"k": DepEntry(vv(dc0=1), 0), "m": DepEntry(vv(dc0=2), 1)}
+        )
+        assert two > one > 4
+
+    def test_multi_dc_versions_cost_more(self):
+        narrow = deps_size_bytes({"k": DepEntry(vv(dc0=1), 0)})
+        wide = deps_size_bytes({"k": DepEntry(vv(dc0=1, dc1=1, dc2=1), 0)})
+        assert wide > narrow
+
+
+class TestMessageSizes:
+    def test_every_message_includes_header(self):
+        for msg in (
+            PutRequest(key="k", value="v"),
+            PutReply(key="k", version=vv(dc0=1)),
+            ChainPut(key="k", value="v", version=vv(dc0=1)),
+            ChainStable(key="k", version=vv(dc0=1)),
+            RemoteUpdate(key="k", value="v", version=vv(dc0=1)),
+            GlobalAck(key="k", version=vv(dc0=1), site="dc0"),
+        ):
+            assert msg.size_bytes() > WIRE_HEADER_BYTES, type(msg).__name__
+
+    def test_put_request_grows_with_deps(self):
+        bare = PutRequest(key="k", value="v")
+        laden = PutRequest(
+            key="k",
+            value="v",
+            deps={f"dep{i}": DepEntry(vv(dc0=i + 1), 0) for i in range(5)},
+        )
+        assert laden.size_bytes() > bare.size_bytes() + 50
+
+    def test_chain_put_grows_with_value(self):
+        small = ChainPut(key="k", value="x", version=vv(dc0=1))
+        big = ChainPut(key="k", value="x" * 1000, version=vv(dc0=1))
+        assert big.size_bytes() - small.size_bytes() == 999
+
+    def test_type_names_unique(self):
+        types = [
+            PutRequest,
+            PutReply,
+            ChainPut,
+            ChainStable,
+            RemoteUpdate,
+            GlobalAck,
+        ]
+        names = [t.type_name for t in types]
+        assert len(set(names)) == len(names)

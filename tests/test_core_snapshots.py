@@ -1,0 +1,174 @@
+"""Tests for causally consistent snapshot reads (multi_get)."""
+
+import pytest
+
+from helpers import make_geo_store, make_store, run_op
+
+from repro.api import SnapshotResult
+from repro.errors import RequestTimeout
+from repro.sim import spawn
+from repro.storage import VersionVector
+
+
+class TestBasics:
+    def test_snapshot_of_unwritten_keys(self):
+        store = make_store()
+        s = store.session()
+        snap = run_op(store, s.multi_get(["a", "b"]))
+        assert snap.values == {"a": None, "b": None}
+        assert snap.versions["a"].is_zero()
+        assert snap.rounds == 1
+
+    def test_snapshot_returns_stable_values(self):
+        store = make_store()
+        s = store.session()
+        run_op(store, s.put("a", 1))
+        run_op(store, s.put("b", 2))
+        store.run(until=store.sim.now + 0.5)  # stabilise
+        snap = run_op(store, s.multi_get(["a", "b"]))
+        assert snap["a"] == 1 and snap["b"] == 2
+        assert snap.versions["a"] == VersionVector({"dc0": 1})
+
+    def test_snapshot_excludes_unstable_writes(self):
+        """A write acked at k=1 but not yet at the tail is invisible to
+        snapshots — they serve the stable frontier."""
+        store = make_store(ack_k=1)
+        s = store.session()
+        run_op(store, s.put("a", "old"))
+        store.run(until=store.sim.now + 0.5)
+        fut = s.put("a", "new")
+        run_op(store, fut)  # acked at head only
+        snap = run_op(store, s.multi_get(["a"]))
+        assert snap["a"] == "old"
+
+    def test_snapshot_sees_deleted_keys_as_absent(self):
+        store = make_store()
+        s = store.session()
+        run_op(store, s.put("a", 1))
+        run_op(store, s.delete("a"))
+        store.run(until=store.sim.now + 0.5)
+        snap = run_op(store, s.multi_get(["a"]))
+        assert snap["a"] is None
+
+    def test_duplicate_keys_tolerated(self):
+        store = make_store()
+        s = store.session()
+        run_op(store, s.put("a", 1))
+        store.run(until=store.sim.now + 0.5)
+        snap = run_op(store, s.multi_get(["a", "a"]))
+        assert snap["a"] == 1
+
+    def test_result_indexable(self):
+        result = SnapshotResult(values={"k": 5}, versions={"k": VersionVector()})
+        assert result["k"] == 5
+
+
+class TestCausalConsistency:
+    def test_never_effect_without_cause_single_dc(self):
+        """Writer updates a then b; a snapshot reading [b, a] must never
+        pair a new b with an older a."""
+        store = make_store(ack_k=1)
+        sim = store.sim
+        w = store.session(session_id="w")
+        r = store.session(session_id="r")
+        anomalies = [0]
+        taken = [0]
+
+        def writer():
+            for i in range(50):
+                yield w.put("a", i)
+                yield w.put("b", i)
+                yield 0.001
+
+        def reader():
+            while sim.now < 0.25:
+                snap = yield r.multi_get(["b", "a"])
+                if snap["b"] is not None:
+                    a_val = -1 if snap["a"] is None else snap["a"]
+                    if a_val < snap["b"]:
+                        anomalies[0] += 1
+                taken[0] += 1
+                yield 0.0004
+
+        spawn(sim, writer())
+        spawn(sim, reader())
+        store.run(until=1.0)
+        assert taken[0] > 50
+        assert anomalies[0] == 0
+
+    def test_never_effect_without_cause_geo(self):
+        store = make_geo_store(ack_k=2)
+        sim = store.sim
+        w = store.session("dc0", session_id="w")
+        r = store.session("dc1", session_id="r")
+        anomalies = [0]
+        taken = [0]
+
+        def writer():
+            for i in range(30):
+                yield w.put("a", i)
+                yield w.put("b", i)
+                yield 0.004
+
+        def reader():
+            while sim.now < 0.5:
+                snap = yield r.multi_get(["b", "a"])
+                if snap["b"] is not None:
+                    a_val = -1 if snap["a"] is None else snap["a"]
+                    if a_val < snap["b"]:
+                        anomalies[0] += 1
+                taken[0] += 1
+                yield 0.002
+
+        spawn(sim, writer())
+        spawn(sim, reader())
+        store.run(until=2.0)
+        assert taken[0] > 30
+        assert anomalies[0] == 0
+
+    def test_snapshot_versions_respect_dep_floors(self):
+        """Directly verify the floor validation: b's stable record carries
+        its dependency on a, and the snapshot's a dominates it."""
+        store = make_store(ack_k=1)
+        s = store.session()
+        run_op(store, s.put("a", "v"))
+        run_op(store, s.put("b", "w"))  # b deps on a (unstable at put time)
+        store.run(until=store.sim.now + 0.5)
+        snap = run_op(store, s.multi_get(["a", "b"]))
+        assert snap.versions["a"].dominates(VersionVector({"dc0": 1}))
+
+
+class TestFailureModes:
+    def test_snapshot_fails_when_cluster_dark(self):
+        store = make_store(max_retries=2, op_timeout=0.05, client_retry_backoff=0.01)
+        s = store.session()
+        for node in store.servers():
+            node.crash()
+        store.managers["dc0"].crash()
+        fut = s.multi_get(["a"])
+        store.run(until=5.0)
+        assert fut.failed()
+        with pytest.raises(RequestTimeout):
+            fut.result()
+
+    def test_snapshot_survives_single_server_crash(self):
+        store = make_store(servers_per_site=5)
+        s = store.session()
+        run_op(store, s.put("a", 1))
+        run_op(store, s.put("b", 2))
+        store.run(until=store.sim.now + 0.5)
+        store.servers()[0].crash()
+        store.run(until=store.sim.now + 2.0)
+        snap = run_op(store, s.multi_get(["a", "b"]), extra=3.0)
+        assert snap["a"] == 1 and snap["b"] == 2
+
+
+class TestOtherProtocols:
+    def test_baselines_do_not_support_snapshots(self):
+        from helpers import build
+
+        for protocol in ("eventual", "quorum", "cops"):
+            store = build(protocol)
+            session = store.session()
+            with pytest.raises(NotImplementedError):
+                session.multi_get(["a"])

@@ -1,0 +1,91 @@
+"""Unit tests for the DC-stability tracker."""
+
+from repro.core.stability import StabilityTracker
+from repro.sim import Simulator
+from repro.storage import VersionVector
+
+
+def vv(**entries):
+    return VersionVector(entries)
+
+
+class TestStabilityTracker:
+    def test_initially_only_zero_is_stable(self):
+        tracker = StabilityTracker()
+        assert tracker.is_stable("k", vv())
+        assert not tracker.is_stable("k", vv(dc0=1))
+
+    def test_record_makes_version_stable(self):
+        tracker = StabilityTracker()
+        tracker.record("k", vv(dc0=2))
+        assert tracker.is_stable("k", vv(dc0=1))
+        assert tracker.is_stable("k", vv(dc0=2))
+        assert not tracker.is_stable("k", vv(dc0=3))
+
+    def test_stability_is_per_key(self):
+        tracker = StabilityTracker()
+        tracker.record("a", vv(dc0=5))
+        assert not tracker.is_stable("b", vv(dc0=1))
+
+    def test_stable_version_merges_monotonically(self):
+        tracker = StabilityTracker()
+        tracker.record("k", vv(dc0=2))
+        tracker.record("k", vv(dc1=3))
+        assert tracker.stable_version("k") == vv(dc0=2, dc1=3)
+        tracker.record("k", vv(dc0=1))  # older: no regression
+        assert tracker.stable_version("k") == vv(dc0=2, dc1=3)
+
+    def test_wait_resolves_immediately_when_stable(self):
+        sim = Simulator()
+        tracker = StabilityTracker()
+        tracker.record("k", vv(dc0=1))
+        fut = tracker.wait(sim, "k", vv(dc0=1))
+        assert fut.done() and fut.result() is True
+
+    def test_wait_parks_until_recorded(self):
+        sim = Simulator()
+        tracker = StabilityTracker()
+        fut = tracker.wait(sim, "k", vv(dc0=2))
+        assert not fut.done()
+        tracker.record("k", vv(dc0=1))
+        assert not fut.done()
+        tracker.record("k", vv(dc0=2))
+        assert fut.done()
+
+    def test_waiters_resolved_by_covering_merge(self):
+        sim = Simulator()
+        tracker = StabilityTracker()
+        fut = tracker.wait(sim, "k", vv(dc0=1, dc1=1))
+        tracker.record("k", vv(dc0=1))
+        tracker.record("k", vv(dc1=1))
+        assert fut.done()
+
+    def test_pending_waiters_counted_and_drained(self):
+        sim = Simulator()
+        tracker = StabilityTracker()
+        tracker.wait(sim, "a", vv(dc0=1))
+        tracker.wait(sim, "b", vv(dc0=1))
+        assert tracker.pending_waiters() == 2
+        tracker.record("a", vv(dc0=1))
+        assert tracker.pending_waiters() == 1
+
+    def test_multiple_waiters_same_key_selective_wakeup(self):
+        sim = Simulator()
+        tracker = StabilityTracker()
+        near = tracker.wait(sim, "k", vv(dc0=1))
+        far = tracker.wait(sim, "k", vv(dc0=5))
+        tracker.record("k", vv(dc0=2))
+        assert near.done() and not far.done()
+
+    def test_snapshot_copies_state(self):
+        tracker = StabilityTracker()
+        tracker.record("k", vv(dc0=1))
+        snap = tracker.snapshot()
+        snap["k"] = vv(dc0=99)
+        assert tracker.stable_version("k") == vv(dc0=1)
+
+    def test_notification_counter(self):
+        tracker = StabilityTracker()
+        tracker.record("k", vv(dc0=1))
+        tracker.record("k", vv(dc0=2))
+        assert tracker.notifications == 2

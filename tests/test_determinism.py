@@ -1,0 +1,60 @@
+"""Determinism: identical seeds produce identical executions.
+
+The whole point of the discrete-event substrate is exact
+reproducibility — a failing seed replays the same execution, message
+for message. These tests run complete workloads twice and require
+bit-identical outcomes, and check that different seeds actually differ.
+"""
+
+from repro.baselines import build_store
+from repro.workload import WorkloadRunner, workload
+
+
+def run_once(seed, protocol="chainreaction"):
+    store = build_store(
+        protocol,
+        sites=("dc0", "dc1"),
+        servers_per_site=4,
+        chain_length=3,
+        seed=seed,
+        overrides={"service_time": 0.0} if protocol in ("chainreaction", "chain") else None,
+    )
+    spec = workload("A", record_count=20, value_size=16)
+    result = WorkloadRunner(store, spec, n_clients=4, duration=0.4, warmup=0.1).run()
+    fingerprint = [
+        (op.session, op.op, op.key, op.version, round(op.t_invoke, 9), round(op.t_return, 9))
+        for op in result.history
+    ]
+    return result, tuple(fingerprint), store
+
+
+class TestDeterminism:
+    def test_identical_seed_identical_history(self):
+        r1, f1, _ = run_once(seed=42)
+        r2, f2, _ = run_once(seed=42)
+        assert r1.ops_completed == r2.ops_completed
+        assert r1.throughput == r2.throughput
+        assert f1 == f2
+
+    def test_identical_seed_identical_network_stats(self):
+        _, _, s1 = run_once(seed=42)
+        _, _, s2 = run_once(seed=42)
+        assert s1.network.stats.messages_sent == s2.network.stats.messages_sent
+        assert s1.network.stats.bytes_sent == s2.network.stats.bytes_sent
+
+    def test_different_seed_different_execution(self):
+        _, f1, _ = run_once(seed=1)
+        _, f2, _ = run_once(seed=2)
+        assert f1 != f2
+
+    def test_latency_percentiles_reproducible(self):
+        r1, _, _ = run_once(seed=7)
+        r2, _, _ = run_once(seed=7)
+        assert r1.get_latency.percentile(99) == r2.get_latency.percentile(99)
+        assert r1.put_latency.percentile(50) == r2.put_latency.percentile(50)
+
+    def test_baseline_protocols_deterministic_too(self):
+        for protocol in ("eventual", "quorum", "cops"):
+            _, f1, _ = run_once(seed=11, protocol=protocol)
+            _, f2, _ = run_once(seed=11, protocol=protocol)
+            assert f1 == f2, protocol

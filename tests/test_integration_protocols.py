@@ -1,0 +1,110 @@
+"""Cross-protocol integration tests: every system under the same harness."""
+
+import pytest
+
+from repro.baselines import PROTOCOLS, build_store
+from repro.checker import (
+    await_convergence,
+    check_causal,
+    check_session_guarantees,
+)
+from repro.workload import WorkloadRunner, workload
+
+CAUSAL_PLUS = ("chainreaction", "chain", "cops")
+
+
+def small_store(protocol, sites=("dc0",)):
+    return build_store(
+        protocol,
+        sites=sites,
+        servers_per_site=4,
+        chain_length=3,
+        seed=17,
+        overrides={"service_time": 0.0},
+    )
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+class TestEveryProtocol:
+    def test_basic_put_get_roundtrip(self, protocol):
+        store = small_store(protocol)
+        s = store.session()
+        fut = s.put("key", "value")
+        store.sim.run(until=1.0)
+        assert fut.result().version.total() >= 1
+        g = s.get("key")
+        store.sim.run(until=2.0)
+        assert g.result().value == "value"
+
+    def test_overwrite_visible(self, protocol):
+        store = small_store(protocol)
+        s = store.session()
+        for value in ("v1", "v2", "v3"):
+            fut = s.put("key", value)
+            store.sim.run(until=store.sim.now + 1.0)
+            assert fut.done()
+        g = s.get("key")
+        store.sim.run(until=store.sim.now + 1.0)
+        assert g.result().value == "v3"
+
+    def test_delete_hides_key(self, protocol):
+        store = small_store(protocol)
+        s = store.session()
+        for op in (s.put("key", "v"), s.delete("key")):
+            store.sim.run(until=store.sim.now + 1.0)
+        g = s.get("key")
+        store.sim.run(until=store.sim.now + 1.0)
+        assert g.result().value is None
+
+    def test_mixed_workload_converges(self, protocol):
+        store = small_store(protocol, sites=("dc0", "dc1"))
+        spec = workload("A", record_count=20, value_size=16)
+        runner = WorkloadRunner(store, spec, n_clients=6, duration=0.5, warmup=0.1)
+        result = runner.run()
+        assert result.ops_completed > 50
+        assert result.errors == 0
+        keys = [spec.key(i) for i in range(20)]
+        report = await_convergence(store, keys, max_extra_time=10.0)
+        assert report.converged, f"{protocol}: {report}"
+
+    def test_sessions_isolated(self, protocol):
+        store = small_store(protocol)
+        s1, s2 = store.session(), store.session()
+        assert s1.session_id != s2.session_id
+
+
+@pytest.mark.parametrize("protocol", CAUSAL_PLUS)
+class TestCausalPlusProtocols:
+    def test_no_causal_violations_under_load(self, protocol):
+        store = small_store(protocol, sites=("dc0", "dc1"))
+        spec = workload("A", record_count=15, value_size=16)
+        runner = WorkloadRunner(store, spec, n_clients=6, duration=0.5, warmup=0.1)
+        result = runner.run()
+        assert check_causal(result.history) == []
+
+    def test_all_session_guarantees_hold(self, protocol):
+        store = small_store(protocol, sites=("dc0", "dc1"))
+        spec = workload("A", record_count=15, value_size=16)
+        runner = WorkloadRunner(store, spec, n_clients=6, duration=0.5, warmup=0.1)
+        result = runner.run()
+        for guarantee, violations in check_session_guarantees(result.history).items():
+            assert violations == [], (protocol, guarantee, violations[:3])
+
+
+class TestRegistry:
+    def test_unknown_protocol_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            build_store("mystery")
+
+    def test_all_protocols_buildable(self):
+        for protocol in PROTOCOLS:
+            store = build_store(protocol, servers_per_site=3, chain_length=2)
+            assert store.name == protocol or (
+                protocol == "chainreaction" and store.name == "chainreaction"
+            )
+
+    def test_overrides_passed_through(self):
+        store = build_store("chainreaction", overrides={"ack_k": 1})
+        assert store.config.ack_k == 1

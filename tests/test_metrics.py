@@ -1,0 +1,143 @@
+"""Unit tests for metrics: reservoirs, timelines, rendering."""
+
+import pytest
+
+from repro.metrics import (
+    LatencyReservoir,
+    ThroughputTimeline,
+    format_number,
+    render_series,
+    render_table,
+)
+
+
+class TestLatencyReservoir:
+    def test_exact_statistics_below_capacity(self):
+        res = LatencyReservoir()
+        for v in [0.001, 0.002, 0.003, 0.004, 0.005]:
+            res.add(v)
+        assert res.count == 5
+        assert res.mean() == pytest.approx(0.003)
+        assert res.percentile(0) == 0.001
+        assert res.percentile(100) == 0.005
+        assert res.median() == 0.003
+        assert res.min == 0.001 and res.max == 0.005
+
+    def test_percentile_interpolates(self):
+        res = LatencyReservoir()
+        res.extend([0.0, 1.0])
+        assert res.percentile(50) == pytest.approx(0.5)
+
+    def test_empty_reservoir(self):
+        res = LatencyReservoir()
+        assert res.percentile(99) == 0.0
+        assert res.mean() == 0.0
+        assert res.cdf() == []
+
+    def test_capacity_bounds_memory(self):
+        res = LatencyReservoir(capacity=100, seed=1)
+        for i in range(10000):
+            res.add(float(i))
+        assert res.count == 10000
+        assert len(res._samples) == 100
+
+    def test_sampling_stays_representative(self):
+        res = LatencyReservoir(capacity=500, seed=1)
+        for i in range(20000):
+            res.add(i / 20000)
+        # uniform input → median near 0.5 even after sampling
+        assert 0.4 < res.percentile(50) < 0.6
+
+    def test_cdf_is_monotone(self):
+        res = LatencyReservoir()
+        res.extend([0.003, 0.001, 0.002, 0.010, 0.004])
+        cdf = res.cdf(points=10)
+        values = [v for v, _ in cdf]
+        fracs = [f for _, f in cdf]
+        assert values == sorted(values)
+        assert fracs == sorted(fracs)
+        assert fracs[-1] == 1.0
+
+    def test_summary_in_milliseconds(self):
+        res = LatencyReservoir()
+        res.add(0.002)
+        s = res.summary()
+        assert s["p50_ms"] == pytest.approx(2.0)
+        assert s["count"] == 1
+
+    def test_invalid_percentile_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyReservoir().percentile(101)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyReservoir(capacity=0)
+
+
+class TestThroughputTimeline:
+    def test_bucketing(self):
+        tl = ThroughputTimeline(bucket_width=1.0)
+        for t in [0.1, 0.5, 1.2, 2.9]:
+            tl.record(t)
+        series = dict(tl.series())
+        assert series[0.0] == 2.0
+        assert series[1.0] == 1.0
+        assert series[2.0] == 1.0
+
+    def test_gaps_filled_with_zero(self):
+        tl = ThroughputTimeline(bucket_width=1.0)
+        tl.record(0.5)
+        tl.record(3.5)
+        series = dict(tl.series())
+        assert series[1.0] == 0.0 and series[2.0] == 0.0
+
+    def test_rate_is_per_second(self):
+        tl = ThroughputTimeline(bucket_width=0.5)
+        tl.record(0.1)
+        tl.record(0.2)
+        assert tl.series()[0][1] == 4.0  # 2 events / 0.5s
+
+    def test_rate_between(self):
+        tl = ThroughputTimeline(bucket_width=1.0)
+        for t in [0.5, 1.5, 2.5, 3.5]:
+            tl.record(t)
+        assert tl.rate_between(1.0, 3.0) == pytest.approx(1.0)
+
+    def test_rate_between_validates(self):
+        with pytest.raises(ValueError):
+            ThroughputTimeline().rate_between(2.0, 1.0)
+
+    def test_min_rate_finds_dip(self):
+        tl = ThroughputTimeline(bucket_width=1.0)
+        for t in [0.5, 0.6, 2.5, 2.6]:
+            tl.record(t)
+        assert tl.min_rate() == 0.0
+
+    def test_total(self):
+        tl = ThroughputTimeline()
+        tl.record(1.0, n=3)
+        assert tl.total() == 3
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            ThroughputTimeline(bucket_width=0)
+
+
+class TestRendering:
+    def test_format_number(self):
+        assert format_number(1234.5) == "1,234"
+        assert format_number(3.14159) == "3.14"
+        assert format_number(0.0) == "0"
+        assert format_number("text") == "text"
+        assert format_number(7) == "7"
+
+    def test_render_table_aligns_columns(self):
+        out = render_table(["name", "n"], [("a", 1), ("long-name", 22)], title="T")
+        lines = out.split("\n")
+        assert lines[0] == "T"
+        assert len({len(line) for line in lines[1:]}) == 1  # equal widths
+
+    def test_render_series(self):
+        out = render_series([(0.0, 1.0), (1.0, 2.0)], "t", "rate")
+        assert "t" in out and "rate" in out
+        assert "2.00" in out

@@ -1,0 +1,115 @@
+"""Model-based (stateful) testing of the replicated store.
+
+Hypothesis drives a random interleaving of realistically-versioned
+writes against several replicas that each receive the writes in a
+different order (some delayed, some dropped-then-retried), checking the
+store's core contract continuously:
+
+- a replica's version per key never regresses,
+- any two replicas that have received the same set of writes hold
+  identical records (convergence),
+- the surviving value is always the max-stamp write among those applied.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+from hypothesis import strategies as st
+
+from repro.storage import VersionedStore, VersionVector, stamp_of
+
+KEYS = ["k1", "k2"]
+DCS = ["dc0", "dc1"]
+N_REPLICAS = 3
+
+
+class StoreModel(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.replicas = [VersionedStore() for _ in range(N_REPLICAS)]
+        #: per (key, dc): the serialisation point's current vector
+        self.heads = {}
+        #: every write ever issued: (key, value, version, stamp)
+        self.issued = []
+        #: per replica: indices of writes applied so far
+        self.applied = [set() for _ in range(N_REPLICAS)]
+        self.counter = 0
+
+    # ------------------------------------------------------------------
+    # actions
+    # ------------------------------------------------------------------
+    @rule(key=st.sampled_from(KEYS), dc=st.sampled_from(DCS))
+    def issue_write(self, key, dc):
+        """A new write at (key, dc)'s serialisation point (monotone)."""
+        previous = self.heads.get((key, dc), VersionVector())
+        # The head may have merged the other DC's writes meanwhile:
+        other = "dc1" if dc == "dc0" else "dc0"
+        other_head = self.heads.get((key, other), VersionVector())
+        base = previous.merge(other_head) if self.counter % 3 == 0 else previous
+        version = base.increment(dc)
+        self.heads[(key, dc)] = version
+        self.counter += 1
+        self.issued.append((key, f"v{self.counter}", version, stamp_of(version)))
+
+    @precondition(lambda self: self.issued)
+    @rule(replica=st.integers(0, N_REPLICAS - 1), data=st.data())
+    def deliver_write(self, replica, data):
+        """Deliver any not-yet-applied write to one replica (any order)."""
+        pending = [i for i in range(len(self.issued)) if i not in self.applied[replica]]
+        if not pending:
+            return
+        index = data.draw(st.sampled_from(pending))
+        key, value, version, stamp = self.issued[index]
+        self.replicas[replica].apply(key, value, version, 0.0, stamp)
+        self.applied[replica].add(index)
+
+    @precondition(lambda self: self.issued)
+    @rule(replica=st.integers(0, N_REPLICAS - 1), data=st.data())
+    def redeliver_duplicate(self, replica, data):
+        """Duplicates must be harmless."""
+        done = sorted(self.applied[replica])
+        if not done:
+            return
+        index = data.draw(st.sampled_from(done))
+        key, value, version, stamp = self.issued[index]
+        before = self.replicas[replica].checksum_state()
+        self.replicas[replica].apply(key, value, version, 0.0, stamp)
+        assert self.replicas[replica].checksum_state() == before
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    @invariant()
+    def versions_never_regress(self):
+        for replica, applied in zip(self.replicas, self.applied):
+            for key in KEYS:
+                current = replica.version_of(key)
+                for index in applied:
+                    k, _v, version, _s = self.issued[index]
+                    if k == key:
+                        assert current.dominates(version), (key, current, version)
+
+    @invariant()
+    def equal_write_sets_imply_equal_state(self):
+        for i in range(N_REPLICAS):
+            for j in range(i + 1, N_REPLICAS):
+                if self.applied[i] == self.applied[j]:
+                    assert (
+                        self.replicas[i].checksum_state()
+                        == self.replicas[j].checksum_state()
+                    )
+
+    @invariant()
+    def value_is_max_stamp_of_applied(self):
+        for replica, applied in zip(self.replicas, self.applied):
+            for key in KEYS:
+                writes = [self.issued[i] for i in applied if self.issued[i][0] == key]
+                if not writes:
+                    continue
+                expected_value = max(writes, key=lambda w: w[3])[1]
+                record = replica.get_record(key)
+                assert record is not None
+                assert record.value == expected_value, (key, record.value, expected_value)
+
+
+StoreModelTest = StoreModel.TestCase
+StoreModelTest.settings = settings(max_examples=60, stateful_step_count=30, deadline=None)

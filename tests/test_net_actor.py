@@ -1,0 +1,213 @@
+"""Unit tests for actors: dispatch, timers, crash/recover, RPC, service time."""
+
+import dataclasses
+from typing import Any, ClassVar
+
+import pytest
+
+from repro.errors import RemoteError, RequestTimeout, StorageError
+from repro.net import Actor, Address, FixedLatency, Message, Network
+from repro.sim import Future, Simulator
+
+
+@dataclasses.dataclass
+class Tick(Message):
+    type_name: ClassVar[str] = "tick"
+    n: int = 0
+
+
+@dataclasses.dataclass
+class Mystery(Message):
+    type_name: ClassVar[str] = "mystery"
+
+
+class Echo(Actor):
+    SERVICED_TYPES = frozenset({"tick"})
+
+    def __init__(self, sim, network, address):
+        super().__init__(sim, network, address)
+        self.ticks = []
+        self.unknown = []
+
+    def on_tick(self, msg, src):
+        self.ticks.append((msg.n, self.sim.now))
+
+    def on_unhandled(self, msg, src):
+        self.unknown.append(msg)
+
+    def rpc_double(self, payload, src):
+        return payload * 2
+
+    def rpc_later(self, payload, src):
+        fut = Future(self.sim)
+        self.set_timer(0.5, fut.set_result, payload + 1)
+        return fut
+
+    def rpc_explode(self, payload, src):
+        raise StorageError("server side boom")
+
+
+@pytest.fixture
+def pair(sim):
+    net = Network(sim, lan=FixedLatency(0.001))
+    a = Echo(sim, net, Address("dc0", "a"))
+    b = Echo(sim, net, Address("dc0", "b"))
+    return a, b
+
+
+class TestDispatch:
+    def test_handler_called_by_type_name(self, sim, pair):
+        a, b = pair
+        a.send(b.address, Tick(n=5))
+        sim.run()
+        assert b.ticks[0][0] == 5
+
+    def test_unhandled_hook(self, sim, pair):
+        a, b = pair
+        a.send(b.address, Mystery())
+        sim.run()
+        assert len(b.unknown) == 1
+
+
+class TestTimers:
+    def test_timer_fires_after_delay(self, sim, pair):
+        a, _ = pair
+        fired = []
+        a.set_timer(1.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [1.0]
+
+    def test_cancelled_timer_does_not_fire(self, sim, pair):
+        a, _ = pair
+        fired = []
+        handle = a.set_timer(1.0, lambda: fired.append(1))
+        a.cancel_timer(handle)
+        sim.run()
+        assert fired == []
+
+    def test_crash_cancels_timers(self, sim, pair):
+        a, _ = pair
+        fired = []
+        a.set_timer(1.0, lambda: fired.append(1))
+        a.crash()
+        sim.run()
+        assert fired == []
+
+
+class TestCrashRecover:
+    def test_crashed_actor_ignores_messages(self, sim, pair):
+        a, b = pair
+        b.crash()
+        a.send(b.address, Tick(n=1))
+        sim.run()
+        assert b.ticks == []
+
+    def test_crashed_actor_sends_nothing(self, sim, pair):
+        a, b = pair
+        a.crash()
+        a.send(b.address, Tick(n=1))
+        sim.run()
+        assert b.ticks == []
+
+    def test_recover_restores_messaging(self, sim, pair):
+        a, b = pair
+        b.crash()
+        b.recover()
+        a.send(b.address, Tick(n=2))
+        sim.run()
+        assert b.ticks[0][0] == 2
+
+    def test_crash_fails_in_flight_rpcs(self, sim, pair):
+        a, b = pair
+        fut = a.call(b.address, "later", 1, timeout=5.0)
+        sim.schedule(0.1, a.crash)
+        sim.run()
+        assert fut.failed()
+
+    def test_crash_and_recover_idempotent(self, sim, pair):
+        a, _ = pair
+        a.crash()
+        a.crash()
+        a.recover()
+        a.recover()
+        assert not a.crashed
+
+
+class TestRpc:
+    def test_roundtrip(self, sim, pair):
+        a, b = pair
+        fut = a.call(b.address, "double", 21)
+        sim.run()
+        assert fut.result() == 42
+
+    def test_future_returning_handler(self, sim, pair):
+        a, b = pair
+        fut = a.call(b.address, "later", 10)
+        sim.run()
+        assert fut.result() == 11
+
+    def test_unknown_method_is_remote_error(self, sim, pair):
+        a, b = pair
+        fut = a.call(b.address, "nope", None)
+        sim.run()
+        with pytest.raises(RemoteError, match="nope"):
+            fut.result()
+
+    def test_handler_exception_propagates_as_remote_error(self, sim, pair):
+        a, b = pair
+        fut = a.call(b.address, "explode", None)
+        sim.run()
+        with pytest.raises(RemoteError, match="boom"):
+            fut.result()
+
+    def test_timeout_when_peer_down(self, sim, pair):
+        a, b = pair
+        b.crash()
+        fut = a.call(b.address, "double", 1, timeout=0.5)
+        sim.run()
+        with pytest.raises(RequestTimeout):
+            fut.result()
+        assert sim.now >= 0.5
+
+    def test_late_response_after_timeout_is_dropped(self, sim, pair):
+        a, b = pair
+        # RPC times out before the handler's deferred future resolves.
+        fut = a.call(b.address, "later", 1, timeout=0.1)
+        sim.run()
+        assert fut.failed()  # and no crash from the late RpcResponse
+
+    def test_call_from_crashed_actor_fails_immediately(self, sim, pair):
+        a, b = pair
+        a.crash()
+        fut = a.call(b.address, "double", 1)
+        assert fut.failed()
+
+
+class TestServiceTime:
+    def test_serviced_messages_queue(self, sim, pair):
+        a, b = pair
+        b.service_time = 0.010
+        for i in range(3):
+            a.send(b.address, Tick(n=i))
+        sim.run()
+        # arrival at 1ms, then 10ms service each, processed back to back
+        times = [t for _, t in b.ticks]
+        assert times[0] == pytest.approx(0.011)
+        assert times[1] == pytest.approx(0.021)
+        assert times[2] == pytest.approx(0.031)
+
+    def test_unserviced_messages_bypass_queue(self, sim, pair):
+        a, b = pair
+        b.service_time = 0.010
+        a.send(b.address, Tick(n=0))
+        a.send(b.address, Mystery())  # not in SERVICED_TYPES
+        sim.run()
+        # mystery handled on arrival, before the tick finishes service
+        assert len(b.unknown) == 1
+
+    def test_idle_server_has_no_queueing_delay_beyond_service(self, sim, pair):
+        a, b = pair
+        b.service_time = 0.010
+        a.send(b.address, Tick(n=0))
+        sim.run()
+        assert b.ticks[0][1] == pytest.approx(0.011)

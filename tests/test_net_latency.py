@@ -1,0 +1,86 @@
+"""Unit tests for link latency models."""
+
+import random
+
+import pytest
+
+from repro.net import (
+    FixedLatency,
+    LogNormalLatency,
+    NormalLatency,
+    UniformLatency,
+    lan_latency,
+    wan_latency,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(123)
+
+
+class TestFixedLatency:
+    def test_always_returns_delay(self, rng):
+        model = FixedLatency(0.005)
+        assert all(model.sample(rng) == 0.005 for _ in range(10))
+        assert model.mean() == 0.005
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FixedLatency(-1)
+
+
+class TestUniformLatency:
+    def test_samples_within_bounds(self, rng):
+        model = UniformLatency(0.001, 0.002)
+        for _ in range(200):
+            assert 0.001 <= model.sample(rng) <= 0.002
+
+    def test_mean(self):
+        assert UniformLatency(0.0, 2.0).mean() == 1.0
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            UniformLatency(2.0, 1.0)
+
+
+class TestNormalLatency:
+    def test_truncated_at_floor(self, rng):
+        model = NormalLatency(mu=0.001, sigma=0.01)
+        assert all(model.sample(rng) >= 0.0001 for _ in range(500))
+
+    def test_custom_floor(self, rng):
+        model = NormalLatency(mu=0.001, sigma=0.01, floor=0.0005)
+        assert all(model.sample(rng) >= 0.0005 for _ in range(500))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            NormalLatency(0, 1)
+
+
+class TestLogNormalLatency:
+    def test_all_samples_positive(self, rng):
+        model = LogNormalLatency(median=0.040)
+        assert all(model.sample(rng) > 0 for _ in range(500))
+
+    def test_empirical_median_near_parameter(self, rng):
+        model = LogNormalLatency(median=0.040, sigma=0.2)
+        samples = sorted(model.sample(rng) for _ in range(4001))
+        assert samples[2000] == pytest.approx(0.040, rel=0.1)
+
+    def test_mean_exceeds_median(self):
+        model = LogNormalLatency(median=0.040, sigma=0.5)
+        assert model.mean() > 0.040
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            LogNormalLatency(median=0)
+
+
+class TestDefaults:
+    def test_lan_is_submillisecond(self, rng):
+        model = lan_latency()
+        assert sum(model.sample(rng) for _ in range(100)) / 100 < 0.001
+
+    def test_wan_much_slower_than_lan(self):
+        assert wan_latency().mean() > 20 * lan_latency().mean()

@@ -1,0 +1,58 @@
+"""Unit tests for message wire-size accounting."""
+
+import dataclasses
+from typing import Any, ClassVar
+
+from repro.net import Message, estimate_size
+from repro.net.message import WIRE_HEADER_BYTES
+from repro.storage import VersionVector
+
+
+@dataclasses.dataclass
+class Ping(Message):
+    type_name: ClassVar[str] = "ping"
+    seq: int = 0
+    note: str = ""
+
+
+class TestEstimateSize:
+    def test_scalars(self):
+        assert estimate_size(True) == 1
+        assert estimate_size(None) == 1
+        assert estimate_size(7) == 8
+        assert estimate_size(3.14) == 8
+
+    def test_strings_and_bytes_are_length_prefixed(self):
+        assert estimate_size("abc") == 4 + 3
+        assert estimate_size(b"abcd") == 4 + 4
+        assert estimate_size("") == 4
+
+    def test_containers_recurse(self):
+        assert estimate_size([1, 2]) == 4 + 16
+        assert estimate_size((1, "ab")) == 4 + 8 + 6
+        assert estimate_size({"k": 1}) == 4 + (4 + 1) + 8
+        assert estimate_size(set()) == 4
+
+    def test_object_with_size_bytes_delegates(self):
+        vv = VersionVector({"dc0": 3})
+        assert estimate_size(vv) == vv.size_bytes()
+
+    def test_dataclass_sums_fields(self):
+        @dataclasses.dataclass
+        class Pair:
+            a: int
+            b: str
+
+        assert estimate_size(Pair(1, "xy")) == 8 + 6
+
+    def test_unknown_type_charged_pointer(self):
+        assert estimate_size(object()) == 8
+
+
+class TestMessageSize:
+    def test_message_includes_header(self):
+        msg = Ping(seq=1, note="hi")
+        assert msg.size_bytes() == WIRE_HEADER_BYTES + 8 + (4 + 2)
+
+    def test_bigger_payload_bigger_message(self):
+        assert Ping(note="x" * 100).size_bytes() > Ping(note="x").size_bytes()

@@ -1,0 +1,182 @@
+"""Unit tests for the network fabric: delivery, FIFO, partitions, stats."""
+
+import dataclasses
+from typing import Any, ClassVar
+
+import pytest
+
+from repro.errors import AddressUnknownError
+from repro.net import Address, FixedLatency, Message, Network, UniformLatency
+from repro.sim import Simulator
+
+
+@dataclasses.dataclass
+class Note(Message):
+    type_name: ClassVar[str] = "note"
+    body: Any = None
+
+
+A = Address("dc0", "a")
+B = Address("dc0", "b")
+C = Address("dc1", "c")
+
+
+def wire(sim, lan=None, wan=None):
+    net = Network(sim, lan=lan or FixedLatency(0.001), wan=wan or FixedLatency(0.010))
+    inboxes = {}
+    for addr in (A, B, C):
+        inboxes[addr] = []
+        net.register(addr, lambda msg, src, _in=inboxes[addr]: _in.append((msg, src)))
+    return net, inboxes
+
+
+class TestDelivery:
+    def test_message_arrives_after_link_latency(self, sim):
+        net, inboxes = wire(sim)
+        net.send(A, B, Note(body="hi"))
+        sim.run()
+        assert sim.now == pytest.approx(0.001)
+        assert inboxes[B][0][0].body == "hi"
+        assert inboxes[B][0][1] == A
+
+    def test_cross_site_uses_wan_model(self, sim):
+        net, inboxes = wire(sim)
+        net.send(A, C, Note(body="far"))
+        sim.run()
+        assert sim.now == pytest.approx(0.010)
+
+    def test_link_override(self, sim):
+        net, inboxes = wire(sim)
+        net.set_link("dc0", "dc1", FixedLatency(0.5))
+        net.send(A, C, Note())
+        sim.run()
+        assert sim.now == pytest.approx(0.5)
+
+    def test_unknown_destination_raises(self, sim):
+        net, _ = wire(sim)
+        with pytest.raises(AddressUnknownError):
+            net.send(A, Address("dc0", "ghost"), Note())
+
+    def test_unregistered_destination_drops_in_flight(self, sim):
+        net, inboxes = wire(sim)
+        net.send(A, B, Note())
+        net.unregister(B)
+        sim.run()
+        assert inboxes[B] == []
+        assert net.stats.messages_dropped == 1
+
+
+class TestFifo:
+    def test_later_send_never_overtakes_earlier(self, sim):
+        # High-variance link: without FIFO the second message would often win.
+        net, inboxes = wire(sim, lan=UniformLatency(0.001, 0.100))
+        for i in range(50):
+            net.send(A, B, Note(body=i))
+        sim.run()
+        assert [msg.body for msg, _ in inboxes[B]] == list(range(50))
+
+    def test_fifo_is_per_link_not_global(self, sim):
+        net, inboxes = wire(sim, lan=FixedLatency(0.001))
+        net.set_link("dc0", "dc0", FixedLatency(0.001))
+        net.send(A, B, Note(body="ab"))
+        net.send(B, A, Note(body="ba"))
+        sim.run()
+        assert inboxes[B][0][0].body == "ab"
+        assert inboxes[A][0][0].body == "ba"
+
+
+class TestFailures:
+    def test_down_node_receives_nothing(self, sim):
+        net, inboxes = wire(sim)
+        net.set_down(B)
+        net.send(A, B, Note())
+        sim.run()
+        assert inboxes[B] == []
+        assert net.stats.messages_dropped == 1
+
+    def test_down_node_sends_nothing(self, sim):
+        net, inboxes = wire(sim)
+        net.set_down(A)
+        net.send(A, B, Note())
+        sim.run()
+        assert inboxes[B] == []
+
+    def test_crash_while_in_flight_drops_message(self, sim):
+        net, inboxes = wire(sim)
+        net.send(A, B, Note())
+        net.set_down(B)
+        sim.run()
+        assert inboxes[B] == []
+
+    def test_recovery_restores_delivery(self, sim):
+        net, inboxes = wire(sim)
+        net.set_down(B)
+        net.set_down(B, False)
+        net.send(A, B, Note())
+        sim.run()
+        assert len(inboxes[B]) == 1
+
+    def test_site_partition_blocks_both_directions(self, sim):
+        net, inboxes = wire(sim)
+        net.block("dc0", "dc1")
+        net.send(A, C, Note())
+        net.send(C, A, Note())
+        sim.run()
+        assert inboxes[C] == [] and inboxes[A] == []
+
+    def test_address_level_partition(self, sim):
+        net, inboxes = wire(sim)
+        net.block(A, B)
+        net.send(A, B, Note())
+        net.send(A, C, Note())
+        sim.run()
+        assert inboxes[B] == []
+        assert len(inboxes[C]) == 1
+
+    def test_heal_removes_all_partitions(self, sim):
+        net, inboxes = wire(sim)
+        net.block("dc0", "dc1")
+        net.heal()
+        net.send(A, C, Note())
+        sim.run()
+        assert len(inboxes[C]) == 1
+
+    def test_filter_drops_selected_messages(self, sim):
+        net, inboxes = wire(sim)
+        net.add_filter(lambda s, d, m: not (isinstance(m, Note) and m.body == "drop"))
+        net.send(A, B, Note(body="drop"))
+        net.send(A, B, Note(body="keep"))
+        sim.run()
+        assert [m.body for m, _ in inboxes[B]] == ["keep"]
+
+    def test_clear_filters(self, sim):
+        net, inboxes = wire(sim)
+        net.add_filter(lambda s, d, m: False)
+        net.clear_filters()
+        net.send(A, B, Note())
+        sim.run()
+        assert len(inboxes[B]) == 1
+
+
+class TestStats:
+    def test_counts_messages_and_bytes(self, sim):
+        net, _ = wire(sim)
+        msg = Note(body="x" * 10)
+        net.send(A, B, msg)
+        assert net.stats.messages_sent == 1
+        assert net.stats.bytes_sent == msg.size_bytes()
+        assert net.stats.by_type["note"] == 1
+
+    def test_cross_site_traffic_tracked_separately(self, sim):
+        net, _ = wire(sim)
+        net.send(A, B, Note())
+        net.send(A, C, Note())
+        assert net.stats.cross_site_messages == 1
+        assert 0 < net.stats.cross_site_bytes < net.stats.bytes_sent
+
+    def test_duplicate_registration_rejected(self, sim):
+        net, _ = wire(sim)
+        from repro.errors import NetworkError
+
+        with pytest.raises(NetworkError):
+            net.register(A, lambda m, s: None)

@@ -1,0 +1,49 @@
+"""Unit tests for deterministic RNG streams."""
+
+from repro.sim import RngRegistry, derive_seed
+
+
+class TestDeriveSeed:
+    def test_same_inputs_same_seed(self):
+        assert derive_seed(42, "network") == derive_seed(42, "network")
+
+    def test_different_labels_differ(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_different_roots_differ(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_seed_fits_64_bits(self):
+        assert 0 <= derive_seed(42, "x") < 2**64
+
+
+class TestRngRegistry:
+    def test_same_label_returns_same_stream_object(self):
+        reg = RngRegistry(1)
+        assert reg.stream("a") is reg.stream("a")
+
+    def test_streams_reproducible_across_registries(self):
+        a = RngRegistry(5).stream("clients")
+        b = RngRegistry(5).stream("clients")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_streams_independent_of_creation_order(self):
+        reg1 = RngRegistry(5)
+        reg1.stream("x")
+        first = [reg1.stream("y").random() for _ in range(5)]
+        reg2 = RngRegistry(5)
+        second = [reg2.stream("y").random() for _ in range(5)]
+        assert first == second
+
+    def test_different_labels_give_different_sequences(self):
+        reg = RngRegistry(5)
+        assert [reg.stream("a").random() for _ in range(5)] != [
+            reg.stream("b").random() for _ in range(5)
+        ]
+
+    def test_fork_is_deterministic_and_distinct(self):
+        reg = RngRegistry(5)
+        fork1 = reg.fork("child")
+        fork2 = RngRegistry(5).fork("child")
+        assert fork1.root_seed == fork2.root_seed
+        assert fork1.root_seed != reg.root_seed

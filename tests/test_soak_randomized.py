@@ -1,0 +1,85 @@
+"""Randomized soak tests: many seeds, full consistency verification.
+
+Each scenario drives a randomized mixed workload (with optional failure
+injection) against ChainReaction and verifies the full causal+ contract
+afterwards — causal consistency of the recorded history, all four
+session guarantees, and cross-replica convergence. Several seeds run so
+scheduling races differ between runs; any seed that fails reproduces
+deterministically.
+"""
+
+import pytest
+
+from repro.baselines import build_store
+from repro.checker import (
+    await_convergence,
+    check_causal,
+    check_session_guarantees,
+)
+from repro.workload import WorkloadRunner, workload
+
+SEEDS = [1, 7, 23, 99]
+
+
+def drive(seed, sites=("dc0",), crash=False, ack_k=2, duration=0.6):
+    store = build_store(
+        "chainreaction",
+        sites=sites,
+        servers_per_site=5,
+        chain_length=3,
+        ack_k=ack_k,
+        seed=seed,
+        overrides={"service_time": 0.0},
+    )
+    if crash:
+        victim = store.servers()[-1]
+        store.sim.schedule_at(0.3, victim.crash)
+    spec = workload("A", record_count=25, value_size=24)
+    runner = WorkloadRunner(
+        store, spec, n_clients=6, duration=duration, warmup=0.1
+    )
+    result = runner.run()
+    return store, spec, result
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestSingleDcSoak:
+    def test_causal_plus_contract_holds(self, seed):
+        store, spec, result = drive(seed)
+        assert result.ops_completed > 200
+        assert result.errors == 0
+        assert check_causal(result.history) == []
+        for guarantee, violations in check_session_guarantees(result.history).items():
+            assert violations == [], (seed, guarantee)
+        keys = [spec.key(i) for i in range(25)]
+        assert await_convergence(store, keys, max_extra_time=5.0).converged
+
+
+@pytest.mark.parametrize("seed", SEEDS[:2])
+class TestGeoSoak:
+    def test_causal_plus_contract_holds_across_dcs(self, seed):
+        store, spec, result = drive(seed, sites=("dc0", "dc1"))
+        assert result.ops_completed > 200
+        assert check_causal(result.history) == []
+        keys = [spec.key(i) for i in range(25)]
+        assert await_convergence(store, keys, max_extra_time=10.0).converged
+
+
+@pytest.mark.parametrize("seed", SEEDS[:2])
+class TestCrashSoak:
+    def test_consistency_through_crash(self, seed):
+        store, spec, result = drive(seed, crash=True, duration=1.2)
+        # A handful of reads can legitimately observe versions that died
+        # with the crashed server's unforwarded writes.
+        assert len(check_causal(result.history)) <= 3
+        keys = [spec.key(i) for i in range(25)]
+        assert await_convergence(store, keys, max_extra_time=5.0).converged
+
+
+@pytest.mark.parametrize("ack_k", [1, 2, 3])
+class TestAckKSoak:
+    def test_contract_independent_of_k(self, ack_k):
+        store, spec, result = drive(seed=5, ack_k=ack_k)
+        assert check_causal(result.history) == []
+        keys = [spec.key(i) for i in range(25)]
+        assert await_convergence(store, keys, max_extra_time=5.0).converged

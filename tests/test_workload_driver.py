@@ -1,0 +1,98 @@
+"""Integration tests for the closed-loop workload runner."""
+
+import pytest
+
+from helpers import make_store
+
+from repro.baselines import build_store
+from repro.checker import GET, PUT
+from repro.workload import WorkloadRunner, workload
+
+
+@pytest.fixture(scope="module")
+def result():
+    store = build_store("chainreaction", servers_per_site=4, chain_length=3, seed=13)
+    spec = workload("A", record_count=30, value_size=32)
+    runner = WorkloadRunner(store, spec, n_clients=4, duration=0.6, warmup=0.2)
+    return runner.run()
+
+
+class TestRunResult:
+    def test_operations_completed(self, result):
+        assert result.ops_completed > 100
+
+    def test_throughput_consistent_with_counts(self, result):
+        assert result.throughput == pytest.approx(result.ops_completed / 0.6)
+
+    def test_no_errors_in_steady_state(self, result):
+        assert result.errors == 0
+
+    def test_latencies_recorded_for_both_ops(self, result):
+        assert result.get_latency.count > 0
+        assert result.put_latency.count > 0
+        assert result.get_latency.count + result.put_latency.count == result.ops_completed
+
+    def test_latencies_positive_and_sane(self, result):
+        assert 0 < result.get_latency.percentile(50) < 0.1
+        assert 0 < result.put_latency.percentile(50) < 0.1
+
+    def test_history_matches_counts(self, result):
+        assert len(result.history) == result.ops_completed
+        assert len(result.history.puts()) == result.put_latency.count
+        assert len(result.history.gets()) == result.get_latency.count
+
+    def test_history_is_valid(self, result):
+        result.history.validate()
+
+    def test_warmup_excluded(self, result):
+        assert all(op.t_return >= 0.2 for op in result.history)
+
+    def test_metadata_sampled_once_per_op(self, result):
+        assert result.metadata_bytes.count == result.ops_completed
+
+    def test_timeline_total_matches(self, result):
+        assert result.timeline.total() == result.ops_completed
+
+    def test_summary_row_fields(self, result):
+        row = result.summary_row()
+        assert row["protocol"] == "chainreaction"
+        assert row["workload"] == "A"
+        assert row["clients"] == 4
+        assert row["errors"] == 0
+
+
+class TestDriverMechanics:
+    def test_unique_values_per_put(self, result):
+        values = [op.value for op in result.history if op.op == PUT]
+        # driver payloads are unique per (session, seq)
+        recorded = [v for v in values if v is not None]
+        assert len(recorded) == 0  # puts record value=None; uniqueness is on the wire
+
+    def test_insert_workload_extends_keyspace(self):
+        store = build_store("chainreaction", servers_per_site=4, chain_length=3, seed=3)
+        spec = workload("D", record_count=20, value_size=16)
+        runner = WorkloadRunner(store, spec, n_clients=2, duration=0.5, warmup=0.1)
+        result = runner.run()
+        inserted = {op.key for op in result.history if op.op == PUT}
+        beyond_initial = {k for k in inserted if int(k.replace("user", "")) >= 20}
+        assert beyond_initial, "workload D never inserted new keys"
+
+    def test_history_recording_can_be_disabled(self):
+        store = build_store("chainreaction", servers_per_site=4, chain_length=3, seed=3)
+        spec = workload("C", record_count=10, value_size=16)
+        runner = WorkloadRunner(
+            store, spec, n_clients=2, duration=0.3, warmup=0.1, record_history=False
+        )
+        result = runner.run()
+        assert result.ops_completed > 0
+        assert len(result.history) == 0
+
+    def test_clients_spread_across_sites(self):
+        store = build_store(
+            "chainreaction", sites=("dc0", "dc1"), servers_per_site=4, chain_length=3, seed=3
+        )
+        spec = workload("C", record_count=10, value_size=16)
+        runner = WorkloadRunner(store, spec, n_clients=4, duration=0.3, warmup=0.1)
+        result = runner.run()
+        sites = {op.site for op in result.history}
+        assert sites == {"dc0", "dc1"}

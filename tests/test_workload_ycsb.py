@@ -1,0 +1,74 @@
+"""Unit tests for YCSB workload specifications."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workload import WORKLOADS, WorkloadSpec, workload
+
+
+class TestSpecValidation:
+    def test_proportions_must_sum_to_one(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec("bad", read_proportion=0.5, update_proportion=0.4)
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec("bad", 1.0, 0.0, distribution="pareto")
+
+    def test_zero_records_rejected(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec("bad", 1.0, 0.0, record_count=0)
+
+    def test_zero_value_size_rejected(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec("bad", 1.0, 0.0, value_size=0)
+
+
+class TestStandardWorkloads:
+    def test_all_letters_present(self):
+        assert set(WORKLOADS) == {"A", "B", "C", "D"}
+
+    def test_mixes(self):
+        assert WORKLOADS["A"].read_proportion == 0.5
+        assert WORKLOADS["B"].read_proportion == 0.95
+        assert WORKLOADS["C"].read_proportion == 1.0
+        assert WORKLOADS["D"].insert_proportion == 0.05
+        assert WORKLOADS["D"].distribution == "latest"
+
+    def test_workload_lookup_with_overrides(self):
+        spec = workload("A", record_count=42)
+        assert spec.record_count == 42
+        assert spec.read_proportion == 0.5
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigError):
+            workload("Z")
+
+
+class TestBehaviour:
+    def test_key_format_stable(self):
+        spec = workload("A")
+        assert spec.key(7) == "user00000007"
+
+    def test_choose_op_respects_mix(self):
+        rng = random.Random(5)
+        spec = workload("B", record_count=10)
+        counts = Counter(spec.choose_op(rng) for _ in range(10000))
+        assert 0.93 < counts["get"] / 10000 < 0.97
+        assert counts["insert"] == 0
+
+    def test_workload_d_inserts(self):
+        rng = random.Random(5)
+        spec = workload("D", record_count=10)
+        counts = Counter(spec.choose_op(rng) for _ in range(10000))
+        assert counts["insert"] > 0
+        assert counts["update"] == 0
+
+    def test_make_chooser_matches_distribution(self):
+        from repro.workload import LatestKeys, ScrambledZipfianKeys
+
+        assert isinstance(workload("A").make_chooser(10), ScrambledZipfianKeys)
+        assert isinstance(workload("D").make_chooser(10), LatestKeys)
