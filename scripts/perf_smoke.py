@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Perf smoke gate: tiny-scale microbenchmarks + regression check.
+
+Kept out of tier-1 (it measures wall-clock, which CI machines make
+noisy) — run it explicitly::
+
+    PYTHONPATH=src python scripts/perf_smoke.py [--output BENCH_PR1.json]
+
+What it does:
+
+1. runs the hot-path microbenchmarks at tiny scale;
+2. compares the optimized event-kernel throughput against the
+   *recorded* baseline in the existing BENCH JSON (if any) and fails
+   (exit 1) on a >30% regression;
+3. also fails if the optimized kernel no longer beats the in-process
+   seed-kernel baseline (the machine-independent floor);
+4. rewrites the BENCH JSON with the fresh numbers on success.
+
+CHANGES.md convention: a PR that moves any number here by >10% should
+say so in its CHANGES.md line and ship the regenerated BENCH file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.perf import collect_report, summary_lines, write_report  # noqa: E402
+
+#: Fail when event throughput drops below this fraction of the recorded run.
+REGRESSION_FLOOR = 0.70
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_PR1.json", metavar="PATH")
+    parser.add_argument("--events", type=int, default=60_000)
+    parser.add_argument("--repeats", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    recorded = None
+    if os.path.exists(args.output):
+        with open(args.output) as fh:
+            recorded = json.load(fh)
+
+    report = collect_report(
+        n_events=args.events, repeats=args.repeats, include_end_to_end=True
+    )
+    for metric, value in summary_lines(report):
+        print(f"  {metric:<34} {value}")
+
+    kernel = report["event_kernel"]
+    failures = []
+    if kernel["speedup"] < 1.0:
+        failures.append(
+            f"optimized kernel slower than the seed baseline "
+            f"({kernel['speedup']:.2f}x)"
+        )
+    if recorded is not None:
+        recorded_rate = recorded.get("event_kernel", {}).get("optimized_events_per_sec")
+        if recorded_rate:
+            ratio = kernel["optimized_events_per_sec"] / recorded_rate
+            print(
+                f"  vs recorded baseline               {ratio:.2f}x "
+                f"({recorded_rate:,.0f} events/s recorded)"
+            )
+            if ratio < REGRESSION_FLOOR:
+                failures.append(
+                    f"event throughput regressed to {ratio:.0%} of the recorded "
+                    f"baseline (floor {REGRESSION_FLOOR:.0%})"
+                )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+
+    write_report(report, args.output)
+    print(f"ok — report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

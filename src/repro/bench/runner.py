@@ -5,11 +5,20 @@ drive it with a YCSB workload (or the causality probe), and return the
 rows the paper's corresponding figure/table plots. Each benchmark file
 under ``benchmarks/`` calls one of these functions and asserts the
 figure's *shape* (who wins, by roughly what factor).
+
+Every ``(protocol, workload, n_clients)`` point is an independent,
+fully-deterministic simulation, so the sweeps also offer a
+``parallel=True`` mode that fans points out across cores with a
+:class:`~concurrent.futures.ProcessPoolExecutor`. Results are
+row-for-row identical to serial mode (same seeds ⇒ same rows); if
+worker processes cannot be spawned (restricted sandboxes), the sweep
+silently falls back to serial execution.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+import os
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.registry import build_store
 from repro.bench.configs import BenchScale
@@ -25,6 +34,24 @@ __all__ = [
     "latency_run",
     "consistency_table",
 ]
+
+
+def _map_points(
+    fn: Callable[[Tuple], Any], points: Sequence[Tuple], max_workers: Optional[int]
+) -> Optional[List[Any]]:
+    """Run ``fn`` over ``points`` in worker processes, preserving order.
+
+    Returns None when a process pool cannot be created (e.g. sandboxed
+    environments); callers then fall back to the serial path.
+    """
+    workers = max_workers or min(len(points), os.cpu_count() or 1)
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            return list(executor.map(fn, points))
+    except (OSError, PermissionError, ImportError):
+        return None
 
 
 def run_ycsb(
@@ -67,20 +94,46 @@ def run_ycsb(
     return runner.run()
 
 
+def _sweep_point(point: Tuple) -> Dict[str, object]:
+    """One throughput-sweep point → its summary row (picklable)."""
+    protocol, workload_name, n_clients, scale, sites = point
+    return run_ycsb(protocol, workload_name, n_clients, scale, sites=sites).summary_row()
+
+
 def throughput_sweep(
     protocols: Sequence[str],
     workload_name: str,
     scale: BenchScale,
     sites: Tuple[str, ...] = ("dc0",),
     client_counts: Optional[Sequence[int]] = None,
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
 ) -> List[Dict[str, object]]:
-    """The paper's throughput-vs-clients figures: one row per point."""
-    rows = []
-    for protocol in protocols:
-        for n_clients in client_counts or scale.client_counts:
-            result = run_ycsb(protocol, workload_name, n_clients, scale, sites=sites)
-            rows.append(result.summary_row())
-    return rows
+    """The paper's throughput-vs-clients figures: one row per point.
+
+    With ``parallel=True`` the points run in worker processes; each
+    point is an independent deterministic sim, so the rows are identical
+    to serial mode and arrive in the same order.
+    """
+    points = [
+        (protocol, workload_name, n_clients, scale, tuple(sites))
+        for protocol in protocols
+        for n_clients in (client_counts or scale.client_counts)
+    ]
+    if parallel and len(points) > 1:
+        rows = _map_points(_sweep_point, points, max_workers)
+        if rows is not None:
+            return rows
+    return [_sweep_point(point) for point in points]
+
+
+def _latency_point(point: Tuple) -> Tuple[str, RunResult]:
+    """One latency-run protocol → (protocol, RunResult) with the
+    unpicklable live deployment stripped for the trip back."""
+    protocol, workload_name, scale, sites = point
+    result = run_ycsb(protocol, workload_name, scale.latency_clients, scale, sites=sites)
+    result.store = None  # live actors hold lambdas; drop before pickling
+    return protocol, result
 
 
 def latency_run(
@@ -88,11 +141,54 @@ def latency_run(
     workload_name: str,
     scale: BenchScale,
     sites: Tuple[str, ...] = ("dc0",),
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
 ) -> Dict[str, RunResult]:
-    """Steady-state run per protocol for latency-distribution figures."""
+    """Steady-state run per protocol for latency-distribution figures.
+
+    In ``parallel=True`` mode the returned results carry
+    ``result.store = None`` (the live deployment cannot cross the
+    process boundary); latency/throughput/history fields are identical
+    to a serial run.
+    """
+    if parallel and len(protocols) > 1:
+        points = [(protocol, workload_name, scale, tuple(sites)) for protocol in protocols]
+        results = _map_points(_latency_point, points, max_workers)
+        if results is not None:
+            return dict(results)
     return {
         protocol: run_ycsb(protocol, workload_name, scale.latency_clients, scale, sites=sites)
         for protocol in protocols
+    }
+
+
+def _consistency_point(point: Tuple) -> Dict[str, object]:
+    """One consistency-table protocol → its anomaly row (picklable)."""
+    protocol, scale, sites = point
+    store = build_store(
+        protocol,
+        sites=sites,
+        servers_per_site=scale.servers_per_site,
+        chain_length=scale.chain_length,
+        ack_k=scale.ack_k,
+        seed=scale.seed,
+        write_quorum=1,
+        read_quorum=1,
+    )
+    history = run_causality_probe(
+        store,
+        ProbeConfig(n_pairs=scale.probe_pairs, rounds=scale.probe_rounds),
+    )
+    causal = check_causal(history)
+    sessions = check_session_guarantees(history)
+    return {
+        "protocol": protocol,
+        "operations": len(history),
+        "causal": len(causal),
+        "read_your_writes": len(sessions["read-your-writes"]),
+        "monotonic_reads": len(sessions["monotonic-reads"]),
+        "monotonic_writes": len(sessions["monotonic-writes"]),
+        "writes_follow_reads": len(sessions["writes-follow-reads"]),
     }
 
 
@@ -100,6 +196,8 @@ def consistency_table(
     protocols: Sequence[str],
     scale: BenchScale,
     sites: Tuple[str, ...] = ("dc0", "dc1"),
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """The E10 anomaly table: violations per protocol under the probe.
 
@@ -107,33 +205,9 @@ def consistency_table(
     (R=W=1) so that its session anomalies are visible, matching the
     eventual-flavoured configurations the paper argues against.
     """
-    rows = []
-    for protocol in protocols:
-        store = build_store(
-            protocol,
-            sites=sites,
-            servers_per_site=scale.servers_per_site,
-            chain_length=scale.chain_length,
-            ack_k=scale.ack_k,
-            seed=scale.seed,
-            write_quorum=1,
-            read_quorum=1,
-        )
-        history = run_causality_probe(
-            store,
-            ProbeConfig(n_pairs=scale.probe_pairs, rounds=scale.probe_rounds),
-        )
-        causal = check_causal(history)
-        sessions = check_session_guarantees(history)
-        rows.append(
-            {
-                "protocol": protocol,
-                "operations": len(history),
-                "causal": len(causal),
-                "read_your_writes": len(sessions["read-your-writes"]),
-                "monotonic_reads": len(sessions["monotonic-reads"]),
-                "monotonic_writes": len(sessions["monotonic-writes"]),
-                "writes_follow_reads": len(sessions["writes-follow-reads"]),
-            }
-        )
-    return rows
+    points = [(protocol, scale, tuple(sites)) for protocol in protocols]
+    if parallel and len(points) > 1:
+        rows = _map_points(_consistency_point, points, max_workers)
+        if rows is not None:
+            return rows
+    return [_consistency_point(point) for point in points]

@@ -1,12 +1,15 @@
 """Command-line interface: run workloads and consistency checks from a shell.
 
-Three subcommands, mirroring how the paper's evaluation is exercised:
+Four subcommands, mirroring how the paper's evaluation is exercised:
 
 - ``repro run`` — drive a YCSB workload against any protocol and print
   the throughput/latency summary (optionally with a consistency audit
   and staleness analysis of the recorded history);
 - ``repro consistency`` — run the geo causality probe against one or
   more protocols and print the anomaly table (experiment E10);
+- ``repro perf`` — run the hot-path microbenchmarks (event kernel vs
+  the seed baseline, network send, message sizing, end-to-end) and
+  write the ``BENCH_*.json`` report; see ``docs/PERFORMANCE.md``;
 - ``repro info`` — show the protocols, workloads, and default deployment
   parameters available.
 
@@ -15,6 +18,7 @@ Examples::
     python -m repro run --protocol chainreaction --workload B --clients 32
     python -m repro run --protocol eventual --sites dc0 dc1 --check
     python -m repro consistency --protocols chainreaction eventual
+    python -m repro perf --output BENCH_PR1.json
 """
 
 from __future__ import annotations
@@ -87,6 +91,30 @@ def build_parser() -> argparse.ArgumentParser:
     probe.add_argument("--pairs", type=int, default=10)
     probe.add_argument("--rounds", type=int, default=15)
     probe.add_argument("--seed", type=int, default=42)
+
+    perf = sub.add_parser(
+        "perf", help="hot-path microbenchmarks; writes a BENCH JSON report"
+    )
+    perf.add_argument(
+        "--events", type=int, default=200_000,
+        help="events per kernel microbenchmark run",
+    )
+    perf.add_argument("--repeats", type=int, default=3, help="runs per benchmark (best kept)")
+    perf.add_argument(
+        "--output", default="BENCH_PR1.json", metavar="PATH",
+        help="where to write the JSON report (default: %(default)s)",
+    )
+    perf.add_argument(
+        "--skip-e2e", action="store_true", help="skip the end-to-end simulation benchmark"
+    )
+    perf.add_argument(
+        "--sweep", action="store_true",
+        help="also time an E1-style sweep serial vs parallel (slower)",
+    )
+    perf.add_argument(
+        "--profile", action="store_true",
+        help="print the hottest functions of the end-to-end run (cProfile)",
+    )
 
     sub.add_parser("info", help="list protocols, workloads, and defaults")
     return parser
@@ -215,6 +243,43 @@ def _cmd_consistency(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace, out) -> int:
+    from repro.perf import (
+        bench_end_to_end,
+        collect_report,
+        format_profile_rows,
+        profile_call,
+        summary_lines,
+        write_report,
+    )
+
+    print(
+        f"running hot-path microbenchmarks ({args.events} events x {args.repeats} repeats) ...",
+        file=out,
+    )
+    report = collect_report(
+        n_events=args.events,
+        repeats=args.repeats,
+        include_end_to_end=not args.skip_e2e,
+        include_sweep=args.sweep,
+    )
+    print(render_table(["metric", "value"], summary_lines(report), title="perf"), file=out)
+    kernel = report["event_kernel"]
+    print(
+        f"\nevent kernel: {kernel['optimized_events_per_sec']:,.0f} events/s "
+        f"vs seed baseline {kernel['baseline_events_per_sec']:,.0f} events/s "
+        f"({kernel['speedup']:.2f}x)",
+        file=out,
+    )
+    if args.profile:
+        _, rows = profile_call(lambda: bench_end_to_end(duration=0.3), top=15)
+        print("\nhottest functions (end-to-end run):", file=out)
+        print(format_profile_rows(rows), file=out)
+    write_report(report, args.output)
+    print(f"\nreport written to {args.output}", file=out)
+    return 0
+
+
 def _cmd_info(out) -> int:
     print("protocols :", ", ".join(PROTOCOLS), file=out)
     print("workloads :", ", ".join(
@@ -234,6 +299,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_run(args, out)
     if args.command == "consistency":
         return _cmd_consistency(args, out)
+    if args.command == "perf":
+        return _cmd_perf(args, out)
     return _cmd_info(out)
 
 

@@ -21,7 +21,7 @@ for experiment E7.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.cluster.membership import RingView
 from repro.core.config import ChainReactionConfig
@@ -91,19 +91,24 @@ class GeoProxy(Actor):
         self.trace("geo", "ship", msg.key, version=str(msg.version))
         if self._peers:
             self._pending_global[token] = ({p.site for p in self._peers}, msg.origin_put_at)
+            # Per-peer copies are byte-identical; size the first one on
+            # send and let the rest inherit the memoized size.
+            first: Optional[RemoteUpdate] = None
             for peer in self._peers:
-                self.send(
-                    peer,
-                    RemoteUpdate(
-                        key=msg.key,
-                        value=msg.value,
-                        version=msg.version,
-                        stamp=msg.stamp,
-                        deps=msg.deps,
-                        origin_site=self.site,
-                        origin_put_at=msg.origin_put_at,
-                    ),
+                update = RemoteUpdate(
+                    key=msg.key,
+                    value=msg.value,
+                    version=msg.version,
+                    stamp=msg.stamp,
+                    deps=msg.deps,
+                    origin_site=self.site,
+                    origin_put_at=msg.origin_put_at,
                 )
+                if first is None:
+                    first = update
+                else:
+                    update.copy_size_from(first)
+                self.send(peer, update)
         else:
             self.global_stability_samples.append(self.sim.now - msg.origin_put_at)
             self._announce_global(msg.key, msg.version)
@@ -132,11 +137,14 @@ class GeoProxy(Actor):
         self._shipped.discard((key, version))
 
     def _fan_out_global(self, key: str, version: VersionVector) -> None:
+        first: Optional[GlobalStableNotice] = None
         for server in self.view.chain_for(key):
-            self.send(
-                self.view.address_of(server),
-                GlobalStableNotice(key=key, version=version),
-            )
+            notice = GlobalStableNotice(key=key, version=version)
+            if first is None:
+                first = notice
+            else:
+                notice.copy_size_from(first)
+            self.send(self.view.address_of(server), notice)
 
     def on_global_stable_notice(self, msg: GlobalStableNotice, src: Address) -> None:
         if msg.fan_out:

@@ -68,6 +68,7 @@ class PutRequest(Message):
     """Client → chain head. Carries the session's unstable dependencies."""
 
     type_name: ClassVar[str] = "put-request"
+    memoize_size: ClassVar[bool] = True
     request_id: int = 0
     key: str = ""
     value: Any = None
@@ -95,6 +96,7 @@ class ChainPut(Message):
     """Propagation of a write down the chain (head → ... → tail)."""
 
     type_name: ClassVar[str] = "chain-put"
+    memoize_size: ClassVar[bool] = True
     key: str = ""
     value: Any = None
     version: VersionVector = dataclasses.field(default_factory=VersionVector)
@@ -130,6 +132,7 @@ class TailStable(Message):
     """
 
     type_name: ClassVar[str] = "tail-stable"
+    memoize_size: ClassVar[bool] = True
     key: str = ""
     value: Any = None
     version: VersionVector = dataclasses.field(default_factory=VersionVector)
@@ -145,6 +148,7 @@ class RemoteUpdate(Message):
     """Origin geo-proxy → remote geo-proxy: ship a DC-stable write."""
 
     type_name: ClassVar[str] = "remote-update"
+    memoize_size: ClassVar[bool] = True
     key: str = ""
     value: Any = None
     version: VersionVector = dataclasses.field(default_factory=VersionVector)
@@ -175,6 +179,7 @@ class GlobalStableNotice(Message):
     """
 
     type_name: ClassVar[str] = "global-stable-notice"
+    memoize_size: ClassVar[bool] = True
     key: str = ""
     version: VersionVector = dataclasses.field(default_factory=VersionVector)
     #: True on the proxy→proxy hop; the receiving proxy fans out locally.
@@ -186,6 +191,7 @@ class StateTransfer(Message):
     """Chain repair: records (with stability) pushed to a chain member."""
 
     type_name: ClassVar[str] = "state-transfer"
+    memoize_size: ClassVar[bool] = True
     #: (key, value, version, stable_version, stamp) tuples
     records: Tuple = ()
     epoch: int = 0

@@ -228,6 +228,7 @@ class ChainNode(RingServer):
         reply_to: Optional[Address],
         origin_put_at: float,
         stamp: Any = None,
+        size_from: Optional[ChainPut] = None,
     ) -> None:
         """Apply a write locally and play this node's chain role for it:
         acknowledge the client if we sit at the ack position, declare
@@ -236,6 +237,11 @@ class ChainNode(RingServer):
         ``stamp`` is None on the normal path, where ``version`` is the
         write's original vector; remote re-applications of merged
         records pass the surviving stamp explicitly.
+
+        ``size_from`` is the inbound :class:`ChainPut` when this call
+        propagates one; hop-to-hop copies differ only in fixed-width
+        scalar fields, so the outbound message inherits its memoized
+        wire size and a put is sized once per chain, not once per hop.
         """
         self._apply_local(key, value, version, stamp, deps)
         chain = self.chain_for(key)
@@ -262,21 +268,21 @@ class ChainNode(RingServer):
                 key, value, version, deps, origin_site, origin_put_at, chain, stamp=stamp
             )
         else:
-            self.send(
-                self.view.address_of(chain[pos + 1]),
-                ChainPut(
-                    key=key,
-                    value=value,
-                    version=version,
-                    origin_site=origin_site,
-                    deps=deps,
-                    position=pos + 1,
-                    ack_index=ack_index,
-                    request_id=request_id,
-                    reply_to=reply_to,
-                    origin_put_at=origin_put_at,
-                ),
+            downstream = ChainPut(
+                key=key,
+                value=value,
+                version=version,
+                origin_site=origin_site,
+                deps=deps,
+                position=pos + 1,
+                ack_index=ack_index,
+                request_id=request_id,
+                reply_to=reply_to,
+                origin_put_at=origin_put_at,
             )
+            if size_from is not None:
+                downstream.copy_size_from(size_from)
+            self.send(self.view.address_of(chain[pos + 1]), downstream)
 
     def _apply_local(self, key: str, value: Any, version: VersionVector,
                      stamp: Any, deps: Deps) -> None:
@@ -315,6 +321,7 @@ class ChainNode(RingServer):
             request_id=msg.request_id,
             reply_to=msg.reply_to,
             origin_put_at=msg.origin_put_at,
+            size_from=msg,
         )
 
     def _tail_stabilise(

@@ -11,7 +11,7 @@ size here.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, ClassVar
+from typing import Any, ClassVar, Dict, Tuple
 
 __all__ = ["Message", "estimate_size", "WIRE_HEADER_BYTES"]
 
@@ -25,6 +25,19 @@ _SCALAR_SIZES = {
     float: 8,
     type(None): 1,
 }
+
+#: Per-class cache of dataclass field names; ``dataclasses.fields()``
+#: rebuilds a tuple of Field objects on every call, which shows up hot
+#: when every message hop is sized. Keyed by class, filled lazily.
+_FIELD_NAMES: Dict[type, Tuple[str, ...]] = {}
+
+
+def _field_names(cls: type) -> Tuple[str, ...]:
+    names = _FIELD_NAMES.get(cls)
+    if names is None:
+        names = tuple(f.name for f in dataclasses.fields(cls))
+        _FIELD_NAMES[cls] = names
+    return names
 
 
 def estimate_size(value: Any) -> int:
@@ -49,7 +62,7 @@ def estimate_size(value: Any) -> int:
         return size_fn()
     if dataclasses.is_dataclass(value):
         return sum(
-            estimate_size(getattr(value, f.name)) for f in dataclasses.fields(value)
+            estimate_size(getattr(value, name)) for name in _field_names(type(value))
         )
     # Fallback for exotic types: charge a pointer-sized slot rather than
     # crashing accounting; protocols should not rely on this.
@@ -63,13 +76,43 @@ class Message:
     Subclasses are plain dataclasses; ``size_bytes`` sums the envelope
     and every field. Override it only when a field should *not* count
     toward the wire size (e.g. simulation bookkeeping).
+
+    Subclasses whose instances are never mutated after being handed to
+    the network may set ``memoize_size = True``: the first
+    ``size_bytes()`` result is cached on the instance and returned
+    verbatim afterwards. Mutating a memoized message after it has been
+    sized returns the *stale* cached size by design — treat such
+    messages as frozen.
     """
 
     #: Human-readable tag used in network statistics.
     type_name: ClassVar[str] = "message"
 
+    #: Opt-in per-instance size cache; see class docstring.
+    memoize_size: ClassVar[bool] = False
+
     def size_bytes(self) -> int:
-        body = sum(
-            estimate_size(getattr(self, f.name)) for f in dataclasses.fields(self)
-        )
-        return WIRE_HEADER_BYTES + body
+        if self.memoize_size:
+            cached = self.__dict__.get("_size_memo")
+            if cached is not None:
+                return cached
+        body = WIRE_HEADER_BYTES
+        for name in _field_names(type(self)):
+            body += estimate_size(getattr(self, name))
+        if self.memoize_size:
+            object.__setattr__(self, "_size_memo", body)
+        return body
+
+    def copy_size_from(self, other: "Message") -> "Message":
+        """Carry ``other``'s memoized size onto this message.
+
+        Only valid when the caller knows both messages serialise to the
+        same number of bytes — e.g. a chain hop where the only fields
+        that differ are fixed-width scalars. Returns ``self`` so the
+        call can be chained at a send site. A no-op when ``other`` has
+        not been sized yet (or does not memoize).
+        """
+        memo = other.__dict__.get("_size_memo")
+        if memo is not None:
+            object.__setattr__(self, "_size_memo", memo)
+        return self

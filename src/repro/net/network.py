@@ -34,6 +34,11 @@ __all__ = ["Address", "Network", "NetworkStats"]
 #: Minimum spacing enforced between FIFO deliveries on one link (seconds).
 _FIFO_EPSILON = 1e-9
 
+#: Every this many sends, drop FIFO-horizon entries that lie in the past
+#: (they no longer constrain delivery and are dead weight on long runs
+#: with many transient clients).
+_HORIZON_SWEEP_INTERVAL = 4096
+
 Handler = Callable[[Message, "Address"], None]
 
 
@@ -95,6 +100,10 @@ class Network:
         self._blocked: Set[FrozenSet[str]] = set()
         self._filters: List[Callable[[Address, Address, Message], bool]] = []
         self._fifo_horizon: Dict[Tuple[Address, Address], float] = {}
+        #: per-(src, dst) cache of (latency model, cross-site flag); sends
+        #: on a warm link skip the frozenset build in latency_model().
+        self._link_cache: Dict[Tuple[Address, Address], Tuple[LatencyModel, bool]] = {}
+        self._sends_since_sweep = 0
         self.stats = NetworkStats()
 
     # ------------------------------------------------------------------
@@ -103,6 +112,7 @@ class Network:
     def set_link(self, site_a: str, site_b: str, model: LatencyModel) -> None:
         """Override the latency model between two sites (or within one)."""
         self._site_links[frozenset((site_a, site_b))] = model
+        self._link_cache.clear()
 
     def latency_model(self, src: Address, dst: Address) -> LatencyModel:
         override = self._site_links.get(frozenset((src.site, dst.site)))
@@ -179,25 +189,50 @@ class Network:
         """
         if dst not in self._handlers:
             raise AddressUnknownError(f"no actor registered at {dst}")
+        # Fast path: with no crashes, partitions, or filters active (the
+        # overwhelmingly common case) the drop checks are a single truth
+        # test. Sizing happens only after the drop checks so discarded
+        # messages cost nothing (dropped bytes were never recorded).
+        if self._down or self._blocked or self._filters:
+            if (
+                src in self._down
+                or dst in self._down
+                or self._is_blocked(src, dst)
+                or any(not keep(src, dst, msg) for keep in self._filters)
+            ):
+                self.stats.messages_dropped += 1
+                return
         size = msg.size_bytes()
-        if (
-            src in self._down
-            or dst in self._down
-            or self._is_blocked(src, dst)
-            or any(not keep(src, dst, msg) for keep in self._filters)
-        ):
-            self.stats.messages_dropped += 1
-            return
-        self.stats.record(msg, size, cross_site=src.site != dst.site)
-
-        delay = self.latency_model(src, dst).sample(self._rng)
         link = (src, dst)
-        deliver_at = max(
-            self.sim.now + delay,
-            self._fifo_horizon.get(link, 0.0) + _FIFO_EPSILON,
-        )
+        cached = self._link_cache.get(link)
+        if cached is None:
+            cached = (self.latency_model(src, dst), src.site != dst.site)
+            self._link_cache[link] = cached
+        model, cross_site = cached
+        self.stats.record(msg, size, cross_site)
+
+        delay = model.sample(self._rng)
+        deliver_at = self.sim.now + delay
+        horizon = self._fifo_horizon.get(link, 0.0) + _FIFO_EPSILON
+        if horizon > deliver_at:
+            deliver_at = horizon
         self._fifo_horizon[link] = deliver_at
-        self.sim.schedule_at(deliver_at, self._deliver, src, dst, msg)
+        self._sends_since_sweep += 1
+        if self._sends_since_sweep >= _HORIZON_SWEEP_INTERVAL:
+            self._sweep_horizons()
+        self.sim.post_at(deliver_at, self._deliver, src, dst, msg)
+
+    def _sweep_horizons(self) -> None:
+        """Drop FIFO horizons that can no longer delay a delivery."""
+        self._sends_since_sweep = 0
+        now = self.sim.now
+        stale = [
+            link
+            for link, horizon in self._fifo_horizon.items()
+            if horizon + _FIFO_EPSILON <= now
+        ]
+        for link in stale:
+            del self._fifo_horizon[link]
 
     def _deliver(self, src: Address, dst: Address, msg: Message) -> None:
         # Conditions are re-checked at delivery time: a node that crashed

@@ -1,0 +1,31 @@
+"""Performance harness: microbenchmarks, profiling, benchmark reports.
+
+``python -m repro perf`` is the front door; :mod:`repro.perf.micro`
+holds the individual hot-path microbenchmarks, :mod:`repro.perf.legacy`
+keeps the seed event kernel as the in-process baseline, and
+:mod:`repro.perf.report` assembles everything into the ``BENCH_*.json``
+trajectory files. See ``docs/PERFORMANCE.md``.
+"""
+
+from repro.perf.legacy import LegacySimulator
+from repro.perf.micro import (
+    bench_end_to_end,
+    bench_event_kernel,
+    bench_message_sizing,
+    bench_network_send,
+)
+from repro.perf.profile import format_profile_rows, profile_call
+from repro.perf.report import collect_report, summary_lines, write_report
+
+__all__ = [
+    "LegacySimulator",
+    "bench_end_to_end",
+    "bench_event_kernel",
+    "bench_message_sizing",
+    "bench_network_send",
+    "profile_call",
+    "format_profile_rows",
+    "collect_report",
+    "write_report",
+    "summary_lines",
+]

@@ -1,0 +1,106 @@
+"""Frozen copy of the pre-optimization event kernel (the PR-1 baseline).
+
+This is the seed repository's ``repro.sim.kernel.Simulator`` verbatim
+(modulo renames): a heap of :class:`LegacyScheduledEvent` objects whose
+ordering dispatches to ``__lt__`` on every sift, an O(n)
+``pending_events`` scan, and no cancelled-entry compaction.
+
+It exists solely so the perf harness can measure the optimized kernel
+against its true predecessor *on the same machine in the same process*,
+which makes the speedup number in ``BENCH_*.json`` portable. It must
+not be used by any protocol code.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["LegacySimulator", "LegacyScheduledEvent"]
+
+
+class LegacyScheduledEvent:
+    """Pre-PR-1 event handle: heap entries compare via ``__lt__``."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "LegacyScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class LegacySimulator:
+    """The seed discrete-event simulator, kept as a benchmark reference."""
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._seq: int = 0
+        self._heap: List[LegacyScheduledEvent] = []
+        self._running = False
+        self._events_processed: int = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def pending_events(self) -> int:
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> LegacyScheduledEvent:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> LegacyScheduledEvent:
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} which is before now={self._now}"
+            )
+        ev = LegacyScheduledEvent(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        if self._running:
+            raise SimulationError("simulator is not reentrant: run() called from a callback")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                ev = self._heap[0]
+                if ev.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and ev.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = ev.time
+                self._events_processed += 1
+                ev.callback(*ev.args)
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(
+                        f"simulation exceeded max_events={max_events}; "
+                        "likely a livelock (self-rescheduling event loop)"
+                    )
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now

@@ -1,0 +1,229 @@
+"""Hot-path microbenchmarks.
+
+Each benchmark isolates one of the three hot paths the PR-1 overhaul
+targets — the event kernel, the network send path, and message sizing —
+plus a small end-to-end simulation. All of them are deterministic in
+*virtual* behaviour (same seeds ⇒ same event counts); only the measured
+wall-clock rate varies by machine. Every function returns a plain dict
+so results drop straight into the benchmark JSON.
+
+The kernel benchmark runs twice: once on :class:`LegacySimulator` (the
+seed kernel, kept verbatim in :mod:`repro.perf.legacy`) and once on the
+optimized kernel, so the reported speedup compares both implementations
+on the same machine in the same process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Any, Callable, ClassVar, Dict, List
+
+from repro.net.latency import FixedLatency
+from repro.net.message import Message
+from repro.net.network import Address, Network
+from repro.perf.legacy import LegacySimulator
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "bench_event_kernel",
+    "bench_network_send",
+    "bench_message_sizing",
+    "bench_end_to_end",
+]
+
+
+def _best_rate(fn: Callable[[], float], repeats: int) -> Dict[str, Any]:
+    """Run ``fn`` (returns events/sec) ``repeats`` times; keep all runs."""
+    runs = [fn() for _ in range(max(1, repeats))]
+    return {"best": max(runs), "runs": runs}
+
+
+# ----------------------------------------------------------------------
+# event kernel
+# ----------------------------------------------------------------------
+def _drive_kernel(sim, sched, n_events: int, fanout: int) -> float:
+    """Self-rescheduling event chains: the kernel's steady-state shape.
+
+    ``fanout`` concurrent chains keep the heap at a realistic depth
+    while every callback reschedules exactly once, so the measured rate
+    is pure schedule+pop+dispatch overhead.
+    """
+    per_chain = max(1, n_events // fanout)
+    remaining = [per_chain] * fanout
+
+    def tick(i: int) -> None:
+        remaining[i] -= 1
+        if remaining[i]:
+            sched(0.001 * (i + 1) / fanout, tick, i)
+
+    for i in range(fanout):
+        sched(0.001 * (i + 1) / fanout, tick, i)
+    t0 = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - t0
+    return sim.events_processed / elapsed
+
+
+def bench_event_kernel(n_events: int = 200_000, fanout: int = 100, repeats: int = 3) -> Dict[str, Any]:
+    """Events/sec through the legacy and optimized kernels.
+
+    ``baseline_events_per_sec`` drives the legacy (seed) kernel through
+    its only API, ``schedule``. ``optimized_events_per_sec`` drives the
+    new kernel through ``post`` — the handle-free path the network and
+    process layers now use — which is the true before/after of the
+    delivery hot path. ``optimized_schedule_events_per_sec`` is the new
+    kernel through the handle-returning API, for transparency.
+    """
+    legacy = _best_rate(
+        lambda: _drive_kernel((s := LegacySimulator()), s.schedule, n_events, fanout), repeats
+    )
+    post = _best_rate(
+        lambda: _drive_kernel((s := Simulator()), s.post, n_events, fanout), repeats
+    )
+    sched = _best_rate(
+        lambda: _drive_kernel((s := Simulator()), s.schedule, n_events, fanout), repeats
+    )
+    return {
+        "n_events": n_events,
+        "fanout": fanout,
+        "repeats": repeats,
+        "baseline_events_per_sec": legacy["best"],
+        "baseline_runs": legacy["runs"],
+        "optimized_events_per_sec": post["best"],
+        "optimized_runs": post["runs"],
+        "optimized_schedule_events_per_sec": sched["best"],
+        "speedup": post["best"] / legacy["best"] if legacy["best"] else 0.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# network fabric
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class _PerfNote(Message):
+    type_name: ClassVar[str] = "perf-note"
+    body: str = ""
+
+
+def bench_network_send(n_messages: int = 50_000, repeats: int = 3) -> Dict[str, Any]:
+    """Messages/sec through ``Network.send`` + delivery on a warm link."""
+
+    def once() -> float:
+        sim = Simulator()
+        net = Network(sim, rng=RngRegistry(1), lan=FixedLatency(0.0001))
+        a, b = Address("dc0", "a"), Address("dc0", "b")
+        sink: List[object] = []
+        net.register(a, lambda msg, src: None)
+        net.register(b, lambda msg, src: sink.append(msg))
+        msg = _PerfNote(body="x" * 64)
+        t0 = time.perf_counter()
+        for _ in range(n_messages):
+            net.send(a, b, msg)
+        sim.run()
+        elapsed = time.perf_counter() - t0
+        assert len(sink) == n_messages
+        return n_messages / elapsed
+
+    result = _best_rate(once, repeats)
+    return {
+        "n_messages": n_messages,
+        "repeats": repeats,
+        "messages_per_sec": result["best"],
+        "runs": result["runs"],
+    }
+
+
+# ----------------------------------------------------------------------
+# message sizing
+# ----------------------------------------------------------------------
+def bench_message_sizing(n_sizings: int = 100_000, repeats: int = 3) -> Dict[str, Any]:
+    """Sizings/sec for a realistic ChainPut, fresh vs memoized."""
+    from repro.core.messages import ChainPut, DepEntry
+    from repro.storage.version import VersionVector
+
+    deps = {
+        f"key-{i}": DepEntry(version=VersionVector({"dc0": i, "dc1": i + 1}), index=1)
+        for i in range(4)
+    }
+
+    def make() -> ChainPut:
+        return ChainPut(
+            key="user:12345",
+            value="x" * 64,
+            version=VersionVector({"dc0": 7}),
+            origin_site="dc0",
+            deps=deps,
+            position=1,
+            ack_index=2,
+            request_id=99,
+        )
+
+    def fresh() -> float:
+        t0 = time.perf_counter()
+        for _ in range(n_sizings):
+            make().size_bytes()
+        return n_sizings / (time.perf_counter() - t0)
+
+    def memoized() -> float:
+        msg = make()
+        msg.size_bytes()  # prime the cache
+        t0 = time.perf_counter()
+        for _ in range(n_sizings):
+            msg.size_bytes()
+        return n_sizings / (time.perf_counter() - t0)
+
+    fresh_r = _best_rate(fresh, repeats)
+    memo_r = _best_rate(memoized, repeats)
+    return {
+        "n_sizings": n_sizings,
+        "repeats": repeats,
+        "fresh_sizings_per_sec": fresh_r["best"],
+        "memoized_sizings_per_sec": memo_r["best"],
+        "memoization_speedup": memo_r["best"] / fresh_r["best"] if fresh_r["best"] else 0.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# end to end
+# ----------------------------------------------------------------------
+def bench_end_to_end(
+    duration: float = 0.5,
+    n_clients: int = 8,
+    record_count: int = 50,
+    seed: int = 7,
+) -> Dict[str, Any]:
+    """A small geo-replicated ChainReaction run; events/sec and ops/sec.
+
+    Virtual behaviour is fixed by ``seed`` — ``events_processed`` and
+    ``ops_completed`` are the determinism canaries; the wall-clock rates
+    are the performance signal.
+    """
+    from repro.baselines import build_store
+    from repro.workload import WorkloadRunner, workload
+
+    store = build_store(
+        "chainreaction",
+        sites=("dc0", "dc1"),
+        servers_per_site=4,
+        chain_length=3,
+        seed=seed,
+    )
+    spec = workload("B", record_count=record_count, value_size=64)
+    runner = WorkloadRunner(
+        store, spec, n_clients=n_clients, duration=duration, warmup=0.1,
+        record_history=False,
+    )
+    t0 = time.perf_counter()
+    result = runner.run()
+    elapsed = time.perf_counter() - t0
+    return {
+        "duration_virtual_s": duration,
+        "n_clients": n_clients,
+        "wall_seconds": elapsed,
+        "events_processed": store.sim.events_processed,
+        "ops_completed": result.ops_completed,
+        "events_per_sec": store.sim.events_processed / elapsed,
+        "sim_ops_per_wall_sec": result.ops_completed / elapsed,
+    }

@@ -1,0 +1,57 @@
+"""cProfile wrapper for the hot paths.
+
+``profile_call`` runs any zero-argument callable under cProfile and
+returns the hottest functions as structured rows, so ``python -m repro
+perf --profile`` can print where simulation time actually goes without
+anyone having to remember the pstats incantations.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from typing import Any, Callable, Dict, List, Tuple
+
+__all__ = ["profile_call", "format_profile_rows"]
+
+
+def profile_call(
+    fn: Callable[[], Any], top: int = 15, sort: str = "cumulative"
+) -> Tuple[Any, List[Dict[str, Any]]]:
+    """Run ``fn()`` under cProfile; return (fn's result, top-N rows).
+
+    Each row: ``{"ncalls", "tottime", "cumtime", "function"}`` with
+    times in seconds, sorted by ``sort`` (a pstats sort key).
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(sort)
+    rows: List[Dict[str, Any]] = []
+    for func in stats.fcn_list[:top]:  # type: ignore[attr-defined]
+        cc, nc, tt, ct, _callers = stats.stats[func]  # type: ignore[attr-defined]
+        filename, lineno, name = func
+        location = f"{filename}:{lineno}({name})" if lineno else name
+        rows.append(
+            {
+                "ncalls": nc,
+                "tottime": tt,
+                "cumtime": ct,
+                "function": location,
+            }
+        )
+    return result, rows
+
+
+def format_profile_rows(rows: List[Dict[str, Any]]) -> str:
+    """Plain-text rendering of :func:`profile_call` rows."""
+    lines = [f"{'ncalls':>10}  {'tottime':>8}  {'cumtime':>8}  function"]
+    for row in rows:
+        lines.append(
+            f"{row['ncalls']:>10}  {row['tottime']:>8.3f}  {row['cumtime']:>8.3f}  {row['function']}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,125 @@
+"""Benchmark report assembly: collect microbenchmarks into one JSON blob.
+
+The report written to ``BENCH_*.json`` has a stable shape so successive
+PRs can be compared file-to-file:
+
+- ``meta`` — python version, platform, knobs used;
+- ``event_kernel`` — baseline (seed kernel) vs optimized events/sec and
+  the speedup between them, measured in-process on the same machine;
+- ``network_send`` / ``message_sizing`` / ``end_to_end`` — the other
+  hot-path rates;
+- ``parallel_sweep`` (optional) — serial vs parallel wall time for an
+  E1-style sweep plus a row-for-row equality verdict.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from typing import Any, Dict, Optional
+
+from repro.perf.micro import (
+    bench_end_to_end,
+    bench_event_kernel,
+    bench_message_sizing,
+    bench_network_send,
+)
+
+__all__ = ["collect_report", "write_report", "summary_lines"]
+
+
+def collect_report(
+    n_events: int = 200_000,
+    repeats: int = 3,
+    include_end_to_end: bool = True,
+    include_sweep: bool = False,
+) -> Dict[str, Any]:
+    """Run the microbenchmark suite and return the report dict."""
+    import os
+
+    report: Dict[str, Any] = {
+        "meta": {
+            "benchmark": "PR1 hot-path overhaul",
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "n_events": n_events,
+            "repeats": repeats,
+            "collected_unix_time": time.time(),
+        },
+        "event_kernel": bench_event_kernel(n_events=n_events, repeats=repeats),
+        "network_send": bench_network_send(
+            n_messages=max(1000, n_events // 4), repeats=repeats
+        ),
+        "message_sizing": bench_message_sizing(
+            n_sizings=max(1000, n_events // 2), repeats=repeats
+        ),
+    }
+    if include_end_to_end:
+        report["end_to_end"] = bench_end_to_end()
+    if include_sweep:
+        report["parallel_sweep"] = _bench_parallel_sweep()
+    return report
+
+
+def _bench_parallel_sweep() -> Dict[str, Any]:
+    """Serial vs parallel wall time for an E1-style sweep (tiny scale)."""
+    import dataclasses
+
+    from repro.bench import QUICK, throughput_sweep
+
+    scale = dataclasses.replace(
+        QUICK, record_count=40, duration=0.4, warmup=0.1, client_counts=(2, 4)
+    )
+    protocols = ("chainreaction", "chain", "eventual", "quorum")
+    t0 = time.perf_counter()
+    serial_rows = throughput_sweep(protocols, "B", scale)
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel_rows = throughput_sweep(protocols, "B", scale, parallel=True)
+    parallel_s = time.perf_counter() - t0
+    import os
+
+    return {
+        "points": len(serial_rows),
+        "cpu_count": os.cpu_count(),
+        "serial_wall_s": serial_s,
+        "parallel_wall_s": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s else 0.0,
+        "rows_identical": serial_rows == parallel_rows,
+    }
+
+
+def write_report(report: Dict[str, Any], path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def summary_lines(report: Dict[str, Any]) -> list:
+    """(metric, value) rows for the CLI table."""
+    kernel = report["event_kernel"]
+    rows = [
+        ("kernel baseline (seed) events/s", f"{kernel['baseline_events_per_sec']:,.0f}"),
+        ("kernel optimized events/s", f"{kernel['optimized_events_per_sec']:,.0f}"),
+        ("kernel speedup", f"{kernel['speedup']:.2f}x"),
+        ("network send msgs/s", f"{report['network_send']['messages_per_sec']:,.0f}"),
+        ("sizing fresh/s", f"{report['message_sizing']['fresh_sizings_per_sec']:,.0f}"),
+        ("sizing memoized/s", f"{report['message_sizing']['memoized_sizings_per_sec']:,.0f}"),
+    ]
+    e2e: Optional[Dict[str, Any]] = report.get("end_to_end")
+    if e2e:
+        rows.append(("end-to-end events/s", f"{e2e['events_per_sec']:,.0f}"))
+        rows.append(("end-to-end sim ops/wall-s", f"{e2e['sim_ops_per_wall_sec']:,.0f}"))
+    sweep = report.get("parallel_sweep")
+    if sweep:
+        rows.append(
+            (
+                "sweep serial / parallel (s)",
+                f"{sweep['serial_wall_s']:.2f} / {sweep['parallel_wall_s']:.2f}",
+            )
+        )
+        rows.append(("sweep rows identical", str(sweep["rows_identical"])))
+    return rows

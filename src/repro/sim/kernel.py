@@ -9,37 +9,67 @@ Events with equal timestamps fire in the order they were scheduled
 (FIFO tie-break via a monotonically increasing sequence number), which
 keeps executions deterministic even when many messages land on the same
 instant.
+
+Performance notes (this is the hottest loop in the repository — every
+message hop and timer passes through it):
+
+- The heap holds plain tuples, so sift comparisons stop at the unique
+  ``seq`` element and run entirely in C — ``ScheduledEvent.__lt__`` is
+  never dispatched. Two entry shapes coexist:
+  ``(time, seq, event)`` for cancellable events and
+  ``(time, seq, callback, args)`` for fire-and-forget events posted via
+  :meth:`Simulator.post` / :meth:`Simulator.post_at`, which skip the
+  handle allocation entirely (the network delivery path uses these).
+- ``pending_events()`` is O(1): the simulator keeps a live counter
+  updated on schedule/cancel/pop instead of scanning the heap.
+- Lazily-cancelled entries are compacted away once they outnumber the
+  live ones, so a workload that cancels most of its timers (RPC
+  timeouts, usually) cannot grow the heap without bound.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
 __all__ = ["Simulator", "ScheduledEvent"]
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+#: Below this heap size compaction is pointless churn.
+_COMPACT_MIN_HEAP = 64
 
 
 class ScheduledEvent:
     """Handle for a scheduled callback; supports cancellation.
 
     Cancellation is lazy: the heap entry stays in place and is skipped
-    when popped, which keeps ``cancel`` O(1).
+    when popped, which keeps ``cancel`` O(1). The owning simulator
+    compacts the heap once cancelled entries dominate it.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple,
+                 sim: "Optional[Simulator]" = None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from firing. Safe to call more than once."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancel()
+            self._sim = None
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -65,9 +95,11 @@ class Simulator:
     def __init__(self) -> None:
         self._now: float = 0.0
         self._seq: int = 0
-        self._heap: List[ScheduledEvent] = []
+        self._heap: List[Tuple] = []
         self._running = False
         self._events_processed: int = 0
+        self._pending: int = 0
+        self._cancelled_in_heap: int = 0
 
     # ------------------------------------------------------------------
     # time
@@ -83,8 +115,8 @@ class Simulator:
         return self._events_processed
 
     def pending_events(self) -> int:
-        """Number of not-yet-fired, not-cancelled events."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of not-yet-fired, not-cancelled events. O(1)."""
+        return self._pending
 
     # ------------------------------------------------------------------
     # scheduling
@@ -101,9 +133,11 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} which is before now={self._now}"
             )
-        ev = ScheduledEvent(time, self._seq, callback, args)
-        self._seq += 1
-        heapq.heappush(self._heap, ev)
+        seq = self._seq
+        self._seq = seq + 1
+        ev = ScheduledEvent(time, seq, callback, args, self)
+        _heappush(self._heap, (time, seq, ev))
+        self._pending += 1
         return ev
 
     def call_soon(self, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
@@ -111,18 +145,68 @@ class Simulator:
         currently-executing event and anything already queued for now)."""
         return self.schedule(0.0, callback, *args)
 
+    def post(self, delay: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no handle, not cancellable.
+
+        The hot paths (message delivery, process resumption) never cancel
+        their events, so they use this to skip the handle allocation.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
+        self.post_at(self._now + delay, callback, *args)
+
+    def post_at(self, time: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule_at`: no handle, not cancellable."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} which is before now={self._now}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._heap, (time, seq, callback, args))
+        self._pending += 1
+
+    # ------------------------------------------------------------------
+    # cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        self._pending -= 1
+        self._cancelled_in_heap += 1
+        heap = self._heap
+        if (
+            self._cancelled_in_heap * 2 > len(heap)
+            and len(heap) >= _COMPACT_MIN_HEAP
+        ):
+            # Rebuild in place so a `run()` loop holding a reference to
+            # the list keeps seeing the compacted heap.
+            heap[:] = [e for e in heap if len(e) != 3 or not e[2].cancelled]
+            heapq.heapify(heap)
+            self._cancelled_in_heap = 0
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def _fire(self, entry: Tuple) -> None:
+        """Advance the clock to ``entry`` and run its callback."""
+        self._pending -= 1
+        self._now = entry[0]
+        self._events_processed += 1
+        if len(entry) == 3:
+            ev = entry[2]
+            ev._sim = None
+            ev.callback(*ev.args)
+        else:
+            entry[2](*entry[3])
+
     def step(self) -> bool:
         """Execute the next event. Returns False if the heap is empty."""
-        while self._heap:
-            ev = heapq.heappop(self._heap)
-            if ev.cancelled:
+        heap = self._heap
+        while heap:
+            entry = _heappop(heap)
+            if len(entry) == 3 and entry[2].cancelled:
+                self._cancelled_in_heap -= 1
                 continue
-            self._now = ev.time
-            self._events_processed += 1
-            ev.callback(*ev.args)
+            self._fire(entry)
             return True
         return False
 
@@ -142,18 +226,39 @@ class Simulator:
             raise SimulationError("simulator is not reentrant: run() called from a callback")
         self._running = True
         executed = 0
+        heap = self._heap  # compaction rebuilds in place, so this stays valid
+        pop = _heappop
         try:
-            while self._heap:
-                ev = self._heap[0]
-                if ev.cancelled:
-                    heapq.heappop(self._heap)
+            if until is None and max_events is None:
+                # Fast path: no budget checks inside the inner loop.
+                while heap:
+                    entry = pop(heap)
+                    if len(entry) == 3:
+                        ev = entry[2]
+                        if ev.cancelled:
+                            self._cancelled_in_heap -= 1
+                            continue
+                        ev._sim = None
+                        self._pending -= 1
+                        self._now = entry[0]
+                        self._events_processed += 1
+                        ev.callback(*ev.args)
+                    else:
+                        self._pending -= 1
+                        self._now = entry[0]
+                        self._events_processed += 1
+                        entry[2](*entry[3])
+                return self._now
+            while heap:
+                entry = heap[0]
+                if len(entry) == 3 and entry[2].cancelled:
+                    pop(heap)
+                    self._cancelled_in_heap -= 1
                     continue
-                if until is not None and ev.time > until:
+                if until is not None and entry[0] > until:
                     break
-                heapq.heappop(self._heap)
-                self._now = ev.time
-                self._events_processed += 1
-                ev.callback(*ev.args)
+                pop(heap)
+                self._fire(entry)
                 executed += 1
                 if max_events is not None and executed >= max_events:
                     raise SimulationError(
@@ -162,6 +267,6 @@ class Simulator:
                     )
             if until is not None and until > self._now:
                 self._now = until
+            return self._now
         finally:
             self._running = False
-        return self._now

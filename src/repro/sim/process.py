@@ -114,7 +114,7 @@ class Future:
 def sleep_future(sim: Simulator, delay: float) -> Future:
     """A future that resolves (to None) after ``delay`` virtual seconds."""
     fut = Future(sim)
-    sim.schedule(delay, fut.try_set_result, None)
+    sim.post(delay, fut.try_set_result, None)
     return fut
 
 
@@ -236,7 +236,7 @@ class Process(Future):
         super().__init__(sim)
         self._gen = gen
         self._name = name or getattr(gen, "__name__", "process")
-        sim.call_soon(self._advance, None, None)
+        sim.post(0.0, self._advance, None, None)
 
     @property
     def name(self) -> str:
@@ -260,11 +260,11 @@ class Process(Future):
 
     def _wait_on(self, yielded: Any) -> None:
         if yielded is None:
-            self._sim.call_soon(self._advance, None, None)
+            self._sim.post(0.0, self._advance, None, None)
         elif isinstance(yielded, Future):
             yielded.add_callback(self._on_future)
         elif isinstance(yielded, (int, float)):
-            self._sim.schedule(float(yielded), self._advance, None, None)
+            self._sim.post(float(yielded), self._advance, None, None)
         else:
             self._advance(
                 None,

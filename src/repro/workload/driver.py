@@ -44,7 +44,9 @@ class RunResult:
     history: History
     errors: int
     metadata_bytes: LatencyReservoir
-    store: Datastore
+    #: the live deployment; None when the result crossed a process
+    #: boundary (parallel sweeps strip it — actors are not picklable)
+    store: Optional[Datastore]
 
     def summary_row(self) -> Dict[str, Any]:
         return {

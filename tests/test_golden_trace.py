@@ -1,0 +1,76 @@
+"""Golden-trace regression: kernel/fabric rewrites cannot reorder events.
+
+The snapshot below was recorded on the seed (pre-PR-1) code. Any
+optimization of the kernel, network fabric, or message sizing must keep
+a fixed-seed run *byte-identical*: same number of events fired, same
+messages on the wire, same bytes accounted, same summary row. If this
+test fails after a perf change, the change altered simulation behaviour
+— not just its speed — and must be fixed, not re-recorded. (Re-record
+only for deliberate protocol/semantics changes, and say so in the PR.)
+"""
+
+import pytest
+
+from repro.baselines import build_store
+from repro.workload import WorkloadRunner, workload
+
+#: Recorded on the seed code (commit 43e493d) with the exact
+#: configuration in _golden_run below.
+GOLDEN_EVENTS_PROCESSED = 15345
+GOLDEN_MESSAGES_SENT = 8641
+GOLDEN_BYTES_SENT = 1237897
+GOLDEN_SUMMARY_ROW = {
+    "protocol": "chainreaction",
+    "workload": "B",
+    "clients": 3,
+    "throughput_ops_s": 4042.0,
+    "get_p50_ms": 0.7051737279650527,
+    "get_p99_ms": 0.9363533833093021,
+    "put_p50_ms": 1.546503094938062,
+    "put_p99_ms": 2.02830280082414,
+    "errors": 0,
+}
+
+
+def _golden_run():
+    """An E1-style mini-workload: geo deployment, read-heavy YCSB-B."""
+    store = build_store(
+        "chainreaction",
+        sites=("dc0", "dc1"),
+        servers_per_site=4,
+        chain_length=3,
+        seed=1234,
+    )
+    spec = workload("B", record_count=25, value_size=32)
+    result = WorkloadRunner(
+        store, spec, n_clients=3, duration=0.5, warmup=0.1
+    ).run()
+    return store, result
+
+
+class TestGoldenTrace:
+    def test_fixed_seed_run_matches_recorded_snapshot(self):
+        store, result = _golden_run()
+        observed = (
+            store.sim.events_processed,
+            store.network.stats.messages_sent,
+            store.network.stats.bytes_sent,
+            result.summary_row(),
+        )
+        assert observed == (
+            GOLDEN_EVENTS_PROCESSED,
+            GOLDEN_MESSAGES_SENT,
+            GOLDEN_BYTES_SENT,
+            GOLDEN_SUMMARY_ROW,
+        )
+
+    def test_latency_percentiles_exact(self):
+        # Percentiles flow through the latency reservoirs — a second,
+        # independent angle on event-order stability.
+        _, result = _golden_run()
+        assert result.get_latency.percentile(50) * 1000 == pytest.approx(
+            GOLDEN_SUMMARY_ROW["get_p50_ms"], abs=0.0
+        )
+        assert result.put_latency.percentile(99) * 1000 == pytest.approx(
+            GOLDEN_SUMMARY_ROW["put_p99_ms"], abs=0.0
+        )

@@ -1,0 +1,247 @@
+"""Tests for the PR-1 performance work: size memoization, the kernel's
+O(1) pending counter and heap compaction, the fire-and-forget post API,
+the FIFO-horizon sweep, and the parallel benchmark runner."""
+
+import dataclasses
+from typing import ClassVar
+
+import pytest
+
+from repro.bench import QUICK, consistency_table, latency_run, throughput_sweep
+from repro.net import Address, FixedLatency, Message, Network
+from repro.net.network import _HORIZON_SWEEP_INTERVAL
+from repro.sim import Simulator
+
+TINY = dataclasses.replace(
+    QUICK,
+    record_count=20,
+    duration=0.3,
+    warmup=0.1,
+    client_counts=(2,),
+    latency_clients=2,
+    probe_pairs=3,
+    probe_rounds=4,
+)
+
+
+@dataclasses.dataclass
+class Memoed(Message):
+    type_name: ClassVar[str] = "memoed"
+    memoize_size: ClassVar[bool] = True
+    body: str = ""
+
+
+@dataclasses.dataclass
+class Plain(Message):
+    type_name: ClassVar[str] = "plain"
+    body: str = ""
+
+
+class TestSizeMemoization:
+    def test_memoized_size_is_stable_and_correct(self):
+        msg = Memoed(body="hello")
+        first = msg.size_bytes()
+        assert first == Plain(body="hello").size_bytes()
+        assert msg.size_bytes() == first
+
+    def test_mutation_after_cache_returns_stale_size_by_design(self):
+        # Documented behaviour: memoize_size messages are treated as
+        # frozen once sized; mutating one afterwards does NOT refresh
+        # the cached size.
+        msg = Memoed(body="ab")
+        before = msg.size_bytes()
+        msg.body = "a much longer body than before"
+        assert msg.size_bytes() == before
+        # A plain message tracks the mutation.
+        plain = Plain(body="ab")
+        small = plain.size_bytes()
+        plain.body = "a much longer body than before"
+        assert plain.size_bytes() > small
+
+    def test_unsized_messages_do_not_cache(self):
+        msg = Plain(body="ab")
+        small = msg.size_bytes()
+        msg.body = "xyz!"
+        assert msg.size_bytes() == small + 2
+
+    def test_copy_size_from_carries_memo(self):
+        a = Memoed(body="payload")
+        a.size_bytes()
+        b = Memoed(body="payload")
+        b.copy_size_from(a)
+        assert b.size_bytes() == a.size_bytes()
+
+    def test_copy_size_from_unsized_source_is_noop(self):
+        a = Memoed(body="payload")
+        b = Memoed(body="payload")
+        b.copy_size_from(a)  # a never sized: nothing to carry
+        assert b.size_bytes() == Plain(body="payload").size_bytes()
+
+    def test_protocol_chain_put_memoizes(self):
+        from repro.core.messages import ChainPut
+
+        msg = ChainPut(key="k", value="v" * 32)
+        size = msg.size_bytes()
+        assert msg.size_bytes() == size
+        assert "_size_memo" in msg.__dict__
+
+
+class TestKernelCounters:
+    def test_pending_counter_tracks_schedule_and_pop(self, sim):
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+        assert sim.pending_events() == 5
+        handles[0].cancel()
+        assert sim.pending_events() == 4
+        sim.run()
+        assert sim.pending_events() == 0
+
+    def test_post_events_counted_and_fire_in_order(self, sim):
+        order = []
+        sim.post(2.0, order.append, 2)
+        sim.post(1.0, order.append, 1)
+        assert sim.pending_events() == 2
+        sim.run()
+        assert order == [1, 2]
+        assert sim.events_processed == 2
+
+    def test_post_interleaves_fifo_with_schedule(self, sim):
+        order = []
+        sim.schedule(1.0, order.append, "a")
+        sim.post(1.0, order.append, "b")
+        sim.schedule(1.0, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_post_rejects_past(self, sim):
+        from repro.errors import SimulationError
+
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.post(-0.5, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.post_at(0.5, lambda: None)
+
+    def test_mass_cancellation_compacts_heap(self, sim):
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(1000)]
+        keep = sim.schedule(2000.0, lambda: None)
+        for handle in handles:
+            handle.cancel()
+        # Compaction kicked in: the heap no longer holds ~1000 dead entries.
+        assert len(sim._heap) < 100
+        assert sim.pending_events() == 1
+        sim.run()
+        assert sim.events_processed == 1
+        assert keep.cancelled is False
+
+    def test_cancel_after_fire_keeps_counters_sane(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        handle.cancel()  # late cancel of an already-fired event
+        assert sim.pending_events() == 0
+        sim.schedule(1.0, lambda: None)
+        assert sim.pending_events() == 1
+
+
+class TestHorizonSweep:
+    def test_stale_fifo_horizons_are_swept(self, sim):
+        net = Network(sim, lan=FixedLatency(0.001))
+        a, b = Address("dc0", "a"), Address("dc0", "b")
+        net.register(a, lambda m, s: None)
+        net.register(b, lambda m, s: None)
+        # Many transient links: send one message per fake client address.
+        for i in range(200):
+            src = Address("dc0", f"client-{i}")
+            net.register(src, lambda m, s: None)
+            net.send(src, b, Plain(body="x"))
+        sim.run()
+        assert len(net._fifo_horizon) == 200
+        # Let virtual time move past every transient horizon, then keep
+        # one link warm and push total sends past the sweep interval.
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        for _ in range(_HORIZON_SWEEP_INTERVAL):
+            net.send(a, b, Plain(body="x"))
+        sim.run()
+        # All transient-link horizons are in the past and were dropped.
+        assert len(net._fifo_horizon) <= 2
+
+    def test_fifo_order_survives_sweep(self, sim):
+        from repro.net import UniformLatency
+
+        net = Network(sim, lan=UniformLatency(0.001, 0.050))
+        a, b = Address("dc0", "a"), Address("dc0", "b")
+        inbox = []
+        net.register(a, lambda m, s: None)
+        net.register(b, lambda m, s: inbox.append(m.body))
+        for i in range(_HORIZON_SWEEP_INTERVAL + 100):
+            net.send(a, b, Plain(body=i))
+        sim.run()
+        assert inbox == list(range(_HORIZON_SWEEP_INTERVAL + 100))
+
+
+class TestParallelRunner:
+    def test_throughput_sweep_parallel_matches_serial(self):
+        protocols = ("chainreaction", "eventual")
+        serial = throughput_sweep(protocols, "B", TINY)
+        parallel = throughput_sweep(protocols, "B", TINY, parallel=True)
+        assert parallel == serial
+
+    def test_consistency_table_parallel_matches_serial(self):
+        protocols = ("chainreaction", "eventual")
+        serial = consistency_table(protocols, TINY, sites=("dc0", "dc1"))
+        parallel = consistency_table(protocols, TINY, sites=("dc0", "dc1"), parallel=True)
+        assert parallel == serial
+
+    def test_latency_run_parallel_matches_serial(self):
+        protocols = ("chainreaction", "eventual")
+        serial = latency_run(protocols, "B", TINY)
+        parallel = latency_run(protocols, "B", TINY, parallel=True)
+        assert set(parallel) == set(serial)
+        for protocol in protocols:
+            assert parallel[protocol].ops_completed == serial[protocol].ops_completed
+            assert parallel[protocol].get_latency.percentile(99) == serial[
+                protocol
+            ].get_latency.percentile(99)
+            # Live deployments cannot cross the process boundary.
+            assert parallel[protocol].store is None
+
+
+class TestPerfHarness:
+    def test_event_kernel_bench_reports_speedup(self):
+        from repro.perf import bench_event_kernel
+
+        result = bench_event_kernel(n_events=5_000, repeats=1)
+        assert result["baseline_events_per_sec"] > 0
+        assert result["optimized_events_per_sec"] > 0
+        assert result["speedup"] > 0
+
+    def test_legacy_simulator_matches_kernel_semantics(self):
+        from repro.perf import LegacySimulator
+
+        legacy, current = LegacySimulator(), Simulator()
+        for sim in (legacy, current):
+            order = []
+            sim.schedule(2.0, order.append, 2)
+            sim.schedule(1.0, order.append, 1)
+            handle = sim.schedule(1.5, order.append, 99)
+            handle.cancel()
+            sim.run()
+            assert order == [1, 2]
+            assert sim.events_processed == 2
+            assert sim.now == 2.0
+
+    def test_collect_report_shape(self):
+        from repro.perf import collect_report
+
+        report = collect_report(n_events=2_000, repeats=1, include_end_to_end=False)
+        assert set(report) >= {"meta", "event_kernel", "network_send", "message_sizing"}
+        assert report["message_sizing"]["memoization_speedup"] > 1.0
+
+    def test_profile_call_returns_rows(self):
+        from repro.perf import format_profile_rows, profile_call
+
+        result, rows = profile_call(lambda: sum(range(1000)), top=5)
+        assert result == sum(range(1000))
+        assert rows and all("function" in row for row in rows)
+        assert "function" in format_profile_rows(rows)
