@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Local analysis gate: linter + annotation coverage + optional mypy.
+
+The one command to run before pushing::
+
+    PYTHONPATH=src python scripts/lint_gate.py
+
+Exit status is non-zero if any layer fails:
+
+1. the determinism linter (``repro.analysis.lint``) over ``src/repro``;
+2. the annotation gate (``repro.analysis.typing_gate``) over the
+   protocol-critical packages;
+3. mypy against the ``pyproject.toml`` configuration — skipped with a
+   notice (not a failure) when mypy is not installed, so the gate works
+   on minimal environments.
+
+Equivalent to ``python -m repro lint --typing``; this script exists so
+CI and git hooks have a stable, argument-free entry point.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.analysis import check_annotations, run_lint, run_mypy  # noqa: E402
+
+
+def main() -> int:
+    failed = False
+
+    violations = run_lint()
+    for violation in violations:
+        print(violation.format())
+    print(f"lint: {len(violations)} violation(s)")
+    failed = failed or bool(violations)
+
+    annotations = check_annotations()
+    for violation in annotations:
+        print(violation.format())
+    print(f"typing gate: {len(annotations)} missing annotation(s)")
+    failed = failed or bool(annotations)
+
+    mypy = run_mypy()
+    if mypy.available:
+        if mypy.output.strip():
+            print(mypy.output)
+        print(f"mypy: exit {mypy.returncode}")
+    else:
+        print(mypy.output)
+    failed = failed or not mypy.clean
+
+    print("lint gate:", "FAILED" if failed else "ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

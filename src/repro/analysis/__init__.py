@@ -1,0 +1,76 @@
+"""Static and dynamic correctness analysis for the reproduction.
+
+The credibility of every number this repository produces rests on two
+properties that ordinary tests cannot fully guard:
+
+- **determinism** — a fixed seed must replay the same execution bit for
+  bit (the golden-trace test pins one run, but nothing stops a new code
+  path from quietly consulting the wall clock or an unseeded RNG);
+- **protocol invariants** — chain replication's prefix property,
+  DC-stability monotonicity, and the causal cut served to every client
+  session must hold on every run, not just on the runs a reviewer eyeballed.
+
+This package provides three enforcement layers:
+
+1. :mod:`repro.analysis.lint` — a custom AST linter (``python -m repro
+   lint``) whose rules ban the constructs that break seed-stability:
+   wall-clock reads, module-level ``random`` draws, unseeded RNGs,
+   builtin ``hash()`` in seed derivation, mutable default arguments,
+   unfrozen protocol messages, and iteration over bare ``set``s in
+   event-ordering code.
+2. :mod:`repro.analysis.sanitize` — a runtime sanitizer (``python -m
+   repro sanitize``) that runs an experiment twice under one seed,
+   diffs the message traces, and localizes the first divergent event;
+   plus opt-in invariant hooks (:mod:`repro.analysis.invariants`).
+3. :mod:`repro.analysis.typing_gate` — an annotation-coverage gate for
+   the protocol-critical packages, backed by the strict-leaning mypy
+   configuration in ``pyproject.toml`` when mypy is installed.
+
+See ``docs/ANALYSIS.md`` for the rule reference and pragma syntax.
+"""
+
+from repro.analysis.invariants import (
+    ChainInvariantMonitor,
+    InvariantReport,
+    InvariantViolation,
+)
+from repro.analysis.lint import (
+    LintConfig,
+    LintViolation,
+    lint_file,
+    lint_paths,
+    run_lint,
+)
+from repro.analysis.sanitize import (
+    Divergence,
+    MessageTap,
+    SanitizeReport,
+    capture_run,
+    locate_divergence,
+    sanitize_run,
+)
+from repro.analysis.typing_gate import (
+    AnnotationViolation,
+    check_annotations,
+    run_mypy,
+)
+
+__all__ = [
+    "ChainInvariantMonitor",
+    "InvariantReport",
+    "InvariantViolation",
+    "LintConfig",
+    "LintViolation",
+    "lint_file",
+    "lint_paths",
+    "run_lint",
+    "Divergence",
+    "MessageTap",
+    "SanitizeReport",
+    "capture_run",
+    "locate_divergence",
+    "sanitize_run",
+    "AnnotationViolation",
+    "check_annotations",
+    "run_mypy",
+]

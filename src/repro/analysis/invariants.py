@@ -1,0 +1,262 @@
+"""Opt-in runtime checks of the chain-replication invariants.
+
+ChainReaction inherits three structural properties from chain
+replication, and the causal+ contract adds a fourth; this module turns
+them into assertions that can ride along on any run of the
+``chainreaction`` / ``chain`` deployments:
+
+- **chain prefix property** — writes flow head → tail over FIFO links,
+  so at any instant each replica's applied version sequence for a key
+  is a prefix of the head's sequence. A non-prefix apply means a write
+  bypassed chain order.
+- **DC-stability monotonicity** — the stable version a server tracks
+  per key only ever grows (vector merge); observing it shrink would
+  un-stabilize data that clients already depend on.
+- **tail grounding** — a server may only mark DC-stable a version its
+  own store already dominates: stability is the claim "every chain
+  position holds this", which the claimant must at least satisfy itself.
+- **causal-cut satisfaction** — every ``get`` served to a session must
+  return a version dominating the session's recorded dependency for
+  that key; anything less would hand the application a state outside
+  its causal past.
+
+The monitor wraps per-node ``store.apply`` / ``stability.record`` and
+per-session observation hooks on a live deployment. It is designed for
+fault-free runs (E1-style experiments); failure injection legitimately
+truncates chains mid-flight and is out of scope.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["ChainInvariantMonitor", "InvariantReport", "InvariantViolation"]
+
+
+@dataclasses.dataclass(frozen=True)
+class InvariantViolation:
+    """One invariant breach, with enough context to locate it."""
+
+    kind: str
+    node: str
+    key: str
+    detail: str
+
+    def format(self) -> str:
+        return f"[{self.kind}] node={self.node} key={self.key}: {self.detail}"
+
+
+@dataclasses.dataclass
+class InvariantReport:
+    """Checks run + violations found over one monitored run."""
+
+    violations: List[InvariantViolation]
+    applies_checked: int
+    stability_checks: int
+    gets_checked: int
+    keys_checked: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def format(self) -> str:
+        header = (
+            f"invariants: {self.applies_checked} applies, "
+            f"{self.stability_checks} stability notices, "
+            f"{self.gets_checked} gets, {self.keys_checked} keys checked"
+        )
+        if not self.violations:
+            return header + " — all hold"
+        lines = [header + f" — {len(self.violations)} VIOLATION(S):"]
+        lines.extend("  " + v.format() for v in self.violations)
+        return "\n".join(lines)
+
+
+class ChainInvariantMonitor:
+    """Attachable invariant checker for a chain-based deployment.
+
+    Usage::
+
+        store = build_store("chainreaction", ...)
+        monitor = ChainInvariantMonitor(store).attach()
+        ... run a workload ...
+        report = monitor.report()
+        assert report.clean, report.format()
+
+    Attach *before* preload so the preload writes are part of every
+    replica's recorded sequence.
+    """
+
+    def __init__(self, store: Any) -> None:
+        self.store = store
+        self.violations: List[InvariantViolation] = []
+        #: (site, node) -> key -> ordered list of applied record versions
+        self._applied: Dict[Tuple[str, str], Dict[str, List[Any]]] = {}
+        self.applies_checked = 0
+        self.stability_checks = 0
+        self.gets_checked = 0
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    # attachment
+    # ------------------------------------------------------------------
+    def attach(self) -> "ChainInvariantMonitor":
+        if self._attached:
+            raise RuntimeError("monitor is already attached")
+        self._attached = True
+        for site, nodes in self.store.nodes.items():
+            for node in nodes:
+                self._wrap_node(site, node)
+        self._wrap_session_factory()
+        return self
+
+    def _wrap_node(self, site: str, node: Any) -> None:
+        node_key = (site, node.name)
+        self._applied[node_key] = {}
+        applied = self._applied[node_key]
+        monitor = self
+
+        original_apply = node.store.apply
+
+        def recording_apply(key: str, value: Any, version: Any, now: float = 0.0,
+                            stamp: Any = None) -> Any:
+            result = original_apply(key, value, version, now, stamp)
+            monitor.applies_checked += 1
+            if result.applied:
+                applied.setdefault(key, []).append(result.record.version)
+            return result
+
+        node.store.apply = recording_apply
+
+        if not hasattr(node, "stability"):
+            return  # non-chain server: prefix recording only
+
+        original_record = node.stability.record
+        tracker = node.stability
+        node_name = f"{site}:{node.name}"
+
+        def checking_record(key: str, version: Any) -> None:
+            before = tracker.stable_version(key)
+            original_record(key, version)
+            after = tracker.stable_version(key)
+            monitor.stability_checks += 1
+            if not after.dominates(before):
+                monitor.violations.append(
+                    InvariantViolation(
+                        kind="stability-monotonicity",
+                        node=node_name,
+                        key=key,
+                        detail=f"stable version moved from {before} to {after}",
+                    )
+                )
+            held = node.store.version_of(key)
+            if not held.dominates(after):
+                monitor.violations.append(
+                    InvariantViolation(
+                        kind="stability-grounding",
+                        node=node_name,
+                        key=key,
+                        detail=(
+                            f"declared {after} stable while holding only {held}; "
+                            "a server may not stabilise versions it does not store"
+                        ),
+                    )
+                )
+
+        node.stability.record = checking_record
+
+    def _wrap_session_factory(self) -> None:
+        original_session = self.store.session
+        monitor = self
+
+        def monitored_session(*args: Any, **kwargs: Any) -> Any:
+            session = original_session(*args, **kwargs)
+            monitor._wrap_session(session)
+            return session
+
+        self.store.session = monitored_session
+
+    def _wrap_session(self, session: Any) -> None:
+        # Only the ChainReaction client keeps a dependency table; the
+        # plain chain-replication client has no causal metadata to check.
+        if not hasattr(session, "_note_observed") or not hasattr(session, "_deps"):
+            return
+        original_note = session._note_observed
+        monitor = self
+        session_name = session.session_id
+
+        def checking_note(key: str, reply: Dict[str, Any]) -> None:
+            entry = session._deps.get(key)
+            monitor.gets_checked += 1
+            if entry is not None and not reply["version"].dominates(entry.version):
+                monitor.violations.append(
+                    InvariantViolation(
+                        kind="causal-cut",
+                        node=session_name,
+                        key=key,
+                        detail=(
+                            f"get served {reply['version']} but the session "
+                            f"already observed {entry.version}"
+                        ),
+                    )
+                )
+            original_note(key, reply)
+
+        session._note_observed = checking_note
+
+    # ------------------------------------------------------------------
+    # end-of-run checks
+    # ------------------------------------------------------------------
+    def check_prefix_property(self) -> List[InvariantViolation]:
+        """Verify every replica's applied sequence is a prefix of the head's.
+
+        Runs over the final recorded sequences; call after the
+        simulation has drained so in-flight chain hops are not reported
+        as (transient, legitimate) gaps.
+        """
+        found: List[InvariantViolation] = []
+        for site, manager in self.store.managers.items():
+            view = manager.view
+            keys = set()
+            for node in self.store.nodes[site]:
+                keys.update(self._applied[(site, node.name)].keys())
+            for key in sorted(keys):
+                chain = view.chain_for(key)
+                head_seq = self._applied[(site, chain[0])].get(key, [])
+                for member in chain[1:]:
+                    member_seq = self._applied[(site, member)].get(key, [])
+                    if len(member_seq) > len(head_seq) or any(
+                        m != h for m, h in zip(member_seq, head_seq)
+                    ):
+                        found.append(
+                            InvariantViolation(
+                                kind="chain-prefix",
+                                node=f"{site}:{member}",
+                                key=key,
+                                detail=(
+                                    f"applied sequence ({len(member_seq)} versions) "
+                                    f"is not a prefix of the head's "
+                                    f"({len(head_seq)} versions)"
+                                ),
+                            )
+                        )
+        return found
+
+    def keys_tracked(self) -> int:
+        return len({
+            key
+            for per_key in self._applied.values()
+            for key in per_key
+        })
+
+    def report(self) -> InvariantReport:
+        """Final report: runtime violations plus the end-of-run prefix scan."""
+        return InvariantReport(
+            violations=list(self.violations) + self.check_prefix_property(),
+            applies_checked=self.applies_checked,
+            stability_checks=self.stability_checks,
+            gets_checked=self.gets_checked,
+            keys_checked=self.keys_tracked(),
+        )

@@ -1,0 +1,682 @@
+"""Custom AST linter enforcing simulator purity.
+
+Every rule here exists because the construct it bans has a concrete
+failure mode in a discrete-event reproduction:
+
+- ``no-wall-clock`` — ``time.time()`` / ``datetime.now()`` inside
+  sim-driven code couples a run to the host clock; two runs with the
+  same seed stop being comparable. (Wall-clock is legitimate in the
+  perf harness, which *measures* the host — those files are
+  whitelisted.)
+- ``no-global-random`` — module-level ``random.random()`` et al. draw
+  from the interpreter-global stream; any unrelated draw perturbs every
+  later one. Randomness must flow from labelled
+  :class:`~repro.sim.rng.RngRegistry` streams.
+- ``no-unseeded-rng`` — ``random.Random()`` / ``random.Random(None)`` /
+  ``random.SystemRandom`` seed from the OS; the run is unreproducible.
+- ``no-builtin-hash-seed`` — builtin ``hash()`` on strings is salted by
+  ``PYTHONHASHSEED``, so a seed derived from it differs between
+  interpreter launches. Use :func:`repro.sim.rng.derive_seed`.
+- ``frozen-message`` — protocol messages must be ``frozen=True``
+  dataclasses: the wire-size memo (``memoize_size`` /
+  ``copy_size_from``) caches the first ``size_bytes()`` result, so a
+  mutated message would silently ship stale byte accounting.
+- ``no-mutable-default`` — a mutable default argument is shared across
+  calls; protocol state bleeding between actors breaks run isolation.
+- ``set-iteration`` — iterating a bare ``set`` in event-ordering code
+  makes the event order depend on hash layout. Iterate ``sorted(...)``
+  or use an order-preserving container.
+
+Suppression: append ``# repro: lint-ok(<rule>[, <rule>...])`` to the
+offending line, or put ``# repro: lint-ok-file(<rule>)`` in the first
+ten lines of a file to exempt the whole file from one rule. Per-file
+whitelists for genuinely wall-clock code live in
+:data:`DEFAULT_WALL_CLOCK_EXEMPT`.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "ALL_RULES",
+    "DEFAULT_WALL_CLOCK_EXEMPT",
+    "EVENT_ORDERING_DIRS",
+    "LintConfig",
+    "LintViolation",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "run_lint",
+]
+
+# ----------------------------------------------------------------------
+# rule inventory
+# ----------------------------------------------------------------------
+
+RULE_NO_WALL_CLOCK = "no-wall-clock"
+RULE_NO_GLOBAL_RANDOM = "no-global-random"
+RULE_NO_UNSEEDED_RNG = "no-unseeded-rng"
+RULE_NO_BUILTIN_HASH_SEED = "no-builtin-hash-seed"
+RULE_FROZEN_MESSAGE = "frozen-message"
+RULE_NO_MUTABLE_DEFAULT = "no-mutable-default"
+RULE_SET_ITERATION = "set-iteration"
+
+ALL_RULES: Tuple[str, ...] = (
+    RULE_NO_WALL_CLOCK,
+    RULE_NO_GLOBAL_RANDOM,
+    RULE_NO_UNSEEDED_RNG,
+    RULE_NO_BUILTIN_HASH_SEED,
+    RULE_FROZEN_MESSAGE,
+    RULE_NO_MUTABLE_DEFAULT,
+    RULE_SET_ITERATION,
+)
+
+#: Files (paths relative to ``src/repro``) allowed to read the wall
+#: clock: the perf harness measures the host machine by design.
+DEFAULT_WALL_CLOCK_EXEMPT: Tuple[str, ...] = (
+    "perf/report.py",
+    "perf/micro.py",
+    "perf/profile.py",
+    "perf/legacy.py",
+)
+
+#: Directories (relative to ``src/repro``) whose code runs inside the
+#: event loop and therefore must not iterate unordered sets: a different
+#: hash layout would reorder sends and break seed-stability.
+EVENT_ORDERING_DIRS: Tuple[str, ...] = (
+    "sim",
+    "net",
+    "core",
+    "cluster",
+    "baselines",
+    "storage",
+)
+
+#: Wall-clock functions per module.
+_WALL_CLOCK_FUNCS: Dict[str, Set[str]] = {
+    "time": {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "sleep",
+    },
+    "datetime": {"now", "utcnow", "today"},
+}
+
+#: Module-level ``random`` functions that draw from (or reseed) the
+#: interpreter-global stream.
+_GLOBAL_RANDOM_FUNCS: Set[str] = {
+    "random",
+    "randint",
+    "randrange",
+    "getrandbits",
+    "randbytes",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "uniform",
+    "triangular",
+    "betavariate",
+    "expovariate",
+    "gammavariate",
+    "gauss",
+    "lognormvariate",
+    "normalvariate",
+    "vonmisesvariate",
+    "paretovariate",
+    "weibullvariate",
+    "seed",
+}
+
+_PRAGMA_LINE = re.compile(r"#\s*repro:\s*lint-ok\(([^)]*)\)")
+_PRAGMA_FILE = re.compile(r"#\s*repro:\s*lint-ok-file\(([^)]*)\)")
+
+
+@dataclasses.dataclass(frozen=True)
+class LintViolation:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+@dataclasses.dataclass(frozen=True)
+class LintConfig:
+    """Which rules apply where.
+
+    ``wall_clock_exempt`` entries are path suffixes (POSIX separators)
+    matched against the linted file; ``event_ordering_dirs`` scopes the
+    ``set-iteration`` rule to code that runs inside the event loop.
+    """
+
+    rules: Tuple[str, ...] = ALL_RULES
+    wall_clock_exempt: Tuple[str, ...] = DEFAULT_WALL_CLOCK_EXEMPT
+    event_ordering_dirs: Tuple[str, ...] = EVENT_ORDERING_DIRS
+
+    def rules_for(self, path: Path) -> Set[str]:
+        """The subset of rules that applies to ``path``."""
+        posix = path.as_posix()
+        active = set(self.rules)
+        if RULE_NO_WALL_CLOCK in active and any(
+            posix.endswith(f"repro/{suffix}") for suffix in self.wall_clock_exempt
+        ):
+            active.discard(RULE_NO_WALL_CLOCK)
+        if RULE_SET_ITERATION in active and "/repro/" in posix:
+            rel = posix.split("/repro/", 1)[1]
+            top = rel.split("/", 1)[0]
+            if "/" in rel and top not in self.event_ordering_dirs:
+                active.discard(RULE_SET_ITERATION)
+        return active
+
+
+# ----------------------------------------------------------------------
+# the visitor
+# ----------------------------------------------------------------------
+
+
+class _ImportTracker:
+    """Resolve names back to the module attribute they were imported as."""
+
+    def __init__(self) -> None:
+        #: local alias -> module name (``import time as t`` => t -> time)
+        self.modules: Dict[str, str] = {}
+        #: local alias -> (module, attr) (``from time import time as now``)
+        self.members: Dict[str, Tuple[str, str]] = {}
+
+    def visit_import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.modules[alias.asname or alias.name.split(".")[0]] = alias.name
+
+    def visit_import_from(self, node: ast.ImportFrom) -> None:
+        if node.module is None or node.level:
+            return
+        for alias in node.names:
+            self.members[alias.asname or alias.name] = (node.module, alias.name)
+
+    def resolve_call(self, func: ast.expr) -> Optional[Tuple[str, str]]:
+        """``(module, attr)`` a called expression resolves to, if known.
+
+        Handles ``module.attr(...)``, ``from module import attr`` +
+        ``attr(...)``, and ``datetime.datetime.now(...)`` style chains
+        (collapsed to the root module plus the final attribute).
+        """
+        if isinstance(func, ast.Name):
+            return self.members.get(func.id)
+        if isinstance(func, ast.Attribute):
+            parts: List[str] = [func.attr]
+            value = func.value
+            while isinstance(value, ast.Attribute):
+                parts.append(value.attr)
+                value = value.value
+            if isinstance(value, ast.Name):
+                root = value.id
+                module = self.modules.get(root)
+                if module is not None:
+                    return (module, parts[0])
+                member = self.members.get(root)
+                if member is not None:
+                    # e.g. ``from datetime import datetime`` + datetime.now()
+                    return (f"{member[0]}.{member[1]}", parts[0])
+        return None
+
+
+def _is_seedy_name(name: str) -> bool:
+    lowered = name.lower()
+    return "seed" in lowered or "rng" in lowered
+
+
+def _contains_builtin_hash(node: ast.AST) -> Optional[ast.Call]:
+    """The first builtin ``hash(...)`` call inside ``node``, if any."""
+    for child in ast.walk(node):
+        if (
+            isinstance(child, ast.Call)
+            and isinstance(child.func, ast.Name)
+            and child.func.id == "hash"
+        ):
+            return child
+    return None
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(
+        self,
+        path: str,
+        active: Set[str],
+        set_names: Optional[Set[str]] = None,
+        set_attrs: Optional[Set[str]] = None,
+    ) -> None:
+        self.path = path
+        self.active = active
+        self.violations: List[LintViolation] = []
+        self.imports = _ImportTracker()
+        #: names/attributes known to hold bare sets in this module,
+        #: collected in a pre-pass so use-before-binding is still caught
+        self._set_names: Set[str] = set_names if set_names is not None else set()
+        self._set_attrs: Set[str] = set_attrs if set_attrs is not None else set()
+
+    # -- helpers --------------------------------------------------------
+    def _add(self, node: ast.AST, rule: str, message: str) -> None:
+        if rule in self.active:
+            self.violations.append(
+                LintViolation(
+                    path=self.path,
+                    line=getattr(node, "lineno", 0),
+                    col=getattr(node, "col_offset", 0),
+                    rule=rule,
+                    message=message,
+                )
+            )
+
+    # -- imports --------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        self.imports.visit_import(node)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self.imports.visit_import_from(node)
+        self.generic_visit(node)
+
+    # -- calls ----------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self.imports.resolve_call(node.func)
+        if resolved is not None:
+            module, attr = resolved
+            self._check_wall_clock(node, module, attr)
+            self._check_global_random(node, module, attr)
+            self._check_unseeded_rng(node, module, attr)
+            self._check_hash_seed_call(node, module, attr)
+        elif isinstance(node.func, ast.Name) and node.func.id == "derive_seed":
+            self._check_hash_in_args(node, "derive_seed")
+        self.generic_visit(node)
+
+    def _check_wall_clock(self, node: ast.Call, module: str, attr: str) -> None:
+        root = module.split(".")[0]
+        banned = _WALL_CLOCK_FUNCS.get(root)
+        if banned is not None and attr in banned:
+            self._add(
+                node,
+                RULE_NO_WALL_CLOCK,
+                f"wall-clock call {module}.{attr}() in sim-driven code; "
+                "use Simulator.now / virtual time",
+            )
+
+    def _check_global_random(self, node: ast.Call, module: str, attr: str) -> None:
+        if module == "random" and attr in _GLOBAL_RANDOM_FUNCS:
+            self._add(
+                node,
+                RULE_NO_GLOBAL_RANDOM,
+                f"module-level random.{attr}() draws from the interpreter-global "
+                "stream; use an RngRegistry stream",
+            )
+
+    def _check_unseeded_rng(self, node: ast.Call, module: str, attr: str) -> None:
+        if module == "random" and attr == "SystemRandom":
+            self._add(
+                node,
+                RULE_NO_UNSEEDED_RNG,
+                "random.SystemRandom draws OS entropy; simulations must seed "
+                "from RngRegistry/derive_seed",
+            )
+            return
+        if module == "random" and attr == "Random":
+            unseeded = not node.args and not node.keywords
+            none_seeded = bool(node.args) and (
+                isinstance(node.args[0], ast.Constant) and node.args[0].value is None
+            )
+            if unseeded or none_seeded:
+                self._add(
+                    node,
+                    RULE_NO_UNSEEDED_RNG,
+                    "random.Random() without an explicit seed is OS-seeded and "
+                    "unreproducible; pass a derive_seed(...) value",
+                )
+
+    def _check_hash_seed_call(self, node: ast.Call, module: str, attr: str) -> None:
+        if (module, attr) == ("random", "Random") or attr == "derive_seed" or _is_seedy_name(attr):
+            self._check_hash_in_args(node, f"{module}.{attr}")
+
+    def _check_hash_in_args(self, node: ast.Call, context: str) -> None:
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            found = _contains_builtin_hash(arg)
+            if found is not None:
+                self._add(
+                    found,
+                    RULE_NO_BUILTIN_HASH_SEED,
+                    f"builtin hash() feeding {context}(...) is salted by "
+                    "PYTHONHASHSEED; use repro.sim.rng.derive_seed",
+                )
+
+    # -- assignments (hash-seed + set tracking) -------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_seed_assignment(target, node.value)
+            self._track_set_binding(target, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_seed_assignment(node.target, node.value)
+            self._track_set_binding(node.target, node.value)
+        self.generic_visit(node)
+
+    def _target_name(self, target: ast.expr) -> Optional[str]:
+        if isinstance(target, ast.Name):
+            return target.id
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            return target.attr
+        return None
+
+    def _check_seed_assignment(self, target: ast.expr, value: ast.expr) -> None:
+        name = self._target_name(target)
+        if name is None or not _is_seedy_name(name):
+            return
+        found = _contains_builtin_hash(value)
+        if found is not None:
+            self._add(
+                found,
+                RULE_NO_BUILTIN_HASH_SEED,
+                f"builtin hash() assigned to seed-like name {name!r} is salted "
+                "by PYTHONHASHSEED; use repro.sim.rng.derive_seed",
+            )
+
+    def _is_bare_set_expr(self, value: ast.expr) -> bool:
+        if isinstance(value, ast.Set):
+            return True
+        if isinstance(value, ast.SetComp):
+            return True
+        if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+            return value.func.id in ("set", "frozenset")
+        return False
+
+    def _track_set_binding(self, target: ast.expr, value: ast.expr) -> None:
+        if not self._is_bare_set_expr(value):
+            return
+        if isinstance(target, ast.Name):
+            self._set_names.add(target.id)
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            self._set_attrs.add(target.attr)
+
+    # -- mutable defaults -----------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_mutable_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_mutable_defaults(node)
+        self.generic_visit(node)
+
+    def _check_mutable_defaults(self, node: ast.AST) -> None:
+        args = node.args  # type: ignore[attr-defined]
+        for default in list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in ("list", "dict", "set", "bytearray")
+            )
+            if mutable:
+                self._add(
+                    default,
+                    RULE_NO_MUTABLE_DEFAULT,
+                    "mutable default argument is shared across calls; "
+                    "default to None and construct inside the function",
+                )
+
+    # -- frozen messages -------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self._subclasses_message(node):
+            self._check_frozen_dataclass(node)
+        self.generic_visit(node)
+
+    def _subclasses_message(self, node: ast.ClassDef) -> bool:
+        for base in node.bases:
+            if isinstance(base, ast.Name) and base.id == "Message":
+                return True
+            if isinstance(base, ast.Attribute) and base.attr == "Message":
+                return True
+        return False
+
+    def _check_frozen_dataclass(self, node: ast.ClassDef) -> None:
+        for deco in node.decorator_list:
+            if isinstance(deco, ast.Call):
+                func = deco.func
+                name = (
+                    func.id
+                    if isinstance(func, ast.Name)
+                    else func.attr
+                    if isinstance(func, ast.Attribute)
+                    else None
+                )
+                if name == "dataclass":
+                    for kw in deco.keywords:
+                        if (
+                            kw.arg == "frozen"
+                            and isinstance(kw.value, ast.Constant)
+                            and kw.value.value is True
+                        ):
+                            return
+                    self._add(
+                        node,
+                        RULE_FROZEN_MESSAGE,
+                        f"protocol message {node.name} must be a frozen "
+                        "dataclass (frozen=True): the wire-size memo assumes "
+                        "messages never mutate after construction",
+                    )
+                    return
+            elif isinstance(deco, (ast.Name, ast.Attribute)):
+                name = deco.id if isinstance(deco, ast.Name) else deco.attr
+                if name == "dataclass":
+                    self._add(
+                        node,
+                        RULE_FROZEN_MESSAGE,
+                        f"protocol message {node.name} must be a frozen "
+                        "dataclass (frozen=True): the wire-size memo assumes "
+                        "messages never mutate after construction",
+                    )
+                    return
+        # No dataclass decorator at all: also a violation — messages are
+        # sized field-by-field through the dataclass machinery.
+        self._add(
+            node,
+            RULE_FROZEN_MESSAGE,
+            f"protocol message {node.name} must be declared as a frozen "
+            "dataclass so wire sizing can enumerate its fields",
+        )
+
+    # -- set iteration ---------------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        self._check_set_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_set_iteration(node.iter)
+        self.generic_visit(node)
+
+    def _check_set_iteration(self, iter_node: ast.expr) -> None:
+        if self._is_bare_set_expr(iter_node):
+            self._add(
+                iter_node,
+                RULE_SET_ITERATION,
+                "iteration over a bare set in event-ordering code depends on "
+                "hash layout; iterate sorted(...) or an ordered container",
+            )
+            return
+        if isinstance(iter_node, ast.Name) and iter_node.id in self._set_names:
+            self._add(
+                iter_node,
+                RULE_SET_ITERATION,
+                f"iteration over set-valued name {iter_node.id!r} in "
+                "event-ordering code; iterate sorted(...) or an ordered container",
+            )
+        elif (
+            isinstance(iter_node, ast.Attribute)
+            and isinstance(iter_node.value, ast.Name)
+            and iter_node.value.id == "self"
+            and iter_node.attr in self._set_attrs
+        ):
+            self._add(
+                iter_node,
+                RULE_SET_ITERATION,
+                f"iteration over set-valued attribute self.{iter_node.attr} in "
+                "event-ordering code; iterate sorted(...) or an ordered container",
+            )
+
+
+# ----------------------------------------------------------------------
+# pragma handling + entry points
+# ----------------------------------------------------------------------
+
+
+def _collect_set_bindings(tree: ast.AST) -> Tuple[Set[str], Set[str]]:
+    """Names / ``self.<attr>`` targets bound to bare sets anywhere in the
+    module — a pre-pass so iteration sites before the binding are caught."""
+
+    def is_set_expr(value: ast.expr) -> bool:
+        if isinstance(value, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in ("set", "frozenset")
+        )
+
+    names: Set[str] = set()
+    attrs: Set[str] = set()
+    for node in ast.walk(tree):
+        pairs: List[Tuple[ast.expr, ast.expr]] = []
+        if isinstance(node, ast.Assign):
+            pairs = [(target, node.value) for target in node.targets]
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            pairs = [(node.target, node.value)]
+        for target, value in pairs:
+            if not is_set_expr(value):
+                continue
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+            elif (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                attrs.add(target.attr)
+    return names, attrs
+
+
+def _parse_pragmas(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """(line -> suppressed rules, file-wide suppressed rules)."""
+    per_line: Dict[int, Set[str]] = {}
+    whole_file: Set[str] = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_LINE.search(line)
+        if match:
+            rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            per_line.setdefault(lineno, set()).update(rules)
+        if lineno <= 10:
+            match = _PRAGMA_FILE.search(line)
+            if match:
+                whole_file.update(
+                    part.strip() for part in match.group(1).split(",") if part.strip()
+                )
+    return per_line, whole_file
+
+
+def lint_source(
+    source: str, path: str = "<string>", config: Optional[LintConfig] = None
+) -> List[LintViolation]:
+    """Lint one source string; ``path`` scopes per-file rule selection."""
+    config = config or LintConfig()
+    active = config.rules_for(Path(path))
+    if not active:
+        return []
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            LintViolation(
+                path=path,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                rule="syntax-error",
+                message=str(exc.msg),
+            )
+        ]
+    per_line, whole_file = _parse_pragmas(source)
+    set_names, set_attrs = _collect_set_bindings(tree)
+    linter = _Linter(path, active - whole_file, set_names, set_attrs)
+    linter.visit(tree)
+    seen: Set[LintViolation] = set()
+    out: List[LintViolation] = []
+    for violation in sorted(
+        linter.violations, key=lambda v: (v.line, v.col, v.rule, v.message)
+    ):
+        if violation.rule in per_line.get(violation.line, ()):
+            continue
+        dedupe = dataclasses.replace(violation, message="")
+        if dedupe in seen:
+            continue
+        seen.add(dedupe)
+        out.append(violation)
+    return out
+
+
+def lint_file(path: Path, config: Optional[LintConfig] = None) -> List[LintViolation]:
+    return lint_source(path.read_text(encoding="utf-8"), str(path), config)
+
+
+def _iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(
+    paths: Sequence[Path], config: Optional[LintConfig] = None
+) -> List[LintViolation]:
+    """Lint files and directories (recursively); stable ordering."""
+    violations: List[LintViolation] = []
+    for path in _iter_python_files(paths):
+        violations.extend(lint_file(path, config))
+    return violations
+
+
+def default_lint_root() -> Path:
+    """The ``src/repro`` tree this module was loaded from."""
+    return Path(__file__).resolve().parent.parent
+
+
+def run_lint(
+    paths: Optional[Sequence[str]] = None, config: Optional[LintConfig] = None
+) -> List[LintViolation]:
+    """Entry point used by the CLI: lint ``paths`` or the whole package."""
+    targets = (
+        [Path(p) for p in paths] if paths else [default_lint_root()]
+    )
+    return lint_paths(targets, config)

@@ -1,0 +1,192 @@
+"""Typing gate: annotation coverage now, full mypy when available.
+
+Two layers with one goal — protocol code whose interfaces are fully
+spelled out, so refactors (and the perf rewrites the ROADMAP calls for)
+cannot silently change what flows across a chain hop:
+
+1. :func:`check_annotations` — a dependency-free AST pass requiring
+   every function in the protocol-critical packages (``core``, ``sim``,
+   ``net``, ``baselines``, ``analysis``) to annotate its parameters and
+   return type. It runs everywhere, including this container.
+2. :func:`run_mypy` — shells out to mypy against the strict-leaning
+   configuration in ``pyproject.toml`` when mypy is importable, and
+   reports a skip (not a failure) when it is not, so the gate degrades
+   gracefully on minimal environments.
+
+Suppression: ``# repro: lint-ok(typing)`` on the ``def`` line exempts
+one function (dunder methods other than ``__init__`` are exempt by
+default — their signatures are fixed by the data model).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = [
+    "AnnotationViolation",
+    "MypyResult",
+    "TYPED_PACKAGES",
+    "check_annotations",
+    "run_mypy",
+]
+
+#: Packages (relative to ``src/repro``) the annotation gate covers.
+TYPED_PACKAGES: Tuple[str, ...] = ("core", "sim", "net", "baselines", "analysis")
+
+_PRAGMA = re.compile(r"#\s*repro:\s*lint-ok\(([^)]*)\)")
+
+#: Dunders whose signatures the data model fixes; annotating them adds
+#: noise, not safety. ``__init__`` is NOT exempt: constructor parameters
+#: are exactly the interfaces refactors break.
+_EXEMPT_DUNDERS = frozenset(
+    {
+        "__repr__",
+        "__str__",
+        "__len__",
+        "__iter__",
+        "__next__",
+        "__contains__",
+        "__eq__",
+        "__ne__",
+        "__lt__",
+        "__le__",
+        "__gt__",
+        "__ge__",
+        "__hash__",
+        "__bool__",
+        "__enter__",
+        "__exit__",
+        "__new__",
+        "__post_init__",
+    }
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class AnnotationViolation:
+    """A function signature missing annotations."""
+
+    path: str
+    line: int
+    function: str
+    missing: Tuple[str, ...]
+
+    def format(self) -> str:
+        what = ", ".join(self.missing)
+        return f"{self.path}:{self.line}: [typing] {self.function} missing {what}"
+
+
+def _function_violations(
+    node: ast.AST, path: str, suppressed_lines: frozenset
+) -> Optional[AnnotationViolation]:
+    assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    if node.name in _EXEMPT_DUNDERS:
+        return None
+    if node.lineno in suppressed_lines:
+        return None
+    missing: List[str] = []
+    args = node.args
+    positional = args.posonlyargs + args.args
+    for index, arg in enumerate(positional):
+        if index == 0 and arg.arg in ("self", "cls"):
+            continue
+        if arg.annotation is None:
+            missing.append(f"annotation for {arg.arg!r}")
+    for arg in args.kwonlyargs:
+        if arg.annotation is None:
+            missing.append(f"annotation for {arg.arg!r}")
+    if args.vararg is not None and args.vararg.annotation is None:
+        missing.append(f"annotation for *{args.vararg.arg}")
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        missing.append(f"annotation for **{args.kwarg.arg}")
+    if node.returns is None:
+        missing.append("return annotation")
+    if not missing:
+        return None
+    return AnnotationViolation(
+        path=path, line=node.lineno, function=node.name, missing=tuple(missing)
+    )
+
+
+def _suppressed_lines(source: str) -> frozenset:
+    lines = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA.search(line)
+        if match and "typing" in {p.strip() for p in match.group(1).split(",")}:
+            lines.add(lineno)
+    return frozenset(lines)
+
+
+def check_annotations(
+    paths: Optional[Sequence[Path]] = None,
+) -> List[AnnotationViolation]:
+    """Annotation-coverage violations across the typed packages."""
+    if paths is None:
+        root = Path(__file__).resolve().parent.parent
+        paths = [root / package for package in TYPED_PACKAGES]
+    violations: List[AnnotationViolation] = []
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    for file_path in files:
+        source = file_path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(file_path))
+        except SyntaxError:
+            continue  # the linter reports syntax errors; don't double-count
+        suppressed = _suppressed_lines(source)
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                violation = _function_violations(node, str(file_path), suppressed)
+                if violation is not None:
+                    violations.append(violation)
+    return violations
+
+
+@dataclasses.dataclass(frozen=True)
+class MypyResult:
+    """Outcome of the optional mypy layer."""
+
+    available: bool
+    returncode: int
+    output: str
+
+    @property
+    def clean(self) -> bool:
+        return not self.available or self.returncode == 0
+
+
+def run_mypy(targets: Optional[Sequence[str]] = None) -> MypyResult:
+    """Run mypy over ``src/repro`` if it is installed; otherwise skip.
+
+    The strict-leaning configuration lives in ``pyproject.toml`` so CI,
+    editors, and this entry point all agree on the settings.
+    """
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        return MypyResult(
+            available=False,
+            returncode=0,
+            output="mypy not installed; annotation gate ran, mypy layer skipped",
+        )
+    repo_root = Path(__file__).resolve().parents[3]
+    cmd = [sys.executable, "-m", "mypy"]
+    cmd.extend(targets or ["src/repro"])
+    proc = subprocess.run(
+        cmd, cwd=repo_root, capture_output=True, text=True, check=False
+    )
+    return MypyResult(
+        available=True,
+        returncode=proc.returncode,
+        output=proc.stdout + proc.stderr,
+    )

@@ -45,5 +45,5 @@ class ChainReplicationStore(ChainReactionStore):
         config: Optional[ChainReactionConfig] = None,
         sim: Optional[Simulator] = None,
         network: Optional[Network] = None,
-    ):
+    ) -> None:
         super().__init__(chain_replication_config(config), sim=sim, network=network)

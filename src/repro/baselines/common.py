@@ -90,7 +90,7 @@ class RingDeployment(Datastore):
         session_factory: SessionFactory,
         sim: Optional[Simulator] = None,
         network: Optional[Network] = None,
-    ):
+    ) -> None:
         self.config = config
         self.sim = sim or Simulator()
         self.rng = RngRegistry(config.seed)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import Any, ClassVar, Dict, List, Tuple
+from typing import Any, ClassVar, Dict, Iterator, List, Optional, Tuple
 
 from repro.api import ClientSession, GetResult, PutResult
 from repro.baselines.common import BaselineConfig, RingDeployment
@@ -40,7 +40,7 @@ def context_size_bytes(context: Dict[str, VersionVector]) -> int:
     return 4 + sum(4 + len(k) + vv.size_bytes() for k, vv in context.items())
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class RemoteWrite(Message):
     """Cross-DC replication of one write with its dependency list."""
 
@@ -67,7 +67,7 @@ class CopsServer(RingServer):
         initial_view: RingView,
         config: BaselineConfig,
         deployment: "CopsStore",
-    ):
+    ) -> None:
         super().__init__(
             sim, network, site, name, initial_view, service_time=config.service_time
         )
@@ -135,7 +135,9 @@ class CopsServer(RingServer):
     # ------------------------------------------------------------------
     # dependency checks and remote application
     # ------------------------------------------------------------------
-    def rpc_dep_check(self, payload: Tuple[str, Dict[str, int]], src: Address):
+    def rpc_dep_check(
+        self, payload: Tuple[str, Dict[str, int]], src: Address
+    ) -> Future:
         """Resolve once this owner holds a version dominating the request."""
         key, entries = payload
         self.dep_checks += 1
@@ -167,7 +169,7 @@ class CopsServer(RingServer):
     def on_cops_remote_write(self, msg: RemoteWrite, src: Address) -> None:
         spawn(self.sim, self._apply_remote(msg), name=f"cops-remote:{msg.key}")
 
-    def _apply_remote(self, msg: RemoteWrite):
+    def _apply_remote(self, msg: RemoteWrite) -> Iterator[Any]:
         if msg.deps:
             checks = []
             for dep_key, wanted in msg.deps.items():
@@ -201,7 +203,7 @@ class CopsSession(Actor, ClientSession):
         initial_view: RingView,
         config: BaselineConfig,
         rng: random.Random,
-    ):
+    ) -> None:
         super().__init__(sim, network, Address(site, name))
         self.site = site
         self.session_id = f"{site}:{name}"
@@ -218,16 +220,16 @@ class CopsSession(Actor, ClientSession):
     def _owner(self, key: str) -> Address:
         return self.view.address_of(self.view.chain_for(key)[0])
 
-    def get(self, key: str):
+    def get(self, key: str) -> Future:
         return spawn(self.sim, self._get_gen(key), name=f"get:{key}")
 
-    def put(self, key: str, value: Any):
+    def put(self, key: str, value: Any) -> Future:
         return spawn(self.sim, self._put_gen(key, value, False), name=f"put:{key}")
 
-    def delete(self, key: str):
+    def delete(self, key: str) -> Future:
         return spawn(self.sim, self._put_gen(key, None, True), name=f"del:{key}")
 
-    def _get_gen(self, key: str):
+    def _get_gen(self, key: str) -> Iterator[Any]:
         for _attempt in range(self.config.max_retries):
             try:
                 reply = yield self.call(
@@ -246,7 +248,7 @@ class CopsSession(Actor, ClientSession):
         self.failed_ops += 1
         raise RequestTimeout(f"get({key!r}) failed after {self.config.max_retries} attempts")
 
-    def _put_gen(self, key: str, value: Any, is_delete: bool):
+    def _put_gen(self, key: str, value: Any, is_delete: bool) -> Iterator[Any]:
         # Include the same-key context version: remote owners must apply
         # this write only after the observed predecessor (and hence its
         # transitive dependencies) has arrived there.
@@ -280,7 +282,12 @@ class CopsStore(RingDeployment):
 
     name = "cops"
 
-    def __init__(self, config: BaselineConfig = None, sim=None, network=None):
+    def __init__(
+        self,
+        config: Optional[BaselineConfig] = None,
+        sim: Optional[Simulator] = None,
+        network: Optional[Network] = None,
+    ) -> None:
         config = (config or BaselineConfig()).with_updates(
             chain_length=1, write_quorum=1, read_quorum=1
         )

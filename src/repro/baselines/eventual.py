@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import Any, ClassVar, Dict, Tuple
+from typing import Any, ClassVar, Dict, Iterator, Optional, Tuple
 
 from repro.api import ClientSession, GetResult, PutResult
 from repro.baselines.common import BaselineConfig, RingDeployment
@@ -26,14 +26,15 @@ from repro.net.actor import Actor
 from repro.net.message import Message
 from repro.net.network import Address, Network
 from repro.sim.kernel import Simulator
-from repro.sim.process import spawn
+from repro.sim.process import Future, spawn
+from repro.sim.rng import derive_seed
 from repro.storage.store import TOMBSTONE
 from repro.storage.version import VersionVector
 
 __all__ = ["EventualStore", "EventualServer", "EventualSession"]
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class Replicate(Message):
     """Asynchronous replication of one write to a peer replica.
 
@@ -49,7 +50,7 @@ class Replicate(Message):
     stamp: Any = None
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class AeDigest(Message):
     """Anti-entropy round: sender's key→version digest."""
 
@@ -58,7 +59,7 @@ class AeDigest(Message):
     wants_reply: bool = True
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class AeRecords(Message):
     """Anti-entropy round: records the peer was missing."""
 
@@ -82,13 +83,17 @@ class EventualServer(RingServer):
         initial_view: RingView,
         config: BaselineConfig,
         deployment: "EventualStore",
-    ):
+    ) -> None:
         super().__init__(
             sim, network, site, name, initial_view, service_time=config.service_time
         )
         self.config = config
         self.deployment = deployment
-        self._ae_rng = random.Random(hash((config.seed, site, name)) & 0xFFFFFFFF)
+        # derive_seed (not builtin hash()) keeps the anti-entropy stream
+        # identical across PYTHONHASHSEED values.
+        self._ae_rng = random.Random(
+            derive_seed(config.seed, f"anti-entropy:{site}:{name}")
+        )
         self.puts_served = 0
         self.gets_served = 0
         self.anti_entropy_rounds = 0
@@ -181,7 +186,7 @@ class EventualSession(Actor, ClientSession):
         initial_view: RingView,
         config: BaselineConfig,
         rng: random.Random,
-    ):
+    ) -> None:
         super().__init__(sim, network, Address(site, name))
         self.site = site
         self.session_id = f"{site}:{name}"
@@ -195,16 +200,16 @@ class EventualSession(Actor, ClientSession):
         chain = self.view.chain_for(key)
         return self.view.address_of(self._rng.choice(chain))
 
-    def get(self, key: str):
+    def get(self, key: str) -> Future:
         return spawn(self.sim, self._op_gen("get", key, None, False), name=f"get:{key}")
 
-    def put(self, key: str, value: Any):
+    def put(self, key: str, value: Any) -> Future:
         return spawn(self.sim, self._op_gen("put", key, value, False), name=f"put:{key}")
 
-    def delete(self, key: str):
+    def delete(self, key: str) -> Future:
         return spawn(self.sim, self._op_gen("put", key, None, True), name=f"del:{key}")
 
-    def _op_gen(self, op: str, key: str, value: Any, is_delete: bool):
+    def _op_gen(self, op: str, key: str, value: Any, is_delete: bool) -> Iterator[Any]:
         for _attempt in range(self.config.max_retries):
             target = self._pick_replica(key)
             try:
@@ -233,7 +238,12 @@ class EventualStore(RingDeployment):
 
     name = "eventual"
 
-    def __init__(self, config: BaselineConfig = None, sim=None, network=None):
+    def __init__(
+        self,
+        config: Optional[BaselineConfig] = None,
+        sim: Optional[Simulator] = None,
+        network: Optional[Network] = None,
+    ) -> None:
         super().__init__(
             config or BaselineConfig(),
             server_factory=EventualServer,

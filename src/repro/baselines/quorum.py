@@ -16,7 +16,7 @@ semantics), so causal anomalies across sites remain either way.
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.api import ClientSession, GetResult, PutResult
 from repro.baselines.common import BaselineConfig, RingDeployment
@@ -27,7 +27,7 @@ from repro.errors import RemoteError, RequestTimeout
 from repro.net.actor import Actor
 from repro.net.network import Address, Network
 from repro.sim.kernel import Simulator
-from repro.sim.process import n_of, spawn
+from repro.sim.process import Future, n_of, spawn
 from repro.storage.store import TOMBSTONE
 from repro.storage.version import VersionVector
 
@@ -48,7 +48,7 @@ class QuorumServer(RingServer):
         initial_view: RingView,
         config: BaselineConfig,
         deployment: "QuorumStore",
-    ):
+    ) -> None:
         super().__init__(
             sim, network, site, name, initial_view, service_time=config.service_time
         )
@@ -61,10 +61,10 @@ class QuorumServer(RingServer):
     # ------------------------------------------------------------------
     # coordinator roles
     # ------------------------------------------------------------------
-    def rpc_put(self, payload: Tuple[str, Any, bool], src: Address):
+    def rpc_put(self, payload: Tuple[str, Any, bool], src: Address) -> Future:
         return spawn(self.sim, self._coordinate_put(payload), name="q-put")
 
-    def _coordinate_put(self, payload: Tuple[str, Any, bool]):
+    def _coordinate_put(self, payload: Tuple[str, Any, bool]) -> Iterator[Any]:
         key, value, is_delete = payload
         stored_value = TOMBSTONE if is_delete else value
         version = self.store.version_of(key).increment(str(self.address))
@@ -83,10 +83,10 @@ class QuorumServer(RingServer):
         self._ship_remote(key, stored_value, version)
         return {"version": version}
 
-    def rpc_get(self, key: str, src: Address):
+    def rpc_get(self, key: str, src: Address) -> Future:
         return spawn(self.sim, self._coordinate_get(key), name="q-get")
 
-    def _coordinate_get(self, key: str):
+    def _coordinate_get(self, key: str) -> Iterator[Any]:
         self.gets_served += 1
         peers = self._local_peers(key)
         futures = [
@@ -119,9 +119,9 @@ class QuorumServer(RingServer):
         key: str,
         best_value: Any,
         best_version: VersionVector,
-        best_stamp,
+        best_stamp: Any,
         replies: List[Tuple[Address, Dict[str, Any]]],
-        local_record,
+        local_record: Any,
     ) -> None:
         """Asynchronously push the winning record to stale quorum members."""
         if best_version.is_zero():
@@ -185,7 +185,7 @@ class QuorumSession(Actor, ClientSession):
         initial_view: RingView,
         config: BaselineConfig,
         rng: random.Random,
-    ):
+    ) -> None:
         super().__init__(sim, network, Address(site, name))
         self.site = site
         self.session_id = f"{site}:{name}"
@@ -198,16 +198,16 @@ class QuorumSession(Actor, ClientSession):
     def _pick_coordinator(self, key: str) -> Address:
         return self.view.address_of(self._rng.choice(self.view.chain_for(key)))
 
-    def get(self, key: str):
+    def get(self, key: str) -> Future:
         return spawn(self.sim, self._op_gen("get", key, None, False), name=f"get:{key}")
 
-    def put(self, key: str, value: Any):
+    def put(self, key: str, value: Any) -> Future:
         return spawn(self.sim, self._op_gen("put", key, value, False), name=f"put:{key}")
 
-    def delete(self, key: str):
+    def delete(self, key: str) -> Future:
         return spawn(self.sim, self._op_gen("put", key, None, True), name=f"del:{key}")
 
-    def _op_gen(self, op: str, key: str, value: Any, is_delete: bool):
+    def _op_gen(self, op: str, key: str, value: Any, is_delete: bool) -> Iterator[Any]:
         for _attempt in range(self.config.max_retries):
             target = self._pick_coordinator(key)
             try:
@@ -236,7 +236,12 @@ class QuorumStore(RingDeployment):
 
     name = "quorum"
 
-    def __init__(self, config: BaselineConfig = None, sim=None, network=None):
+    def __init__(
+        self,
+        config: Optional[BaselineConfig] = None,
+        sim: Optional[Simulator] = None,
+        network: Optional[Network] = None,
+    ) -> None:
         super().__init__(
             config or BaselineConfig(),
             server_factory=QuorumServer,

@@ -1,6 +1,6 @@
 """Command-line interface: run workloads and consistency checks from a shell.
 
-Four subcommands, mirroring how the paper's evaluation is exercised:
+Six subcommands, mirroring how the paper's evaluation is exercised:
 
 - ``repro run`` — drive a YCSB workload against any protocol and print
   the throughput/latency summary (optionally with a consistency audit
@@ -10,6 +10,12 @@ Four subcommands, mirroring how the paper's evaluation is exercised:
 - ``repro perf`` — run the hot-path microbenchmarks (event kernel vs
   the seed baseline, network send, message sizing, end-to-end) and
   write the ``BENCH_*.json`` report; see ``docs/PERFORMANCE.md``;
+- ``repro lint`` — run the determinism/protocol-invariant AST linter
+  over the source tree (optionally plus the typing gate); see
+  ``docs/ANALYSIS.md``;
+- ``repro sanitize`` — run one experiment twice under the same seed and
+  diff the message traces (the simulation race detector), optionally
+  with the chain-invariant monitors attached;
 - ``repro info`` — show the protocols, workloads, and default deployment
   parameters available.
 
@@ -19,6 +25,8 @@ Examples::
     python -m repro run --protocol eventual --sites dc0 dc1 --check
     python -m repro consistency --protocols chainreaction eventual
     python -m repro perf --output BENCH_PR1.json
+    python -m repro lint --typing
+    python -m repro sanitize --protocol chainreaction --invariants
 """
 
 from __future__ import annotations
@@ -114,6 +122,37 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument(
         "--profile", action="store_true",
         help="print the hottest functions of the end-to-end run (cProfile)",
+    )
+
+    lint = sub.add_parser(
+        "lint", help="determinism/protocol-invariant AST linter (docs/ANALYSIS.md)"
+    )
+    lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: the repro source tree)",
+    )
+    lint.add_argument(
+        "--typing", action="store_true",
+        help="also run the annotation gate (and mypy, when installed)",
+    )
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="race detector: run one experiment twice under one seed and diff traces",
+    )
+    sanitize.add_argument("--protocol", choices=PROTOCOLS, default="chainreaction")
+    sanitize.add_argument("--workload", choices=sorted(WORKLOADS), default="B")
+    sanitize.add_argument("--clients", type=int, default=4)
+    sanitize.add_argument("--sites", nargs="+", default=["dc0"], metavar="SITE")
+    sanitize.add_argument("--servers", type=int, default=4, help="servers per site")
+    sanitize.add_argument("--chain-length", type=int, default=3)
+    sanitize.add_argument("--records", type=int, default=25)
+    sanitize.add_argument("--duration", type=float, default=0.4)
+    sanitize.add_argument("--warmup", type=float, default=0.1)
+    sanitize.add_argument("--seed", type=int, default=42)
+    sanitize.add_argument(
+        "--invariants", action="store_true",
+        help="attach the chain prefix/stability/causal-cut monitors",
     )
 
     sub.add_parser("info", help="list protocols, workloads, and defaults")
@@ -280,6 +319,59 @@ def _cmd_perf(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace, out) -> int:
+    from pathlib import Path
+
+    from repro.analysis import check_annotations, run_lint, run_mypy
+
+    paths = [Path(p) for p in args.paths] or None
+    violations = run_lint(paths)
+    for violation in violations:
+        print(violation.format(), file=out)
+    failed = bool(violations)
+    print(f"lint: {len(violations)} violation(s)", file=out)
+    if args.typing:
+        annotations = check_annotations(paths)
+        for violation in annotations:
+            print(violation.format(), file=out)
+        print(f"typing gate: {len(annotations)} missing annotation(s)", file=out)
+        failed = failed or bool(annotations)
+        mypy = run_mypy()
+        if mypy.available:
+            if mypy.output.strip():
+                print(mypy.output, file=out)
+            print(f"mypy: exit {mypy.returncode}", file=out)
+        else:
+            print(mypy.output, file=out)
+        failed = failed or not mypy.clean
+    return 1 if failed else 0
+
+
+def _cmd_sanitize(args: argparse.Namespace, out) -> int:
+    from repro.analysis import sanitize_run
+
+    print(
+        f"sanitizing {args.protocol} / workload {args.workload}: "
+        f"two runs under seed {args.seed} ...",
+        file=out,
+    )
+    report = sanitize_run(
+        args.protocol,
+        seed=args.seed,
+        workload_name=args.workload,
+        clients=args.clients,
+        duration=args.duration,
+        warmup=args.warmup,
+        sites=tuple(args.sites),
+        servers_per_site=args.servers,
+        chain_length=args.chain_length,
+        records=args.records,
+        check_invariants=args.invariants,
+    )
+    print(report.format(), file=out)
+    return 0 if report.clean else 1
+
+
 def _cmd_info(out) -> int:
     print("protocols :", ", ".join(PROTOCOLS), file=out)
     print("workloads :", ", ".join(
@@ -301,6 +393,10 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_consistency(args, out)
     if args.command == "perf":
         return _cmd_perf(args, out)
+    if args.command == "lint":
+        return _cmd_lint(args, out)
+    if args.command == "sanitize":
+        return _cmd_sanitize(args, out)
     return _cmd_info(out)
 
 

@@ -64,14 +64,14 @@ class RingView:
         return 8 + 4 + len(self.site) + sum(4 + len(s) for s in self.servers) + 8
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class Heartbeat(Message):
     type_name: ClassVar[str] = "heartbeat"
     server: str = ""
     epoch: int = 0
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class ViewChange(Message):
     type_name: ClassVar[str] = "view-change"
     view: Optional[RingView] = None

@@ -19,7 +19,7 @@ steady state the table stays tiny — the effect measured by experiment E8.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Optional
 
 from repro.api import ClientSession, GetResult, PutResult, SnapshotResult
 from repro.cluster.membership import RingView
@@ -48,7 +48,7 @@ class ChainClientSession(Actor, ClientSession):
         initial_view: RingView,
         config: ChainReactionConfig,
         rng: random.Random,
-    ):
+    ) -> None:
         super().__init__(sim, network, Address(site, name))
         self.site = site
         self.session_id = f"{site}:{name}"
@@ -104,7 +104,7 @@ class ChainClientSession(Actor, ClientSession):
         bound = chain_len - 1 if entry is None else min(entry.index, chain_len - 1)
         return self._rng.randint(0, bound)
 
-    def _get_gen(self, key: str):
+    def _get_gen(self, key: str) -> Iterator[Any]:
         force_head = False
         for attempt in range(self.config.max_retries):
             chain = self.view.chain_for(key)
@@ -168,7 +168,7 @@ class ChainClientSession(Actor, ClientSession):
     # ------------------------------------------------------------------
     # snapshot reads (multi_get)
     # ------------------------------------------------------------------
-    def multi_get(self, keys) -> Future:
+    def multi_get(self, keys: Iterable[str]) -> Future:
         """Causally consistent snapshot of several keys.
 
         Built on DC-stability: every key's newest *stable* version is
@@ -183,7 +183,7 @@ class ChainClientSession(Actor, ClientSession):
         """
         return spawn(self.sim, self._multi_get_gen(list(keys)), name="multi-get")
 
-    def _multi_get_gen(self, keys):
+    def _multi_get_gen(self, keys: List[str]) -> Iterator[Any]:
         results: Dict[str, Dict[str, Any]] = {}
         pending = list(dict.fromkeys(keys))
         rounds = 0
@@ -224,7 +224,7 @@ class ChainClientSession(Actor, ClientSession):
             rounds=rounds,
         )
 
-    def _get_stable_one(self, key: str):
+    def _get_stable_one(self, key: str) -> Iterator[Any]:
         for _attempt in range(self.config.max_retries):
             chain = self.view.chain_for(key)
             # Stable versions live on every replica: load-balance freely.
@@ -245,7 +245,7 @@ class ChainClientSession(Actor, ClientSession):
     # ------------------------------------------------------------------
     # writes
     # ------------------------------------------------------------------
-    def _put_gen(self, key: str, value: Any, is_delete: bool):
+    def _put_gen(self, key: str, value: Any, is_delete: bool) -> Iterator[Any]:
         # The same-key entry rides along too: locally it is subsumed by
         # chain order, but remote DCs need it for *transitive* causality
         # — the new write dominates its predecessor, so without the
@@ -316,7 +316,7 @@ class ChainClientSession(Actor, ClientSession):
     # ------------------------------------------------------------------
     # view refresh
     # ------------------------------------------------------------------
-    def _backoff_and_refresh(self):
+    def _backoff_and_refresh(self) -> Iterator[Any]:
         yield self.config.client_retry_backoff
         try:
             view = yield self.call(

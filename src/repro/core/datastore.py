@@ -9,9 +9,12 @@ benchmarks run against.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from repro.api import Datastore
+
+if TYPE_CHECKING:
+    from repro.trace import Tracer
 from repro.cluster.membership import ClusterManager
 from repro.core.client import ChainClientSession
 from repro.core.config import ChainReactionConfig
@@ -39,7 +42,7 @@ class ChainReactionStore(Datastore):
         sim: Optional[Simulator] = None,
         network: Optional[Network] = None,
         resolver: Optional[ConflictResolver] = None,
-    ):
+    ) -> None:
         self.config = config or ChainReactionConfig()
         self.sim = sim or Simulator()
         self.rng = RngRegistry(self.config.seed)
@@ -166,7 +169,7 @@ class ChainReactionStore(Datastore):
                     node.global_stability.record(key, version)
                     node._refresh_stable_record(key)
 
-    def attach_tracer(self, capacity: int = 100_000):
+    def attach_tracer(self, capacity: int = 100_000) -> Tracer:
         """Attach a structured-trace collector to every actor in the
         deployment (servers, managers, proxies, and future sessions);
         returns the :class:`~repro.trace.Tracer`."""

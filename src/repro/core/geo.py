@@ -21,7 +21,7 @@ for experiment E7.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.cluster.membership import RingView
 from repro.core.config import ChainReactionConfig
@@ -47,7 +47,7 @@ class GeoProxy(Actor):
         all_sites: Tuple[str, ...],
         initial_view: RingView,
         config: ChainReactionConfig,
-    ):
+    ) -> None:
         super().__init__(sim, network, Address(site, "geoproxy"))
         self.site = site
         self.config = config
@@ -171,7 +171,9 @@ class GeoProxy(Actor):
             name=f"remote:{msg.key}",
         )
 
-    def _apply_remote(self, msg: RemoteUpdate, previous_gate, gate: Future):
+    def _apply_remote(
+        self, msg: RemoteUpdate, previous_gate: Optional[Future], gate: Future
+    ) -> Iterator[Any]:
         try:
             if self.config.geo_causal_delivery and msg.deps:
                 waits = [
@@ -201,7 +203,7 @@ class GeoProxy(Actor):
         self.trace("geo", "remote-apply", msg.key, origin=msg.origin_site)
         self.visibility_samples.append(self.sim.now - msg.origin_put_at)
 
-    def _wait_dep_stable(self, key: str, version: VersionVector):
+    def _wait_dep_stable(self, key: str, version: VersionVector) -> Iterator[Any]:
         """Wait until the local DC has stabilised a dependency version."""
         deadline = self.sim.now + self.config.dep_wait_timeout
         attempt = max(self.config.dep_wait_timeout / 3.0, 0.05)
@@ -220,7 +222,7 @@ class GeoProxy(Actor):
                 continue
         return False
 
-    def _inject_at_head(self, msg: RemoteUpdate):
+    def _inject_at_head(self, msg: RemoteUpdate) -> Iterator[Any]:
         payload = {
             "key": msg.key,
             "value": msg.value,

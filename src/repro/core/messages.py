@@ -63,7 +63,7 @@ def deps_size_bytes(deps: Deps) -> int:
     return 4 + sum(4 + len(k) + d.size_bytes() for k, d in deps.items())
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class PutRequest(Message):
     """Client → chain head. Carries the session's unstable dependencies."""
 
@@ -77,7 +77,7 @@ class PutRequest(Message):
     is_delete: bool = False
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class PutReply(Message):
     """k-th chain server → client, acknowledging the write."""
 
@@ -91,7 +91,7 @@ class PutReply(Message):
     error: str = ""
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class ChainPut(Message):
     """Propagation of a write down the chain (head → ... → tail)."""
 
@@ -112,7 +112,7 @@ class ChainPut(Message):
     origin_put_at: float = 0.0
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class ChainStable(Message):
     """Tail → ... → head: this version is now DC-stable."""
 
@@ -122,7 +122,7 @@ class ChainStable(Message):
     position: int = 0
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class TailStable(Message):
     """Chain tail → local geo-proxy: a write just became DC-stable here.
 
@@ -143,7 +143,7 @@ class TailStable(Message):
     origin_put_at: float = 0.0
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class RemoteUpdate(Message):
     """Origin geo-proxy → remote geo-proxy: ship a DC-stable write."""
 
@@ -159,7 +159,7 @@ class RemoteUpdate(Message):
     origin_put_at: float = 0.0
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class GlobalAck(Message):
     """Remote geo-proxy → origin geo-proxy: the write is DC-stable here."""
 
@@ -169,7 +169,7 @@ class GlobalAck(Message):
     site: str = ""
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class GlobalStableNotice(Message):
     """Origin geo-proxy → peer proxies → chain members: globally stable.
 
@@ -186,7 +186,7 @@ class GlobalStableNotice(Message):
     fan_out: bool = False
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class StateTransfer(Message):
     """Chain repair: records (with stability) pushed to a chain member."""
 
@@ -197,7 +197,7 @@ class StateTransfer(Message):
     epoch: int = 0
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class TransferDone(Message):
     """Chain repair: sender finished streaming state for this epoch."""
 

@@ -25,7 +25,7 @@ still, as consistent hashing dictates. The node implements:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.cluster.membership import RingView
 from repro.cluster.ring import chain_positions
@@ -44,6 +44,7 @@ from repro.core.messages import (
 )
 from repro.core.stability import StabilityTracker
 from repro.errors import NotResponsibleError, RemoteError, RequestTimeout, StorageError
+from repro.net.message import Message
 from repro.net.network import Address, Network
 from repro.sim.kernel import Simulator
 from repro.sim.process import all_of, spawn, with_timeout
@@ -64,7 +65,7 @@ class ChainNode(RingServer):
         {"rpc-request", "put-request", "chain-put", "state-transfer"}
     )
 
-    def service_cost(self, msg) -> float:
+    def service_cost(self, msg: Message) -> float:
         # Stability queries are version comparisons, not data operations;
         # charging them a full service slot would tax every dependency-
         # carrying put with capacity it doesn't consume in reality.
@@ -81,7 +82,7 @@ class ChainNode(RingServer):
         initial_view: RingView,
         config: ChainReactionConfig,
         resolver: Optional[ConflictResolver] = None,
-    ):
+    ) -> None:
         super().__init__(
             sim, network, site, name, initial_view, resolver,
             service_time=config.service_time,
@@ -140,7 +141,7 @@ class ChainNode(RingServer):
             return "not-head"
         return None
 
-    def _serve_put(self, msg: PutRequest):
+    def _serve_put(self, msg: PutRequest) -> Iterator[Any]:
         """Hold the put until its dependencies are DC-stable, then apply."""
         unresolved = [
             (dep_key, entry.version)
@@ -180,7 +181,7 @@ class ChainNode(RingServer):
         )
         return version
 
-    def _wait_dep(self, key: str, version: VersionVector):
+    def _wait_dep(self, key: str, version: VersionVector) -> Iterator[Any]:
         """Block until ``version`` of ``key`` is DC-stable (or time out).
 
         The wait is answered by the dependency's chain tail; view changes
@@ -438,7 +439,9 @@ class ChainNode(RingServer):
     # ------------------------------------------------------------------
     # stability queries (tail role)
     # ------------------------------------------------------------------
-    def rpc_wait_stable(self, payload: Tuple[str, Dict[str, int]], src: Address):
+    def rpc_wait_stable(
+        self, payload: Tuple[str, Dict[str, int]], src: Address
+    ) -> Future:
         key, entries = payload
         return self.stability.wait(self.sim, key, VersionVector(entries))
 
@@ -541,16 +544,18 @@ class ChainNode(RingServer):
     def _maybe_finish_sync(self) -> None:
         if not self.syncing:
             return
-        missing = {
+        missing = [
             server
-            for server in self._transfer_pending
+            for server in sorted(self._transfer_pending)
             if (self._sync_epoch, server) not in self._done_received
-        }
+        ]
         if not missing:
             self.syncing = False
             self.trace("repair", "sync-complete", epoch=self._sync_epoch)
             self._done_received = {
-                item for item in self._done_received if item[0] >= self._sync_epoch
+                item
+                for item in sorted(self._done_received)
+                if item[0] >= self._sync_epoch
             }
 
     def _compaction_tick(self) -> None:

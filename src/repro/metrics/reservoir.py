@@ -19,9 +19,14 @@ __all__ = ["LatencyReservoir"]
 class LatencyReservoir:
     """Bounded, unbiased sample of a latency stream."""
 
-    def __init__(self, capacity: int = 50_000, seed: int = 1):
+    def __init__(self, capacity: int = 50_000, *, seed: int):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        # The seed is required and validated: an implicit
+        # random.Random(None) would OS-seed the eviction choices and make
+        # long-run percentiles irreproducible.
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise ValueError(f"seed must be an explicit int, got {seed!r}")
         self._capacity = capacity
         self._rng = random.Random(seed)
         self._samples: List[float] = []

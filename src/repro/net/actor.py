@@ -29,7 +29,7 @@ __all__ = ["Actor", "RpcRequest", "RpcResponse"]
 DEFAULT_RPC_TIMEOUT = 5.0
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class RpcRequest(Message):
     type_name: ClassVar[str] = "rpc-request"
     request_id: int = 0
@@ -37,7 +37,7 @@ class RpcRequest(Message):
     payload: Any = None
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class RpcResponse(Message):
     type_name: ClassVar[str] = "rpc-response"
     request_id: int = 0
@@ -59,7 +59,7 @@ class Actor:
     #: override; empty set = infinitely fast actor, e.g. clients)
     SERVICED_TYPES: ClassVar[frozenset] = frozenset()
 
-    def __init__(self, sim: Simulator, network: Network, address: Address):
+    def __init__(self, sim: Simulator, network: Network, address: Address) -> None:
         self.sim = sim
         self.network = network
         self.address = address
@@ -86,7 +86,7 @@ class Actor:
             return
         self.network.send(self.address, dst, msg)
 
-    def trace(self, category: str, event: str, key: str = "", **fields) -> None:
+    def trace(self, category: str, event: str, key: str = "", **fields: Any) -> None:
         """Record a structured protocol event if tracing is attached."""
         if self.tracer is not None:
             self.tracer.record(str(self.address), category, event, key, **fields)
@@ -158,7 +158,9 @@ class Actor:
             return
         self.crashed = True
         self.network.set_down(self.address, True)
-        for timer in self._timers:
+        # sorted(): cancellation order must not depend on set hash layout
+        # (ScheduledEvent orders by (time, seq), a deterministic total order).
+        for timer in sorted(self._timers):
             timer.cancel()
         self._timers.clear()
         pending, self._rpc_pending = self._rpc_pending, {}

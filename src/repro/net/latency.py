@@ -39,7 +39,7 @@ class LatencyModel:
 class FixedLatency(LatencyModel):
     """Constant delay; useful for deterministic protocol tests."""
 
-    def __init__(self, delay: float):
+    def __init__(self, delay: float) -> None:
         if delay < 0:
             raise ValueError(f"latency must be non-negative, got {delay}")
         self.delay = delay
@@ -57,7 +57,7 @@ class FixedLatency(LatencyModel):
 class UniformLatency(LatencyModel):
     """Uniform delay in ``[low, high]``."""
 
-    def __init__(self, low: float, high: float):
+    def __init__(self, low: float, high: float) -> None:
         if not 0 <= low <= high:
             raise ValueError(f"need 0 <= low <= high, got [{low}, {high}]")
         self.low = low
@@ -76,7 +76,7 @@ class UniformLatency(LatencyModel):
 class NormalLatency(LatencyModel):
     """Gaussian delay truncated below at ``floor`` (default: 10% of the mean)."""
 
-    def __init__(self, mu: float, sigma: float, floor: Optional[float] = None):
+    def __init__(self, mu: float, sigma: float, floor: Optional[float] = None) -> None:
         if mu <= 0 or sigma < 0:
             raise ValueError(f"need mu > 0 and sigma >= 0, got mu={mu}, sigma={sigma}")
         self.mu = mu
@@ -100,7 +100,7 @@ class LogNormalLatency(LatencyModel):
     normal, which is how network measurements are usually reported.
     """
 
-    def __init__(self, median: float, sigma: float = 0.3):
+    def __init__(self, median: float, sigma: float = 0.3) -> None:
         if median <= 0 or sigma < 0:
             raise ValueError(f"need median > 0, sigma >= 0, got {median}, {sigma}")
         self.median = median

@@ -69,20 +69,21 @@ def estimate_size(value: Any) -> int:
     return 8
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class Message:
     """Base class for all protocol messages.
 
-    Subclasses are plain dataclasses; ``size_bytes`` sums the envelope
-    and every field. Override it only when a field should *not* count
-    toward the wire size (e.g. simulation bookkeeping).
+    Subclasses are frozen dataclasses (``@dataclass(frozen=True)`` —
+    the linter's ``frozen-message`` rule enforces it); ``size_bytes``
+    sums the envelope and every field. Override it only when a field
+    should *not* count toward the wire size (e.g. simulation
+    bookkeeping).
 
     Subclasses whose instances are never mutated after being handed to
     the network may set ``memoize_size = True``: the first
     ``size_bytes()`` result is cached on the instance and returned
-    verbatim afterwards. Mutating a memoized message after it has been
-    sized returns the *stale* cached size by design — treat such
-    messages as frozen.
+    verbatim afterwards. Immutability is what makes the cache — and
+    ``copy_size_from`` — sound.
     """
 
     #: Human-readable tag used in network statistics.

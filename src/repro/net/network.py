@@ -89,7 +89,7 @@ class Network:
         rng: Optional[RngRegistry] = None,
         lan: Optional[LatencyModel] = None,
         wan: Optional[LatencyModel] = None,
-    ):
+    ) -> None:
         self.sim = sim
         self._rng = (rng or RngRegistry(0)).stream("network")
         self._lan = lan or lan_latency()

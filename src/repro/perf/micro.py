@@ -101,7 +101,7 @@ def bench_event_kernel(n_events: int = 200_000, fanout: int = 100, repeats: int 
 # ----------------------------------------------------------------------
 # network fabric
 # ----------------------------------------------------------------------
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class _PerfNote(Message):
     type_name: ClassVar[str] = "perf-note"
     body: str = ""

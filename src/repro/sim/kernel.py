@@ -54,7 +54,7 @@ class ScheduledEvent:
     __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
 
     def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple,
-                 sim: "Optional[Simulator]" = None):
+                 sim: "Optional[Simulator]" = None) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback

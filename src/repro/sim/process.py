@@ -33,7 +33,7 @@ class Future:
 
     __slots__ = ("_sim", "_value", "_exception", "_callbacks", "_resolved_at")
 
-    def __init__(self, sim: Simulator):
+    def __init__(self, sim: Simulator) -> None:
         self._sim = sim
         self._value: Any = _PENDING
         self._exception: Optional[BaseException] = None
@@ -232,7 +232,7 @@ class Process(Future):
 
     __slots__ = ("_gen", "_name")
 
-    def __init__(self, sim: Simulator, gen: Generator[Any, Any, Any], name: str = ""):
+    def __init__(self, sim: Simulator, gen: Generator[Any, Any, Any], name: str = "") -> None:
         super().__init__(sim)
         self._gen = gen
         self._name = name or getattr(gen, "__name__", "process")

@@ -30,7 +30,7 @@ class RngRegistry:
     produces the same sequence, regardless of creation order.
     """
 
-    def __init__(self, root_seed: int = 0):
+    def __init__(self, root_seed: int = 0) -> None:
         self.root_seed = root_seed
         self._streams: Dict[str, random.Random] = {}
 

@@ -1,0 +1,140 @@
+"""Tests for the chain-invariant monitor: a clean E1-style run, and one
+deliberately broken run per invariant (prefix, stability grounding,
+stability monotonicity via grounding, causal cut)."""
+
+import pytest
+
+from repro.analysis import ChainInvariantMonitor, capture_run
+from repro.baselines.registry import build_store
+from repro.core.messages import DepEntry
+from repro.storage.version import VersionVector
+from repro.workload import WorkloadRunner, workload
+
+FAST = dict(clients=2, duration=0.3, warmup=0.1, records=10, servers_per_site=3)
+
+
+def run_monitored(store, *, duration=0.3):
+    spec = workload("B", record_count=10)
+    WorkloadRunner(
+        store, spec, n_clients=2, duration=duration, warmup=0.1,
+        record_history=False,
+    ).run()
+
+
+class TestCleanRuns:
+    def test_e1_style_chainreaction_run_holds_all_invariants(self):
+        capture = capture_run("chainreaction", seed=42, check_invariants=True, **FAST)
+        report = capture.invariant_report
+        assert report.clean, report.format()
+        assert report.applies_checked > 0
+        assert report.stability_checks > 0
+        assert report.gets_checked > 0
+        assert report.keys_checked > 0
+        assert "all hold" in report.format()
+
+    def test_plain_chain_replication_run_holds_prefix(self):
+        capture = capture_run("chain", seed=42, check_invariants=True, **FAST)
+        report = capture.invariant_report
+        assert report.clean, report.format()
+        assert report.applies_checked > 0
+
+    def test_monitor_attaches_once(self):
+        store = build_store("chainreaction", sites=("dc0",), servers_per_site=3,
+                            chain_length=3, seed=42)
+        monitor = ChainInvariantMonitor(store).attach()
+        with pytest.raises(RuntimeError):
+            monitor.attach()
+
+
+class TestBrokenRuns:
+    def _monitored_store(self, seed=42):
+        store = build_store("chainreaction", sites=("dc0",), servers_per_site=3,
+                            chain_length=3, seed=seed)
+        monitor = ChainInvariantMonitor(store).attach()
+        return store, monitor
+
+    def _node_named(self, store, name):
+        for node in store.nodes["dc0"]:
+            if node.name == name:
+                return node
+        raise AssertionError(f"no node named {name}")
+
+    def test_out_of_band_apply_breaks_prefix_property(self):
+        store, monitor = self._monitored_store()
+        run_monitored(store)
+        # Forge a write directly onto a non-head replica, bypassing the
+        # chain: its applied sequence is no longer a prefix of the head's.
+        view = store.managers["dc0"].view
+        key = next(iter(monitor._applied[("dc0", view.chain_for("user0")[0])]))
+        rogue = self._node_named(store, view.chain_for(key)[-1])
+        version = rogue.store.version_of(key).increment("rogue")
+        rogue.store.apply(key, "forged", version, store.sim.now)
+        report = monitor.report()
+        assert not report.clean
+        assert any(v.kind == "chain-prefix" and v.key == key
+                   for v in report.violations)
+
+    def test_unheld_version_breaks_stability_grounding(self):
+        store, monitor = self._monitored_store()
+        run_monitored(store)
+        view = store.managers["dc0"].view
+        key = next(iter(monitor._applied[("dc0", view.chain_for("user0")[0])]))
+        node = self._node_named(store, view.chain_for(key)[0])
+        # Declare stable a version strictly above anything the node holds.
+        ghost = node.store.version_of(key).increment("ghost")
+        node.stability.record(key, ghost)
+        report = monitor.report()
+        assert any(v.kind == "stability-grounding" and v.key == key
+                   for v in report.violations)
+
+    def test_causal_cut_violation_detected(self):
+        store, monitor = self._monitored_store()
+        session = store.session("dc0", "probe")
+        # The session has observed version {w:2}; a later get serving the
+        # older {w:1} hands the application a state outside its causal past.
+        observed = VersionVector({"w": 2})
+        session._deps["k"] = DepEntry(version=observed, index=0)
+        stale = VersionVector({"w": 1})
+        session._note_observed(
+            "k", {"version": stale, "value": "old", "stable": False, "index": 0}
+        )
+        assert any(v.kind == "causal-cut" and v.key == "k"
+                   for v in monitor.violations)
+
+    def test_dominating_get_is_not_a_violation(self):
+        store, monitor = self._monitored_store()
+        session = store.session("dc0", "probe")
+        session._deps["k"] = DepEntry(version=VersionVector({"w": 1}), index=0)
+        session._note_observed(
+            "k",
+            {"version": VersionVector({"w": 2}), "value": "new",
+             "stable": False, "index": 0},
+        )
+        assert monitor.violations == []
+        assert monitor.gets_checked == 1
+
+
+class TestReportFormatting:
+    def test_violation_format(self):
+        from repro.analysis import InvariantViolation
+
+        violation = InvariantViolation(
+            kind="chain-prefix", node="dc0:s2", key="user3", detail="gap"
+        )
+        assert violation.format() == "[chain-prefix] node=dc0:s2 key=user3: gap"
+
+    def test_report_format_lists_violations(self):
+        from repro.analysis import InvariantReport, InvariantViolation
+
+        report = InvariantReport(
+            violations=[
+                InvariantViolation(kind="causal-cut", node="s", key="k", detail="d")
+            ],
+            applies_checked=1,
+            stability_checks=2,
+            gets_checked=3,
+            keys_checked=4,
+        )
+        assert not report.clean
+        assert "1 VIOLATION(S)" in report.format()
+        assert "[causal-cut]" in report.format()

@@ -1,0 +1,300 @@
+"""Tests for the determinism linter: one positive and one negative
+fixture per rule, pragma suppression, path scoping, and the acceptance
+fixtures from the analysis-suite issue (the pre-fix eventual.py hash
+seed, an injected wall-clock call in core/node.py, and a clean shipped
+tree)."""
+
+from pathlib import Path
+
+from repro.analysis import run_lint
+from repro.analysis.lint import (
+    ALL_RULES,
+    LintConfig,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.typing_gate import check_annotations
+
+SIM_PATH = "src/repro/sim/fixture.py"  # path inside an event-ordering dir
+
+
+def rules_of(violations):
+    return [v.rule for v in violations]
+
+
+class TestWallClock:
+    def test_time_time_flagged(self):
+        src = "import time\n\ndef tick() -> float:\n    return time.time()\n"
+        assert rules_of(lint_source(src, SIM_PATH)) == ["no-wall-clock"]
+
+    def test_aliased_import_flagged(self):
+        src = "import time as t\n\ndef tick() -> float:\n    return t.monotonic()\n"
+        assert rules_of(lint_source(src, SIM_PATH)) == ["no-wall-clock"]
+
+    def test_from_import_flagged(self):
+        src = "from time import perf_counter\n\nx = perf_counter()\n"
+        assert rules_of(lint_source(src, SIM_PATH)) == ["no-wall-clock"]
+
+    def test_datetime_now_flagged(self):
+        src = "from datetime import datetime\n\nstamp = datetime.now()\n"
+        assert rules_of(lint_source(src, SIM_PATH)) == ["no-wall-clock"]
+
+    def test_virtual_time_clean(self):
+        src = "def tick(sim) -> float:  # repro: lint-ok(typing)\n    return sim.now\n"
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_perf_harness_files_exempt(self):
+        src = "import time\n\nstart = time.perf_counter()\n"
+        assert lint_source(src, "src/repro/perf/report.py") == []
+        # ...but only the whitelisted files are.
+        assert rules_of(lint_source(src, "src/repro/perf/other.py")) == [
+            "no-wall-clock"
+        ]
+
+
+class TestGlobalRandom:
+    def test_module_level_random_flagged(self):
+        src = "import random\n\nx = random.random()\n"
+        assert rules_of(lint_source(src, SIM_PATH)) == ["no-global-random"]
+
+    def test_global_shuffle_flagged(self):
+        src = "from random import shuffle\n\nshuffle([1, 2])\n"
+        assert rules_of(lint_source(src, SIM_PATH)) == ["no-global-random"]
+
+    def test_instance_method_clean(self):
+        src = (
+            "import random\n\n"
+            "def draw(rng: random.Random) -> float:\n"
+            "    return rng.random()\n"
+        )
+        assert lint_source(src, SIM_PATH) == []
+
+
+class TestUnseededRng:
+    def test_bare_random_flagged(self):
+        src = "import random\n\nrng = random.Random()\n"
+        assert rules_of(lint_source(src, SIM_PATH)) == ["no-unseeded-rng"]
+
+    def test_none_seed_flagged(self):
+        src = "import random\n\nrng = random.Random(None)\n"
+        assert rules_of(lint_source(src, SIM_PATH)) == ["no-unseeded-rng"]
+
+    def test_system_random_flagged(self):
+        src = "import random\n\nrng = random.SystemRandom()\n"
+        assert rules_of(lint_source(src, SIM_PATH)) == ["no-unseeded-rng"]
+
+    def test_seeded_random_clean(self):
+        src = "import random\n\nrng = random.Random(1234)\n"
+        assert lint_source(src, SIM_PATH) == []
+
+
+class TestBuiltinHashSeed:
+    def test_prefix_eventual_pattern_flagged(self):
+        # The exact shape this repo shipped before the fix: an acceptance
+        # criterion of the analysis-suite issue.
+        src = (
+            "import random\n\n"
+            "class Server:\n"
+            "    def __init__(self, config, site, name):"
+            "  # repro: lint-ok(typing)\n"
+            "        self._ae_rng = random.Random(\n"
+            "            hash((config.seed, site, name)) & 0xFFFFFFFF\n"
+            "        )\n"
+        )
+        violations = lint_source(src, "src/repro/baselines/eventual.py")
+        assert rules_of(violations) == ["no-builtin-hash-seed"]
+
+    def test_hash_into_derive_seed_flagged(self):
+        src = (
+            "from repro.sim.rng import derive_seed\n\n"
+            "s = derive_seed(hash('a'), 'label')\n"
+        )
+        assert rules_of(lint_source(src, SIM_PATH)) == ["no-builtin-hash-seed"]
+
+    def test_hash_assigned_to_seedy_name_flagged(self):
+        src = "seed = hash(('a', 'b'))\n"
+        assert rules_of(lint_source(src, SIM_PATH)) == ["no-builtin-hash-seed"]
+
+    def test_derive_seed_clean(self):
+        src = (
+            "import random\n"
+            "from repro.sim.rng import derive_seed\n\n"
+            "rng = random.Random(derive_seed(42, 'anti-entropy:dc0:s1'))\n"
+        )
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_hash_outside_seed_context_clean(self):
+        # hash() for non-seed purposes (e.g. interning) is not this rule's
+        # concern.
+        src = "bucket = hash('key') % 16\n"
+        assert lint_source(src, SIM_PATH) == []
+
+
+class TestFrozenMessage:
+    def test_unfrozen_dataclass_flagged(self):
+        src = (
+            "import dataclasses\n"
+            "from repro.net.message import Message\n\n"
+            "@dataclasses.dataclass\n"
+            "class Ping(Message):\n"
+            "    n: int = 0\n"
+        )
+        assert rules_of(lint_source(src, SIM_PATH)) == ["frozen-message"]
+
+    def test_missing_decorator_flagged(self):
+        src = (
+            "from repro.net.message import Message\n\n"
+            "class Ping(Message):\n"
+            "    pass\n"
+        )
+        assert rules_of(lint_source(src, SIM_PATH)) == ["frozen-message"]
+
+    def test_frozen_false_flagged(self):
+        src = (
+            "import dataclasses\n"
+            "from repro.net.message import Message\n\n"
+            "@dataclasses.dataclass(frozen=False)\n"
+            "class Ping(Message):\n"
+            "    n: int = 0\n"
+        )
+        assert rules_of(lint_source(src, SIM_PATH)) == ["frozen-message"]
+
+    def test_frozen_message_clean(self):
+        src = (
+            "import dataclasses\n"
+            "from repro.net.message import Message\n\n"
+            "@dataclasses.dataclass(frozen=True)\n"
+            "class Ping(Message):\n"
+            "    n: int = 0\n"
+        )
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_unrelated_class_clean(self):
+        src = (
+            "import dataclasses\n\n"
+            "@dataclasses.dataclass\n"
+            "class Config:\n"
+            "    n: int = 0\n"
+        )
+        assert lint_source(src, SIM_PATH) == []
+
+
+class TestMutableDefault:
+    def test_list_default_flagged(self):
+        src = "def f(deps=[]):  # repro: lint-ok(typing)\n    return deps\n"
+        assert rules_of(lint_source(src, SIM_PATH)) == ["no-mutable-default"]
+
+    def test_dict_call_default_flagged(self):
+        src = "def f(deps=dict()):  # repro: lint-ok(typing)\n    return deps\n"
+        assert rules_of(lint_source(src, SIM_PATH)) == ["no-mutable-default"]
+
+    def test_none_default_clean(self):
+        src = (
+            "def f(deps=None):  # repro: lint-ok(typing)\n"
+            "    return deps or []\n"
+        )
+        assert lint_source(src, SIM_PATH) == []
+
+
+class TestSetIteration:
+    def test_iterating_set_literal_flagged(self):
+        src = "for x in {1, 2, 3}:\n    print(x)\n"
+        assert rules_of(lint_source(src, SIM_PATH)) == ["set-iteration"]
+
+    def test_iterating_set_valued_name_flagged(self):
+        src = "pending = set()\nfor x in pending:\n    print(x)\n"
+        assert rules_of(lint_source(src, SIM_PATH)) == ["set-iteration"]
+
+    def test_iterating_set_attr_bound_later_flagged(self):
+        # The binding appears textually after the loop: the pre-pass must
+        # still catch it.
+        src = (
+            "class A:\n"
+            "    def drain(self) -> None:\n"
+            "        for t in self._timers:\n"
+            "            t.cancel()\n\n"
+            "    def reset(self) -> None:\n"
+            "        self._timers = set()\n"
+        )
+        assert rules_of(lint_source(src, SIM_PATH)) == ["set-iteration"]
+
+    def test_sorted_iteration_clean(self):
+        src = "pending = set()\nfor x in sorted(pending):\n    print(x)\n"
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_rule_scoped_to_event_ordering_dirs(self):
+        src = "pending = set()\nfor x in pending:\n    print(x)\n"
+        # metrics/ is not event-ordering code: aggregation order there
+        # cannot reorder sends.
+        assert lint_source(src, "src/repro/metrics/fixture.py") == []
+        # Paths outside the repro tree (e.g. test fixtures) keep all rules.
+        assert rules_of(lint_source(src, "fixture.py")) == ["set-iteration"]
+
+
+class TestPragmas:
+    def test_line_pragma_suppresses_one_rule(self):
+        src = "import time\n\nx = time.time()  # repro: lint-ok(no-wall-clock)\n"
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_line_pragma_is_rule_specific(self):
+        src = "import time\n\nx = time.time()  # repro: lint-ok(set-iteration)\n"
+        assert rules_of(lint_source(src, SIM_PATH)) == ["no-wall-clock"]
+
+    def test_file_pragma_suppresses_whole_file(self):
+        src = (
+            "# repro: lint-ok-file(no-wall-clock)\n"
+            "import time\n\n"
+            "a = time.time()\n"
+            "b = time.monotonic()\n"
+        )
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_file_pragma_only_in_first_ten_lines(self):
+        src = "\n" * 11 + "# repro: lint-ok-file(no-wall-clock)\nimport time\nx = time.time()\n"
+        assert rules_of(lint_source(src, SIM_PATH)) == ["no-wall-clock"]
+
+
+class TestEntryPoints:
+    def test_syntax_error_reported_not_raised(self):
+        violations = lint_source("def broken(:\n", SIM_PATH)
+        assert [v.rule for v in violations] == ["syntax-error"]
+
+    def test_lint_file_and_paths(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nx = time.time()\n")
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        assert rules_of(lint_file(bad)) == ["no-wall-clock"]
+        assert rules_of(lint_paths([tmp_path])) == ["no-wall-clock"]
+
+    def test_config_can_disable_rules(self):
+        src = "import time\nx = time.time()\n"
+        config = LintConfig(rules=tuple(r for r in ALL_RULES if r != "no-wall-clock"))
+        assert lint_source(src, SIM_PATH, config) == []
+
+    def test_violation_format_is_clickable(self):
+        violation = lint_source("import time\nx = time.time()\n", SIM_PATH)[0]
+        assert violation.format().startswith(f"{SIM_PATH}:2:")
+        assert "[no-wall-clock]" in violation.format()
+
+
+class TestShippedTree:
+    def test_shipped_tree_is_clean(self):
+        assert run_lint() == []
+
+    def test_injected_wall_clock_in_node_flagged(self):
+        # Acceptance criterion: injecting time.time() into core/node.py
+        # must trip the linter.
+        node_path = Path(__file__).resolve().parents[1] / "src/repro/core/node.py"
+        source = node_path.read_text(encoding="utf-8")
+        injected = source + (
+            "\n\nimport time\n\n"
+            "def _leak_wall_clock() -> float:\n"
+            "    return time.time()\n"
+        )
+        violations = lint_source(injected, str(node_path))
+        assert "no-wall-clock" in rules_of(violations)
+
+    def test_annotation_gate_is_clean(self):
+        assert check_annotations() == []

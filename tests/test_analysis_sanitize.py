@@ -1,0 +1,141 @@
+"""Tests for the simulation race detector: trace diffing, the twice-run
+determinism check, and localization of deliberately injected
+nondeterminism."""
+
+import pytest
+
+from repro.analysis import capture_run, locate_divergence, sanitize_run
+from repro.net.message import Message
+
+FAST = dict(clients=2, duration=0.3, warmup=0.1, records=10, servers_per_site=3)
+
+
+class TestLocateDivergence:
+    def test_identical_traces_have_no_divergence(self):
+        trace = [(0.1, "a", "b", "put", 64), (0.2, "b", "c", "ack", 32)]
+        assert locate_divergence(trace, list(trace)) is None
+
+    def test_first_mismatch_located(self):
+        left = [(0.1, "a", "b", "put", 64), (0.2, "b", "c", "ack", 32)]
+        right = [(0.1, "a", "b", "put", 64), (0.2, "b", "c", "ack", 48)]
+        divergence = locate_divergence(left, right)
+        assert divergence.index == 1
+        assert divergence.left == left[1]
+        assert divergence.right == right[1]
+
+    def test_length_mismatch_located_at_tail(self):
+        left = [(0.1, "a", "b", "put", 64)]
+        right = [(0.1, "a", "b", "put", 64), (0.2, "b", "c", "ack", 32)]
+        divergence = locate_divergence(left, right)
+        assert divergence.index == 1
+        assert divergence.left is None and divergence.right == right[1]
+
+    def test_context_is_carried(self):
+        left = [(float(i), "a", "b", "m", i) for i in range(10)]
+        right = list(left)
+        right[7] = (7.0, "a", "b", "m", 999)
+        divergence = locate_divergence(left, right, context=3)
+        assert divergence.context_left == tuple(left[4:7])
+        assert "index 7" in divergence.format()
+
+
+class TestCaptureRun:
+    def test_capture_records_messages(self):
+        capture = capture_run("chainreaction", seed=7, **FAST)
+        assert len(capture.trace) > 0
+        assert capture.ops_completed > 0
+        # Every entry is (time, src, dst, type, size).
+        t, src, dst, type_name, size = capture.trace[0]
+        assert isinstance(t, float) and isinstance(size, int)
+        assert capture.invariant_report is None
+
+    def test_capture_with_invariants(self):
+        capture = capture_run("chainreaction", seed=7, check_invariants=True, **FAST)
+        assert capture.invariant_report is not None
+        assert capture.invariant_report.clean
+
+    def test_tap_detaches_cleanly(self):
+        # Two captures of the same config must not interfere (the tap
+        # wraps an instance attribute, not the class).
+        first = capture_run("chainreaction", seed=7, **FAST)
+        second = capture_run("chainreaction", seed=7, **FAST)
+        assert first.trace == second.trace
+
+
+class TestSanitizeRun:
+    def test_twice_run_is_deterministic(self):
+        report = sanitize_run("chainreaction", seed=42, **FAST)
+        assert report.divergence is None
+        assert report.events_processed[0] == report.events_processed[1]
+        assert report.trace_length > 0
+        assert report.clean
+        assert "no divergence" in report.format()
+
+    def test_baseline_protocol_is_deterministic_too(self):
+        report = sanitize_run("eventual", seed=42, **FAST)
+        assert report.clean
+
+    def test_different_seed_diverges(self):
+        report = sanitize_run("chainreaction", seed=42, run_kwargs={"seed": 43}, **FAST)
+        assert report.divergence is not None
+        assert not report.clean
+
+    def test_injected_nondeterminism_is_localized(self):
+        # Schedule a rogue message in run 2 only, firing mid-run at
+        # t=0.2: the detector must localize the first divergent entry at
+        # or after the injection time, proving the prefix matched.
+        inject_at = 0.2
+
+        def perturb(store):
+            node = store.nodes["dc0"][0]
+
+            def rogue() -> None:
+                store.network.send(node.address, node.address, Message())
+
+            store.sim.schedule(inject_at, rogue)
+
+        report = sanitize_run(
+            "chainreaction",
+            seed=42,
+            run_kwargs={"mutate_store": perturb},
+            **FAST,
+        )
+        assert report.divergence is not None
+        assert report.divergence.index > 0
+        divergent_times = [
+            entry[0]
+            for entry in (report.divergence.left, report.divergence.right)
+            if entry is not None
+        ]
+        assert divergent_times and min(divergent_times) >= inject_at
+
+    def test_invariants_ride_along(self):
+        report = sanitize_run(
+            "chainreaction", seed=42, check_invariants=True, **FAST
+        )
+        assert report.invariant_report is not None
+        assert report.clean
+        assert "invariants:" in report.format()
+
+
+class TestCliSanitize:
+    def test_cli_sanitize_exits_zero_on_clean_run(self):
+        import io
+
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(
+            [
+                "sanitize",
+                "--clients", "2",
+                "--duration", "0.3",
+                "--warmup", "0.1",
+                "--records", "10",
+                "--servers", "3",
+                "--invariants",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "no divergence" in out.getvalue()

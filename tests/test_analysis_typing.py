@@ -1,0 +1,97 @@
+"""Tests for the typing gate (annotation checker + optional mypy layer)
+and the `repro lint` CLI entry point."""
+
+import io
+
+from repro.analysis import check_annotations, run_mypy
+from repro.cli import main
+
+
+class TestAnnotationChecker:
+    def test_missing_annotations_reported(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "def f(x, y: int):\n"
+            "    return x + y\n"
+        )
+        violations = check_annotations([path])
+        assert len(violations) == 1
+        violation = violations[0]
+        assert violation.function == "f"
+        assert "annotation for 'x'" in violation.missing
+        assert "return annotation" in violation.missing
+        assert "annotation for 'y'" not in str(violation.missing)
+        assert f"{path}:1:" in violation.format()
+
+    def test_fully_annotated_clean(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "def f(x: int, *args: int, flag: bool = False, **kw: int) -> int:\n"
+            "    return x\n"
+        )
+        assert check_annotations([path]) == []
+
+    def test_self_and_cls_exempt(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "class A:\n"
+            "    def m(self, x: int) -> int:\n"
+            "        return x\n"
+            "    @classmethod\n"
+            "    def c(cls) -> None:\n"
+            "        pass\n"
+        )
+        assert check_annotations([path]) == []
+
+    def test_exempt_dunders_skipped_but_init_checked(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "class A:\n"
+            "    def __init__(self, x):\n"
+            "        self.x = x\n"
+            "    def __repr__(self):\n"
+            "        return 'A'\n"
+        )
+        violations = check_annotations([path])
+        assert [v.function for v in violations] == ["__init__"]
+
+    def test_pragma_exempts_function(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "def f(x):  # repro: lint-ok(typing)\n"
+            "    return x\n"
+        )
+        assert check_annotations([path]) == []
+
+    def test_typed_packages_are_clean(self):
+        assert check_annotations() == []
+
+
+class TestMypyLayer:
+    def test_run_mypy_degrades_gracefully(self):
+        result = run_mypy()
+        # With mypy installed the gate must pass; without it the layer
+        # reports a skip, not a failure.
+        assert result.clean, result.output
+        if not result.available:
+            assert "skipped" in result.output
+
+
+class TestCliLint:
+    def test_lint_clean_tree_exits_zero(self):
+        out = io.StringIO()
+        assert main(["lint"], out=out) == 0
+        assert "0 violation(s)" in out.getvalue()
+
+    def test_lint_flags_bad_file(self, tmp_path):
+        bad = tmp_path / "repro" / "sim" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import time\nx = time.time()\n")
+        out = io.StringIO()
+        assert main(["lint", str(bad)], out=out) == 1
+        assert "no-wall-clock" in out.getvalue()
+
+    def test_lint_typing_gate(self):
+        out = io.StringIO()
+        assert main(["lint", "--typing"], out=out) == 0
+        assert "typing gate: 0 missing annotation(s)" in out.getvalue()

@@ -13,7 +13,7 @@ from repro.metrics import (
 
 class TestLatencyReservoir:
     def test_exact_statistics_below_capacity(self):
-        res = LatencyReservoir()
+        res = LatencyReservoir(seed=1)
         for v in [0.001, 0.002, 0.003, 0.004, 0.005]:
             res.add(v)
         assert res.count == 5
@@ -24,12 +24,12 @@ class TestLatencyReservoir:
         assert res.min == 0.001 and res.max == 0.005
 
     def test_percentile_interpolates(self):
-        res = LatencyReservoir()
+        res = LatencyReservoir(seed=1)
         res.extend([0.0, 1.0])
         assert res.percentile(50) == pytest.approx(0.5)
 
     def test_empty_reservoir(self):
-        res = LatencyReservoir()
+        res = LatencyReservoir(seed=1)
         assert res.percentile(99) == 0.0
         assert res.mean() == 0.0
         assert res.cdf() == []
@@ -49,7 +49,7 @@ class TestLatencyReservoir:
         assert 0.4 < res.percentile(50) < 0.6
 
     def test_cdf_is_monotone(self):
-        res = LatencyReservoir()
+        res = LatencyReservoir(seed=1)
         res.extend([0.003, 0.001, 0.002, 0.010, 0.004])
         cdf = res.cdf(points=10)
         values = [v for v, _ in cdf]
@@ -59,7 +59,7 @@ class TestLatencyReservoir:
         assert fracs[-1] == 1.0
 
     def test_summary_in_milliseconds(self):
-        res = LatencyReservoir()
+        res = LatencyReservoir(seed=1)
         res.add(0.002)
         s = res.summary()
         assert s["p50_ms"] == pytest.approx(2.0)
@@ -67,11 +67,17 @@ class TestLatencyReservoir:
 
     def test_invalid_percentile_rejected(self):
         with pytest.raises(ValueError):
-            LatencyReservoir().percentile(101)
+            LatencyReservoir(seed=1).percentile(101)
 
     def test_invalid_capacity_rejected(self):
         with pytest.raises(ValueError):
-            LatencyReservoir(capacity=0)
+            LatencyReservoir(capacity=0, seed=1)
+
+    def test_seed_is_required_and_explicit(self):
+        with pytest.raises(TypeError):
+            LatencyReservoir()  # no implicit OS-seeded RNG
+        with pytest.raises(ValueError):
+            LatencyReservoir(seed=None)
 
 
 class TestThroughputTimeline:

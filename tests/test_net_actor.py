@@ -10,13 +10,13 @@ from repro.net import Actor, Address, FixedLatency, Message, Network
 from repro.sim import Future, Simulator
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class Tick(Message):
     type_name: ClassVar[str] = "tick"
     n: int = 0
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class Mystery(Message):
     type_name: ClassVar[str] = "mystery"
 

@@ -8,7 +8,7 @@ from repro.net.message import WIRE_HEADER_BYTES
 from repro.storage import VersionVector
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class Ping(Message):
     type_name: ClassVar[str] = "ping"
     seq: int = 0

@@ -10,7 +10,7 @@ from repro.net import Address, FixedLatency, Message, Network, UniformLatency
 from repro.sim import Simulator
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class Note(Message):
     type_name: ClassVar[str] = "note"
     body: Any = None

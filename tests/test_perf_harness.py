@@ -24,14 +24,14 @@ TINY = dataclasses.replace(
 )
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class Memoed(Message):
     type_name: ClassVar[str] = "memoed"
     memoize_size: ClassVar[bool] = True
     body: str = ""
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class Plain(Message):
     type_name: ClassVar[str] = "plain"
     body: str = ""
@@ -44,25 +44,21 @@ class TestSizeMemoization:
         assert first == Plain(body="hello").size_bytes()
         assert msg.size_bytes() == first
 
-    def test_mutation_after_cache_returns_stale_size_by_design(self):
-        # Documented behaviour: memoize_size messages are treated as
-        # frozen once sized; mutating one afterwards does NOT refresh
-        # the cached size.
+    def test_messages_are_frozen(self):
+        # Messages are immutable once constructed — that is what makes
+        # the size memo (and copy_size_from) sound.
         msg = Memoed(body="ab")
-        before = msg.size_bytes()
-        msg.body = "a much longer body than before"
-        assert msg.size_bytes() == before
-        # A plain message tracks the mutation.
-        plain = Plain(body="ab")
-        small = plain.size_bytes()
-        plain.body = "a much longer body than before"
-        assert plain.size_bytes() > small
+        msg.size_bytes()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            msg.body = "a much longer body than before"
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            Plain(body="ab").body = "other"
 
     def test_unsized_messages_do_not_cache(self):
         msg = Plain(body="ab")
         small = msg.size_bytes()
-        msg.body = "xyz!"
-        assert msg.size_bytes() == small + 2
+        assert "_size_memo" not in msg.__dict__
+        assert dataclasses.replace(msg, body="xyz!").size_bytes() == small + 2
 
     def test_copy_size_from_carries_memo(self):
         a = Memoed(body="payload")
