@@ -1,55 +1,49 @@
 #!/usr/bin/env python
-"""Fault tolerance: kill a server under load and watch the repair.
+"""Fault tolerance: run a declarative fault campaign and read the report.
 
-Runs a steady workload against a 6-server ChainReaction deployment,
-crashes one server mid-run, and prints the throughput timeline: the dip
-while clients time out and the failure detector fires, the chain
-reconfiguration with state transfer, and the recovery on 5 servers.
-Finishes by verifying that no data was lost.
+Uses the fault-campaign engine (``repro.faults``) to crash the chain
+head of a hot key under load, recover it, and account for every client
+operation: throughput before/during/after the fault window, explicit
+ok / degraded / timeout outcomes, the injector's action log, and the
+chain-invariant + causal-history audit. Same campaign + same seed
+replays bit-identical message traces.
+
+Finishes with a manual session (as a context manager) verifying that no
+acknowledged write was lost.
 
 Run:  python examples/fault_tolerance.py
+      python -m repro faults --campaign crash-head      # same, via the CLI
 """
 
-from repro.baselines import build_store
-from repro.metrics import render_series
-from repro.workload import WorkloadRunner, workload
+from repro.faults import campaign, run_campaign
 
-CRASH_AT = 1.0
+SEED = 3
 
 
 def main() -> None:
-    store = build_store("chainreaction", servers_per_site=6, chain_length=3, ack_k=2, seed=3)
-    victim = store.servers()[0]
-    store.sim.schedule_at(CRASH_AT, victim.crash)
+    spec = campaign("crash-head").with_updates(clients=16)
+    print(f"campaign {spec.name!r}: {spec.description}")
+    print(f"running {spec.clients} clients under seed {SEED} ...\n")
 
-    spec = workload("A", record_count=100, value_size=64)
-    runner = WorkloadRunner(store, spec, n_clients=16, duration=3.0, warmup=0.2)
-    print(f"running 16 clients, crashing {victim.address} at t={CRASH_AT}s ...\n")
-    result = runner.run()
+    result = run_campaign(spec, seed=SEED)
+    print(result.format())
 
-    print(render_series(result.timeline.series(), "t (s)", "ops/s",
-                        title="throughput timeline"))
-
-    before = result.timeline.rate_between(0.4, CRASH_AT)
-    dip = result.timeline.rate_between(CRASH_AT, CRASH_AT + 0.6)
-    after = result.timeline.rate_between(CRASH_AT + 1.2, 3.2)
-    print(f"\nbefore crash : {before:8.0f} ops/s")
-    print(f"during outage: {dip:8.0f} ops/s")
-    print(f"after repair : {after:8.0f} ops/s  (on 5 of 6 servers)")
-
+    # The engine keeps the live deployment around for post-mortems.
+    store = result.store
     manager = store.managers["dc0"]
     print(f"\nview epoch {manager.view.epoch}, members {manager.view.servers}")
 
-    # Verify no acknowledged write was lost: read back every key.
-    session = store.session()
+    # Verify no acknowledged write was lost: read back every key with a
+    # fresh session. Sessions are context managers — closing detaches
+    # them from the network.
     missing = 0
-    for i in range(spec.record_count):
-        fut = session.get(spec.key(i))
-        store.sim.run(until=store.sim.now + 0.2)
-        if fut.failed() or fut.result().value is None:
-            missing += 1
-    print(f"post-repair audit: {spec.record_count - missing}/{spec.record_count} keys readable")
-    print(f"client-visible operation errors during the run: {result.errors}")
+    with store.session() as session:
+        for i in range(spec.records):
+            fut = session.get(f"user{i:08d}")
+            store.sim.run(until=store.sim.now + 0.2)
+            if fut.failed() or fut.result().value is None:
+                missing += 1
+    print(f"post-repair audit: {spec.records - missing}/{spec.records} keys readable")
 
 
 if __name__ == "__main__":

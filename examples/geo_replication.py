@@ -46,6 +46,7 @@ def lifecycle_demo() -> None:
     globally = stats["global_stability_samples"]
     print(f"remote visibility samples (ms): {[round(v*1000,1) for v in visibility]}")
     print(f"global stability (ms): {[round(v*1000,1) for v in globally]}")
+    store.shutdown()
 
 
 def conflict_demo() -> None:
@@ -66,6 +67,7 @@ def conflict_demo() -> None:
         print(f"  {site:10s} reads {value!r} @ {version}")
     assert len({value for _, value, _ in results}) == 1, "replicas diverged!"
     print("  -> every DC converged to the same winner (the + in causal+)")
+    store.shutdown()
 
 
 def merge_demo() -> None:
@@ -81,6 +83,7 @@ def merge_demo() -> None:
     sim.run(until=sim.now + 0.1)
     print(f"  virginia reads the merged cart: {fut.result().value}")
     print("  -> neither concurrent update was lost")
+    store.shutdown()
 
 
 def main() -> None:

@@ -18,6 +18,8 @@ def main() -> None:
     store = ChainReactionStore(config)
     sim = store.sim
 
+    # Sessions are context managers: closing one detaches it from the
+    # network so late replies are dropped instead of mis-delivered.
     alice = store.session(session_id="alice")
     bob = store.session(session_id="bob")
 
@@ -54,6 +56,10 @@ def main() -> None:
     stats = store.protocol_stats()
     print(f"protocol totals: {stats['puts_served']} puts, {stats['gets_served']} gets, "
           f"{stats['messages_sent']} messages")
+
+    # --- shutdown ---------------------------------------------------------
+    store.shutdown()  # closes every open session
+    print(f"open sessions after shutdown: {len(store.sessions())}")
 
 
 if __name__ == "__main__":

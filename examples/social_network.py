@@ -57,6 +57,7 @@ def run_scenario(protocol: str) -> int:
     spawn(sim, alice_loop(), name="alice")
     spawn(sim, boss_loop(), name="boss")
     sim.run(until=ROUNDS * 0.02 + 5.0)
+    store.shutdown()  # closes alice's and the boss's sessions
     return anomalies[0]
 
 

@@ -21,9 +21,24 @@ them into assertions that can ride along on any run of the
   its causal past.
 
 The monitor wraps per-node ``store.apply`` / ``stability.record`` and
-per-session observation hooks on a live deployment. It is designed for
-fault-free runs (E1-style experiments); failure injection legitimately
-truncates chains mid-flight and is out of scope.
+per-session observation hooks on a live deployment.
+
+Runs with failure injection are supported (the fault-campaign engine
+attaches this monitor on every campaign). Three adjustments keep the
+checks sound across crashes and reconfigurations without weakening
+them on fault-free runs:
+
+- applies performed while a node is **syncing** (chain repair after a
+  view change) are re-installs of already-checked writes and are not
+  recorded as new sequence entries;
+- a **fail-stop crash** discards the replica's recorded lifetime — the
+  recovered process is logically new, so its sequence restarts;
+- once a site has seen a **view change**, "each replica is a prefix of
+  the head" is no longer well-defined (the head itself changes), so the
+  prefix scan switches to the reconfiguration-stable core of the
+  property: every pair of replicas must agree on the relative order of
+  the writes both applied (``chain-order``). Fault-free runs keep the
+  strict prefix check.
 """
 
 from __future__ import annotations
@@ -94,6 +109,8 @@ class ChainInvariantMonitor:
         self.violations: List[InvariantViolation] = []
         #: (site, node) -> key -> ordered list of applied record versions
         self._applied: Dict[Tuple[str, str], Dict[str, List[Any]]] = {}
+        #: site -> number of view changes observed during the run
+        self._view_changes: Dict[str, int] = {}
         self.applies_checked = 0
         self.stability_checks = 0
         self.gets_checked = 0
@@ -109,8 +126,19 @@ class ChainInvariantMonitor:
         for site, nodes in self.store.nodes.items():
             for node in nodes:
                 self._wrap_node(site, node)
+        for site, manager in self.store.managers.items():
+            self._view_changes[site] = 0
+            self._watch_views(site, manager)
         self._wrap_session_factory()
         return self
+
+    def _watch_views(self, site: str, manager: Any) -> None:
+        monitor = self
+
+        def count_view_change(view: Any) -> None:
+            monitor._view_changes[site] += 1
+
+        manager.add_view_listener(count_view_change)
 
     def _wrap_node(self, site: str, node: Any) -> None:
         node_key = (site, node.name)
@@ -124,11 +152,21 @@ class ChainInvariantMonitor:
                             stamp: Any = None) -> Any:
             result = original_apply(key, value, version, now, stamp)
             monitor.applies_checked += 1
-            if result.applied:
+            if result.applied and not getattr(node, "syncing", False):
                 applied.setdefault(key, []).append(result.record.version)
             return result
 
         node.store.apply = recording_apply
+
+        original_crash = node.crash
+
+        def resetting_crash() -> None:
+            # Fail-stop: the replica's recorded lifetime ends here. What
+            # it re-applies after recovery belongs to a fresh sequence.
+            applied.clear()
+            original_crash()
+
+        node.crash = resetting_crash
 
         if not hasattr(node, "stability"):
             return  # non-chain server: prefix recording only
@@ -210,11 +248,19 @@ class ChainInvariantMonitor:
     # end-of-run checks
     # ------------------------------------------------------------------
     def check_prefix_property(self) -> List[InvariantViolation]:
-        """Verify every replica's applied sequence is a prefix of the head's.
+        """End-of-run scan of the chain ordering property.
 
         Runs over the final recorded sequences; call after the
         simulation has drained so in-flight chain hops are not reported
         as (transient, legitimate) gaps.
+
+        Fault-free sites get the full-strength check: every replica's
+        applied sequence is a strict prefix of the head's. Sites that
+        reconfigured during the run (crashes, view changes) no longer
+        have a single well-defined head over the whole run, so the scan
+        checks what chain order still guarantees across
+        reconfigurations: every pair of replicas agrees on the relative
+        order of the writes both of them applied (``chain-order``).
         """
         found: List[InvariantViolation] = []
         for site, manager in self.store.managers.items():
@@ -222,23 +268,68 @@ class ChainInvariantMonitor:
             keys = set()
             for node in self.store.nodes[site]:
                 keys.update(self._applied[(site, node.name)].keys())
-            for key in sorted(keys):
-                chain = view.chain_for(key)
-                head_seq = self._applied[(site, chain[0])].get(key, [])
-                for member in chain[1:]:
-                    member_seq = self._applied[(site, member)].get(key, [])
-                    if len(member_seq) > len(head_seq) or any(
-                        m != h for m, h in zip(member_seq, head_seq)
-                    ):
+            if self._view_changes.get(site, 0) == 0:
+                found.extend(self._check_strict_prefix(site, view, sorted(keys)))
+            else:
+                found.extend(self._check_order_consistency(site, sorted(keys)))
+        return found
+
+    def _check_strict_prefix(
+        self, site: str, view: Any, keys: List[str]
+    ) -> List[InvariantViolation]:
+        found: List[InvariantViolation] = []
+        for key in keys:
+            chain = view.chain_for(key)
+            head_seq = self._applied[(site, chain[0])].get(key, [])
+            for member in chain[1:]:
+                member_seq = self._applied[(site, member)].get(key, [])
+                if len(member_seq) > len(head_seq) or any(
+                    m != h for m, h in zip(member_seq, head_seq)
+                ):
+                    found.append(
+                        InvariantViolation(
+                            kind="chain-prefix",
+                            node=f"{site}:{member}",
+                            key=key,
+                            detail=(
+                                f"applied sequence ({len(member_seq)} versions) "
+                                f"is not a prefix of the head's "
+                                f"({len(head_seq)} versions)"
+                            ),
+                        )
+                    )
+        return found
+
+    def _check_order_consistency(
+        self, site: str, keys: List[str]
+    ) -> List[InvariantViolation]:
+        """Pairwise check: replicas never disagree on the order of
+        writes they both applied. This is the part of the prefix
+        property that survives crashes and chain repair — a replica may
+        hold a subset (it crashed, joined late, or the chain moved), but
+        two replicas applying the same two writes in opposite orders
+        means a write bypassed chain order."""
+        found: List[InvariantViolation] = []
+        names = [node.name for node in self.store.nodes[site]]
+        for key in keys:
+            sequences = [
+                (name, self._applied[(site, name)].get(key, []))
+                for name in names
+            ]
+            for i, (name_a, seq_a) in enumerate(sequences):
+                rank_a = {version: pos for pos, version in enumerate(seq_a)}
+                for name_b, seq_b in sequences[i + 1 :]:
+                    common = [v for v in seq_b if v in rank_a]
+                    ranks = [rank_a[v] for v in common]
+                    if any(lo >= hi for lo, hi in zip(ranks, ranks[1:])):
                         found.append(
                             InvariantViolation(
-                                kind="chain-prefix",
-                                node=f"{site}:{member}",
+                                kind="chain-order",
+                                node=f"{site}:{name_a}~{site}:{name_b}",
                                 key=key,
                                 detail=(
-                                    f"applied sequence ({len(member_seq)} versions) "
-                                    f"is not a prefix of the head's "
-                                    f"({len(head_seq)} versions)"
+                                    f"replicas applied {len(common)} common "
+                                    "versions in different relative orders"
                                 ),
                             )
                         )

@@ -37,7 +37,7 @@ __all__ = [
 ]
 
 #: Packages (relative to ``src/repro``) the annotation gate covers.
-TYPED_PACKAGES: Tuple[str, ...] = ("core", "sim", "net", "baselines", "analysis")
+TYPED_PACKAGES: Tuple[str, ...] = ("core", "sim", "net", "baselines", "analysis", "faults")
 
 _PRAGMA = re.compile(r"#\s*repro:\s*lint-ok\(([^)]*)\)")
 

@@ -15,6 +15,17 @@ the same harness:
 Sessions are *not* thread-safe in the distributed-systems sense: like
 the paper's client library, a session has at most one outstanding
 operation; concurrency comes from opening many sessions.
+
+Optional protocol features are advertised through
+:attr:`Datastore.capabilities`, a frozenset of the ``CAP_*`` strings
+below. Harness code branches on membership (``CAP_SNAPSHOT_READS in
+store.capabilities``) instead of probing optional methods with
+try/except; calling an unsupported operation raises
+:class:`~repro.errors.UnsupportedOperationError`.
+
+Sessions have an explicit lifecycle: they are context managers, and a
+deployment tracks every session it opened (:meth:`Datastore.sessions`)
+so :meth:`Datastore.shutdown` can close them all at once.
 """
 
 from __future__ import annotations
@@ -22,10 +33,35 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.errors import SessionClosedError, UnsupportedOperationError
 from repro.sim.process import Future
 from repro.storage.version import VersionVector
 
-__all__ = ["GetResult", "PutResult", "SnapshotResult", "ClientSession", "Datastore"]
+__all__ = [
+    "CAP_SNAPSHOT_READS",
+    "CAP_DEGRADED_READS",
+    "CAP_TRACING",
+    "CAP_STABILITY",
+    "CAP_DURABLE_STORAGE",
+    "GetResult",
+    "PutResult",
+    "SnapshotResult",
+    "ClientSession",
+    "Datastore",
+]
+
+#: Causally consistent multi-key snapshots (``ClientSession.multi_get``).
+CAP_SNAPSHOT_READS = "snapshot-reads"
+#: Reads may fall back to possibly-unstable versions from deeper chain
+#: positions under failures, flagged via ``GetResult.degraded``.
+CAP_DEGRADED_READS = "degraded-reads"
+#: Structured protocol tracing (``store.attach_tracer()``).
+CAP_TRACING = "tracing"
+#: The protocol exposes a DC-stability notion (``GetResult.stable`` is
+#: meaningful rather than constant).
+CAP_STABILITY = "stability"
+#: Servers can be backed by the append-only durable log store.
+CAP_DURABLE_STORAGE = "durable-storage"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -35,7 +71,10 @@ class GetResult:
     ``value`` is None when the key is absent (or deleted); ``version``
     is then the zero vector. ``stable`` reports whether the returned
     version was already DC-stable where supported (protocols without a
-    stability notion report True).
+    stability notion report True). ``degraded`` marks a read served in
+    degraded mode: the preferred replicas were unreachable and the
+    value may predate versions this session already observed — the
+    fault-tolerance trade the client makes explicit instead of raising.
     """
 
     key: str
@@ -43,6 +82,7 @@ class GetResult:
     version: VersionVector
     stable: bool = True
     served_by: str = ""
+    degraded: bool = False
 
 
 @dataclasses.dataclass(frozen=True)
@@ -73,10 +113,23 @@ class SnapshotResult:
 
 
 class ClientSession:
-    """One sequential client of a datastore."""
+    """One sequential client of a datastore.
+
+    Sessions are context managers::
+
+        with store.session() as alice:
+            fut = alice.put("photo", "beach.jpg")
+            store.run(until=1.0)
+
+    After :meth:`close`, issuing operations raises
+    :class:`~repro.errors.SessionClosedError`.
+    """
 
     #: Stable identifier used by the history checker to group operations.
     session_id: str
+
+    #: True once :meth:`close` ran; closed sessions reject operations.
+    closed: bool = False
 
     def get(self, key: str) -> Future:
         """Read ``key``; resolves to :class:`GetResult`."""
@@ -84,9 +137,12 @@ class ClientSession:
 
     def multi_get(self, keys: Sequence[str]) -> Future:
         """Causally consistent snapshot of several keys; resolves to
-        :class:`SnapshotResult`. Optional — protocols without snapshot
-        support raise NotImplementedError."""
-        raise NotImplementedError
+        :class:`SnapshotResult`. Optional — offered only by protocols
+        advertising :data:`CAP_SNAPSHOT_READS`."""
+        raise UnsupportedOperationError(
+            f"{type(self).__name__} does not support snapshot reads "
+            f"(check CAP_SNAPSHOT_READS in store.capabilities)"
+        )
 
     def put(self, key: str, value: Any) -> Future:
         """Write ``key``; resolves to :class:`PutResult`."""
@@ -101,6 +157,24 @@ class ClientSession:
         the protocol keeps none). Drives the metadata-overhead experiment."""
         return 0
 
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the session; idempotent. Subclasses extend this to
+        detach from the network and fail in-flight operations."""
+        self.closed = True
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise SessionClosedError(f"session {getattr(self, 'session_id', '?')} is closed")
+
+    def __enter__(self) -> "ClientSession":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
 
 class Datastore:
     """A running deployment of one protocol."""
@@ -108,9 +182,29 @@ class Datastore:
     #: Human-readable protocol name ("chainreaction", "chain", ...).
     name: str
 
+    #: Optional features this deployment supports (``CAP_*`` strings).
+    capabilities: frozenset = frozenset()
+
     def session(self, site: Optional[str] = None, session_id: Optional[str] = None) -> ClientSession:
         """Open a new client session homed in ``site`` (default: first site)."""
         raise NotImplementedError
+
+    def sessions(self) -> List[ClientSession]:
+        """Every session opened on this deployment that is still open."""
+        return [s for s in getattr(self, "_sessions", []) if not s.closed]
+
+    def shutdown(self) -> None:
+        """Close every open session. Idempotent; the deployment itself
+        (servers, managers) keeps running so post-shutdown inspection —
+        convergence checks, audits — still works."""
+        for session in self.sessions():
+            session.close()
+
+    def __enter__(self) -> "Datastore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
 
     @property
     def sites(self) -> List[str]:

@@ -40,6 +40,10 @@ class BaselineConfig:
     op_timeout: float = 0.25
     client_retry_backoff: float = 0.02
     max_retries: int = 25
+    backoff_multiplier: float = 2.0
+    max_backoff: float = 0.5
+    backoff_jitter: float = 0.1
+    op_deadline: float = 0.0
     lan_median: float = 0.0003
     wan_median: float = 0.040
     heartbeat_interval: float = 0.05

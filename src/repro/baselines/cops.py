@@ -17,15 +17,14 @@ origin* via DC-stability and then lets reads fan out over R replicas.
 from __future__ import annotations
 
 import dataclasses
-import random
 from typing import Any, ClassVar, Dict, Iterator, List, Optional, Tuple
 
-from repro.api import ClientSession, GetResult, PutResult
+from repro.api import GetResult, PutResult
 from repro.baselines.common import BaselineConfig, RingDeployment
+from repro.cluster.client_base import RetryingSession
 from repro.cluster.membership import RingView
 from repro.cluster.server_base import RingServer
-from repro.errors import NotResponsibleError, RemoteError, RequestTimeout
-from repro.net.actor import Actor
+from repro.errors import NotResponsibleError, TransientError
 from repro.net.message import Message
 from repro.net.network import Address, Network
 from repro.sim.kernel import Simulator
@@ -191,28 +190,12 @@ class CopsServer(RingServer):
         self.visibility_samples.append(self.sim.now - msg.origin_put_at)
 
 
-class CopsSession(Actor, ClientSession):
+class CopsSession(RetryingSession):
     """COPS client library: context tracking with collapse-on-put."""
 
-    def __init__(
-        self,
-        sim: Simulator,
-        network: Network,
-        site: str,
-        name: str,
-        initial_view: RingView,
-        config: BaselineConfig,
-        rng: random.Random,
-    ) -> None:
-        super().__init__(sim, network, Address(site, name))
-        self.site = site
-        self.session_id = f"{site}:{name}"
-        self.view = initial_view
-        self.config = config
-        self._rng = rng
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
         self._context: Dict[str, VersionVector] = {}
-        self.retries = 0
-        self.failed_ops = 0
 
     def metadata_bytes(self) -> int:
         return context_size_bytes(self._context)
@@ -221,23 +204,26 @@ class CopsSession(Actor, ClientSession):
         return self.view.address_of(self.view.chain_for(key)[0])
 
     def get(self, key: str) -> Future:
+        self._check_open()
         return spawn(self.sim, self._get_gen(key), name=f"get:{key}")
 
     def put(self, key: str, value: Any) -> Future:
+        self._check_open()
         return spawn(self.sim, self._put_gen(key, value, False), name=f"put:{key}")
 
     def delete(self, key: str) -> Future:
+        self._check_open()
         return spawn(self.sim, self._put_gen(key, None, True), name=f"del:{key}")
 
     def _get_gen(self, key: str) -> Iterator[Any]:
-        for _attempt in range(self.config.max_retries):
+        start = self.sim.now
+        for attempt in self._op_attempts(start):
             try:
                 reply = yield self.call(
                     self._owner(key), "get", key, timeout=self.config.op_timeout
                 )
-            except (RequestTimeout, RemoteError):
-                self.retries += 1
-                yield self.config.client_retry_backoff
+            except TransientError as exc:
+                yield from self._backoff_and_refresh(attempt, exc)
                 continue
             version = reply["version"]
             if not version.is_zero():
@@ -245,15 +231,15 @@ class CopsSession(Actor, ClientSession):
             return GetResult(
                 key=key, value=reply["value"], version=version, stable=True
             )
-        self.failed_ops += 1
-        raise RequestTimeout(f"get({key!r}) failed after {self.config.max_retries} attempts")
+        raise self._give_up("get", key)
 
     def _put_gen(self, key: str, value: Any, is_delete: bool) -> Iterator[Any]:
         # Include the same-key context version: remote owners must apply
         # this write only after the observed predecessor (and hence its
         # transitive dependencies) has arrived there.
         deps = dict(self._context)
-        for _attempt in range(self.config.max_retries):
+        start = self.sim.now
+        for attempt in self._op_attempts(start):
             try:
                 reply = yield self.call(
                     self._owner(key),
@@ -261,16 +247,14 @@ class CopsSession(Actor, ClientSession):
                     (key, value, is_delete, deps),
                     timeout=self.config.op_timeout,
                 )
-            except (RequestTimeout, RemoteError):
-                self.retries += 1
-                yield self.config.client_retry_backoff
+            except TransientError as exc:
+                yield from self._backoff_and_refresh(attempt, exc)
                 continue
             version = reply["version"]
             # put_after semantics: the new write subsumes the context.
             self._context = {key: version}
             return PutResult(key=key, version=version, stable=True)
-        self.failed_ops += 1
-        raise RequestTimeout(f"put({key!r}) failed after {self.config.max_retries} attempts")
+        raise self._give_up("delete" if is_delete else "put", key)
 
 
 class CopsStore(RingDeployment):

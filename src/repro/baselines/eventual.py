@@ -17,12 +17,12 @@ import dataclasses
 import random
 from typing import Any, ClassVar, Dict, Iterator, Optional, Tuple
 
-from repro.api import ClientSession, GetResult, PutResult
+from repro.api import GetResult, PutResult
 from repro.baselines.common import BaselineConfig, RingDeployment
+from repro.cluster.client_base import RetryingSession
 from repro.cluster.membership import RingView
 from repro.cluster.server_base import RingServer
-from repro.errors import RemoteError, RequestTimeout
-from repro.net.actor import Actor
+from repro.errors import TransientError
 from repro.net.message import Message
 from repro.net.network import Address, Network
 from repro.sim.kernel import Simulator
@@ -174,43 +174,28 @@ class EventualServer(RingServer):
             self.store.apply(key, value, version, self.sim.now, stamp)
 
 
-class EventualSession(Actor, ClientSession):
+class EventualSession(RetryingSession):
     """Client of the eventual store: one random replica per operation."""
-
-    def __init__(
-        self,
-        sim: Simulator,
-        network: Network,
-        site: str,
-        name: str,
-        initial_view: RingView,
-        config: BaselineConfig,
-        rng: random.Random,
-    ) -> None:
-        super().__init__(sim, network, Address(site, name))
-        self.site = site
-        self.session_id = f"{site}:{name}"
-        self.view = initial_view
-        self.config = config
-        self._rng = rng
-        self.retries = 0
-        self.failed_ops = 0
 
     def _pick_replica(self, key: str) -> Address:
         chain = self.view.chain_for(key)
         return self.view.address_of(self._rng.choice(chain))
 
     def get(self, key: str) -> Future:
+        self._check_open()
         return spawn(self.sim, self._op_gen("get", key, None, False), name=f"get:{key}")
 
     def put(self, key: str, value: Any) -> Future:
+        self._check_open()
         return spawn(self.sim, self._op_gen("put", key, value, False), name=f"put:{key}")
 
     def delete(self, key: str) -> Future:
+        self._check_open()
         return spawn(self.sim, self._op_gen("put", key, None, True), name=f"del:{key}")
 
     def _op_gen(self, op: str, key: str, value: Any, is_delete: bool) -> Iterator[Any]:
-        for _attempt in range(self.config.max_retries):
+        start = self.sim.now
+        for attempt in self._op_attempts(start):
             target = self._pick_replica(key)
             try:
                 if op == "get":
@@ -226,11 +211,9 @@ class EventualSession(Actor, ClientSession):
                     target, "put", (key, value, is_delete), timeout=self.config.op_timeout
                 )
                 return PutResult(key=key, version=reply["version"], stable=True)
-            except (RequestTimeout, RemoteError):
-                self.retries += 1
-                yield self.config.client_retry_backoff
-        self.failed_ops += 1
-        raise RequestTimeout(f"{op}({key!r}) failed after {self.config.max_retries} attempts")
+            except TransientError as exc:
+                yield from self._backoff_and_refresh(attempt, exc)
+        raise self._give_up(op, key)
 
 
 class EventualStore(RingDeployment):

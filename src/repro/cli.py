@@ -1,6 +1,6 @@
 """Command-line interface: run workloads and consistency checks from a shell.
 
-Six subcommands, mirroring how the paper's evaluation is exercised:
+Seven subcommands, mirroring how the paper's evaluation is exercised:
 
 - ``repro run`` — drive a YCSB workload against any protocol and print
   the throughput/latency summary (optionally with a consistency audit
@@ -10,6 +10,10 @@ Six subcommands, mirroring how the paper's evaluation is exercised:
 - ``repro perf`` — run the hot-path microbenchmarks (event kernel vs
   the seed baseline, network send, message sizing, end-to-end) and
   write the ``BENCH_*.json`` report; see ``docs/PERFORMANCE.md``;
+- ``repro faults`` — run a named fault campaign (seeded crashes,
+  partitions, slow links over a live deployment) and report the
+  per-operation outcomes, availability phases, and invariant audit;
+  see ``docs/FAULTS.md``;
 - ``repro lint`` — run the determinism/protocol-invariant AST linter
   over the source tree (optionally plus the typing gate); see
   ``docs/ANALYSIS.md``;
@@ -19,22 +23,32 @@ Six subcommands, mirroring how the paper's evaluation is exercised:
 - ``repro info`` — show the protocols, workloads, and default deployment
   parameters available.
 
+Reporting subcommands share two output flags: ``--format {text,json}``
+selects human tables or a machine-readable JSON document, and
+``--out FILE`` writes the report to a file instead of stdout (``perf``
+always writes its BENCH report file; ``--out`` overrides the path).
+
 Examples::
 
     python -m repro run --protocol chainreaction --workload B --clients 32
     python -m repro run --protocol eventual --sites dc0 dc1 --check
     python -m repro consistency --protocols chainreaction eventual
-    python -m repro perf --output BENCH_PR1.json
+    python -m repro perf --out BENCH_PR1.json
+    python -m repro faults --campaign crash-head --seed 7
+    python -m repro faults --campaign crash-head --check-determinism
     python -m repro lint --typing
-    python -m repro sanitize --protocol chainreaction --invariants
+    python -m repro sanitize --protocol chainreaction --invariants --format json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
 
+from repro.api import CAP_TRACING
 from repro.baselines.registry import PROTOCOLS, build_store
 from repro.checker import analyze_staleness, check_causal, check_session_guarantees
 from repro.metrics import render_table
@@ -54,9 +68,21 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="ChainReaction (EuroSys'13) reproduction — workload and consistency runner",
     )
+    # Shared by every reporting subcommand: how and where the report goes.
+    output = argparse.ArgumentParser(add_help=False)
+    output.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report as human-readable text or a JSON document (default: %(default)s)",
+    )
+    output.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the report to FILE instead of stdout",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run = sub.add_parser("run", help="drive a YCSB workload against one protocol")
+    run = sub.add_parser(
+        "run", parents=[output], help="drive a YCSB workload against one protocol"
+    )
     run.add_argument("--protocol", choices=PROTOCOLS, default="chainreaction")
     run.add_argument("--workload", choices=sorted(WORKLOADS), default="B")
     run.add_argument("--clients", type=int, default=16)
@@ -90,7 +116,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     probe = sub.add_parser(
-        "consistency", help="geo causality probe + anomaly table (experiment E10)"
+        "consistency", parents=[output],
+        help="geo causality probe + anomaly table (experiment E10)",
     )
     probe.add_argument(
         "--protocols", nargs="+", choices=PROTOCOLS, default=list(PROTOCOLS)
@@ -101,17 +128,14 @@ def build_parser() -> argparse.ArgumentParser:
     probe.add_argument("--seed", type=int, default=42)
 
     perf = sub.add_parser(
-        "perf", help="hot-path microbenchmarks; writes a BENCH JSON report"
+        "perf", parents=[output],
+        help="hot-path microbenchmarks; writes a BENCH JSON report",
     )
     perf.add_argument(
         "--events", type=int, default=200_000,
         help="events per kernel microbenchmark run",
     )
     perf.add_argument("--repeats", type=int, default=3, help="runs per benchmark (best kept)")
-    perf.add_argument(
-        "--output", default="BENCH_PR1.json", metavar="PATH",
-        help="where to write the JSON report (default: %(default)s)",
-    )
     perf.add_argument(
         "--skip-e2e", action="store_true", help="skip the end-to-end simulation benchmark"
     )
@@ -122,6 +146,32 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument(
         "--profile", action="store_true",
         help="print the hottest functions of the end-to-end run (cProfile)",
+    )
+
+    faults = sub.add_parser(
+        "faults", parents=[output],
+        help="run a fault campaign: seeded crashes/partitions/slow links (docs/FAULTS.md)",
+    )
+    faults.add_argument(
+        "--campaign", metavar="NAME",
+        help="built-in campaign to run (see --list)",
+    )
+    faults.add_argument("--seed", type=int, default=42)
+    faults.add_argument(
+        "--clients", type=int, default=None,
+        help="override the campaign's client count",
+    )
+    faults.add_argument(
+        "--workload", choices=sorted(WORKLOADS), default=None,
+        help="override the campaign's YCSB workload",
+    )
+    faults.add_argument(
+        "--list", action="store_true",
+        help="list the built-in campaigns and exit",
+    )
+    faults.add_argument(
+        "--check-determinism", action="store_true",
+        help="run the campaign twice under one seed and diff the message traces",
     )
 
     lint = sub.add_parser(
@@ -137,7 +187,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sanitize = sub.add_parser(
-        "sanitize",
+        "sanitize", parents=[output],
         help="race detector: run one experiment twice under one seed and diff traces",
     )
     sanitize.add_argument("--protocol", choices=PROTOCOLS, default="chainreaction")
@@ -155,8 +205,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach the chain prefix/stability/causal-cut monitors",
     )
 
-    sub.add_parser("info", help="list protocols, workloads, and defaults")
+    sub.add_parser("info", parents=[output], help="list protocols, workloads, and defaults")
     return parser
+
+
+def _emit(args: argparse.Namespace, out, text: str, payload: Dict[str, Any]) -> None:
+    """Deliver one report honoring the shared --format / --out flags."""
+    rendered = (
+        json.dumps(payload, indent=2, sort_keys=True, default=str)
+        if args.format == "json"
+        else text
+    )
+    if args.out:
+        Path(args.out).write_text(rendered + "\n")
+        print(f"report written to {args.out}", file=out)
+    else:
+        print(rendered, file=out)
 
 
 def _cmd_run(args: argparse.Namespace, out) -> int:
@@ -177,8 +241,12 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
     )
     tracer = None
     if args.trace:
-        if not hasattr(store, "attach_tracer"):
-            print("--trace is supported by chainreaction/chain only", file=out)
+        if CAP_TRACING not in store.capabilities:
+            print(
+                f"--trace needs CAP_TRACING, which {args.protocol!r} does not "
+                "advertise (chainreaction/chain only)",
+                file=out,
+            )
             return 2
         tracer = store.attach_tracer()
     spec = workload(args.workload, record_count=args.records)
@@ -196,6 +264,9 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
         file=out,
     )
     result = runner.run()
+    payload: Dict[str, Any] = result.summary_row()
+    payload["ops_completed"] = result.ops_completed
+    payload["metadata_bytes_mean"] = result.metadata_bytes.mean()
     rows = [
         ("throughput (ops/s)", result.throughput),
         ("operations", result.ops_completed),
@@ -206,7 +277,7 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
          f"{result.put_latency.percentile(50)*1000:.2f} / {result.put_latency.percentile(99)*1000:.2f}"),
         ("client metadata mean (B)", result.metadata_bytes.mean()),
     ]
-    print(render_table(["metric", "value"], rows, title="results"), file=out)
+    sections = [render_table(["metric", "value"], rows, title="results")]
 
     if args.check:
         causal = check_causal(result.history)
@@ -214,20 +285,19 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
         check_rows = [("causal", len(causal))] + [
             (name, len(violations)) for name, violations in sessions.items()
         ]
-        print(file=out)
-        print(
-            render_table(["guarantee", "violations"], check_rows, title="consistency audit"),
-            file=out,
+        payload["audit"] = {name: count for name, count in check_rows}
+        sections.append(
+            render_table(["guarantee", "violations"], check_rows, title="consistency audit")
         )
     if tracer is not None:
-        print(file=out)
-        print(f"trace for key {args.trace!r} (last 40 events):", file=out)
-        print(tracer.format(key=args.trace, last=40) or "  (no events)", file=out)
+        timeline = tracer.format(key=args.trace, last=40) or "  (no events)"
+        payload["trace"] = {"key": args.trace, "timeline": timeline.splitlines()}
+        sections.append(f"trace for key {args.trace!r} (last 40 events):\n{timeline}")
     if args.staleness:
         report = analyze_staleness(result.history)
         summary = report.summary()
-        print(file=out)
-        print(
+        payload["staleness"] = summary
+        sections.append(
             render_table(
                 ["metric", "value"],
                 [
@@ -238,9 +308,9 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
                     ("time lag p99 (ms)", summary["time_lag_p99_ms"]),
                 ],
                 title="staleness",
-            ),
-            file=out,
+            )
         )
+    _emit(args, out, "\n\n".join(sections), payload)
     return 0
 
 
@@ -271,14 +341,20 @@ def _cmd_consistency(args: argparse.Namespace, out) -> int:
                 len(sessions["monotonic-reads"]),
             )
         )
-    print(
-        render_table(
-            ["protocol", "ops", "causal", "RYW", "MR"],
-            rows,
-            title=f"consistency anomalies ({len(args.sites)} sites)",
-        ),
-        file=out,
+    text = render_table(
+        ["protocol", "ops", "causal", "RYW", "MR"],
+        rows,
+        title=f"consistency anomalies ({len(args.sites)} sites)",
     )
+    payload = {
+        "sites": list(args.sites),
+        "protocols": [
+            {"protocol": p, "ops": ops, "causal": c, "read_your_writes": ryw,
+             "monotonic_reads": mr}
+            for p, ops, c, ryw, mr in rows
+        ],
+    }
+    _emit(args, out, text, payload)
     return 0
 
 
@@ -302,26 +378,75 @@ def _cmd_perf(args: argparse.Namespace, out) -> int:
         include_end_to_end=not args.skip_e2e,
         include_sweep=args.sweep,
     )
-    print(render_table(["metric", "value"], summary_lines(report), title="perf"), file=out)
     kernel = report["event_kernel"]
-    print(
-        f"\nevent kernel: {kernel['optimized_events_per_sec']:,.0f} events/s "
-        f"vs seed baseline {kernel['baseline_events_per_sec']:,.0f} events/s "
-        f"({kernel['speedup']:.2f}x)",
-        file=out,
-    )
+    sections = [
+        render_table(["metric", "value"], summary_lines(report), title="perf"),
+        (
+            f"event kernel: {kernel['optimized_events_per_sec']:,.0f} events/s "
+            f"vs seed baseline {kernel['baseline_events_per_sec']:,.0f} events/s "
+            f"({kernel['speedup']:.2f}x)"
+        ),
+    ]
     if args.profile:
         _, rows = profile_call(lambda: bench_end_to_end(duration=0.3), top=15)
-        print("\nhottest functions (end-to-end run):", file=out)
-        print(format_profile_rows(rows), file=out)
-    write_report(report, args.output)
-    print(f"\nreport written to {args.output}", file=out)
+        sections.append("hottest functions (end-to-end run):\n" + format_profile_rows(rows))
+    # perf always persists the BENCH report; --out overrides where.
+    report_path = args.out or "BENCH_PR1.json"
+    write_report(report, report_path)
+    sections.append(f"report written to {report_path}")
+    text = "\n\n".join(sections)
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True, default=str), file=out)
+    else:
+        print(text, file=out)
     return 0
 
 
-def _cmd_lint(args: argparse.Namespace, out) -> int:
-    from pathlib import Path
+def _cmd_faults(args: argparse.Namespace, out) -> int:
+    from repro.faults import CAMPAIGNS, campaign, run_campaign, sanitize_campaign
 
+    if args.list:
+        rows = [(name, CAMPAIGNS[name].description) for name in sorted(CAMPAIGNS)]
+        text = render_table(["campaign", "description"], rows, title="fault campaigns")
+        payload = {"campaigns": [{"name": n, "description": d} for n, d in rows]}
+        _emit(args, out, text, payload)
+        return 0
+    if not args.campaign:
+        print("faults: --campaign NAME is required (or --list)", file=out)
+        return 2
+    spec = campaign(args.campaign)
+    updates: Dict[str, Any] = {}
+    if args.clients is not None:
+        updates["clients"] = args.clients
+    if args.workload is not None:
+        updates["workload_name"] = args.workload
+    if updates:
+        spec = spec.with_updates(**updates)
+
+    if args.check_determinism:
+        print(
+            f"campaign {spec.name!r}: two runs under seed {args.seed}, diffing traces ...",
+            file=out,
+        )
+        report = sanitize_campaign(spec, seed=args.seed)
+        payload = {
+            "campaign": spec.name,
+            "seed": args.seed,
+            "trace_length": report.trace_length,
+            "events_processed": list(report.events_processed),
+            "deterministic": report.divergence is None,
+            "clean": report.clean,
+        }
+        _emit(args, out, report.format(), payload)
+        return 0 if report.clean else 1
+
+    print(f"running campaign {spec.name!r} under seed {args.seed} ...", file=out)
+    result = run_campaign(spec, seed=args.seed)
+    _emit(args, out, result.format(), result.to_report())
+    return 0 if result.clean else 1
+
+
+def _cmd_lint(args: argparse.Namespace, out) -> int:
     from repro.analysis import check_annotations, run_lint, run_mypy
 
     paths = [Path(p) for p in args.paths] or None
@@ -368,18 +493,37 @@ def _cmd_sanitize(args: argparse.Namespace, out) -> int:
         records=args.records,
         check_invariants=args.invariants,
     )
-    print(report.format(), file=out)
+    payload = {
+        "protocol": report.protocol,
+        "seed": report.seed,
+        "trace_length": report.trace_length,
+        "events_processed": list(report.events_processed),
+        "deterministic": report.divergence is None,
+        "clean": report.clean,
+    }
+    _emit(args, out, report.format(), payload)
     return 0 if report.clean else 1
 
 
-def _cmd_info(out) -> int:
-    print("protocols :", ", ".join(PROTOCOLS), file=out)
-    print("workloads :", ", ".join(
-        f"{name} ({int(spec.read_proportion*100)}% read)"
-        for name, spec in sorted(WORKLOADS.items())
-    ), file=out)
-    print("defaults  : 6 servers/site, R=3, k=2, LAN 0.3ms, WAN 40ms", file=out)
-    print("see also  : pytest benchmarks/ --benchmark-only -s  (experiments E1-E11)", file=out)
+def _cmd_info(args: argparse.Namespace, out) -> int:
+    lines = [
+        "protocols : " + ", ".join(PROTOCOLS),
+        "workloads : " + ", ".join(
+            f"{name} ({int(spec.read_proportion*100)}% read)"
+            for name, spec in sorted(WORKLOADS.items())
+        ),
+        "defaults  : 6 servers/site, R=3, k=2, LAN 0.3ms, WAN 40ms",
+        "see also  : pytest benchmarks/ --benchmark-only -s  (experiments E1-E11)",
+    ]
+    payload = {
+        "protocols": list(PROTOCOLS),
+        "workloads": {
+            name: {"read_proportion": spec.read_proportion}
+            for name, spec in sorted(WORKLOADS.items())
+        },
+        "defaults": {"servers_per_site": 6, "chain_length": 3, "ack_k": 2},
+    }
+    _emit(args, out, "\n".join(lines), payload)
     return 0
 
 
@@ -393,11 +537,13 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_consistency(args, out)
     if args.command == "perf":
         return _cmd_perf(args, out)
+    if args.command == "faults":
+        return _cmd_faults(args, out)
     if args.command == "lint":
         return _cmd_lint(args, out)
     if args.command == "sanitize":
         return _cmd_sanitize(args, out)
-    return _cmd_info(out)
+    return _cmd_info(args, out)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,128 @@
+"""Shared scaffolding for client sessions of ring-placed deployments.
+
+Every protocol's client session — ChainReaction's and the baselines' —
+shares the same survival kit, factored here so fault tolerance is a
+property of the *harness*, not of one protocol:
+
+- addressing and a seeded per-session RNG stream,
+- a :class:`~repro.core.retry.RetryPolicy` derived from the deployment
+  config (bounded attempts, per-op deadline, seeded-jitter exponential
+  backoff),
+- failover re-resolution: after every failed attempt the session
+  refreshes its ring view from the site's cluster manager, so retries
+  re-route around crashed heads/tails once the failure detector fires,
+- an explicit lifecycle: ``close()`` detaches the session from the
+  network (late replies are dropped, not mis-delivered) and fails any
+  operations still in flight with
+  :class:`~repro.errors.SessionClosedError`.
+
+Protocol sessions subclass this and implement only their operation
+generators.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator, Optional
+
+from repro.api import ClientSession
+from repro.cluster.membership import RingView
+from repro.core.retry import RetryPolicy
+from repro.errors import ReproError, RequestTimeout, SessionClosedError
+from repro.net.actor import Actor
+from repro.net.network import Address, Network
+from repro.sim.kernel import Simulator
+
+__all__ = ["RetryingSession"]
+
+
+class RetryingSession(Actor, ClientSession):
+    """Actor-based client session with retry, failover, and lifecycle."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        site: str,
+        name: str,
+        initial_view: RingView,
+        config: Any,
+        rng: random.Random,
+    ) -> None:
+        super().__init__(sim, network, Address(site, name))
+        self.site = site
+        self.session_id = f"{site}:{name}"
+        self.view = initial_view
+        self.config = config
+        self._rng = rng
+        self._manager = Address(site, "manager")
+        self.retry_policy = RetryPolicy.from_config(config)
+        self.closed = False
+        # observability: exported into campaign outcome accounting
+        self.retries = 0
+        self.failed_ops = 0
+        self.degraded_reads = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Detach from the network and fail in-flight operations."""
+        if self.closed:
+            return
+        self.closed = True
+        self.network.set_down(self.address, True)
+        self._fail_pending(SessionClosedError(f"session {self.session_id} closed"))
+
+    def _fail_pending(self, exc: ReproError) -> None:
+        """Hook: resolve any pending operation futures with ``exc``."""
+
+    # ------------------------------------------------------------------
+    # retry machinery
+    # ------------------------------------------------------------------
+    def _op_attempts(self, start: float) -> Iterator[int]:
+        """Attempt counter bounded by the policy's budget and deadline."""
+        policy = self.retry_policy
+        for attempt in range(policy.max_attempts):
+            if attempt and policy.out_of_time(start, self.sim.now):
+                return
+            yield attempt
+
+    def _backoff_and_refresh(
+        self, attempt: int, exc: Optional[ReproError] = None
+    ) -> Iterator[Any]:
+        """Back off (seeded-jitter exponential), then refresh the ring
+        view from the cluster manager so the next attempt re-resolves
+        chain positions against the newest membership.
+
+        When the attempt's failure is passed in, a non-retryable error —
+        e.g. a :class:`~repro.errors.RemoteError` wrapping a permanent
+        server-side failure — is re-raised instead of swallowed.
+        """
+        if exc is not None and not getattr(exc, "retryable", True):
+            raise exc
+        self.retries += 1
+        delay = self.retry_policy.backoff(attempt, self._rng)
+        if delay > 0.0:
+            yield delay
+        try:
+            view = yield self.call(
+                self._manager, "get_view", timeout=self.config.op_timeout
+            )
+        except ReproError:
+            return  # manager briefly unreachable; retry with the stale view
+        if view.epoch > self.view.epoch:
+            self.view = view
+
+    def _give_up(self, op: str, key: str) -> "RequestTimeout":
+        """Terminal failure for one operation (the caller raises it)."""
+        self.failed_ops += 1
+        return RequestTimeout(
+            f"{op}({key!r}) exhausted its retry budget "
+            f"({self.retry_policy.max_attempts} attempts"
+            + (
+                f", {self.retry_policy.deadline}s deadline)"
+                if self.retry_policy.deadline
+                else ")"
+            )
+        )

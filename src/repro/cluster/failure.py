@@ -9,13 +9,14 @@ scheduling boilerplate.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Union
+from typing import Dict, FrozenSet, List, Optional, Union
 
 from repro.net.actor import Actor
+from repro.net.latency import LatencyModel, ScaledLatency
 from repro.net.network import Address, Network
 from repro.sim.kernel import Simulator
 
-__all__ = ["FailureInjector", "CrashEvent", "PartitionEvent"]
+__all__ = ["FailureInjector", "CrashEvent", "PartitionEvent", "SlowLinkEvent"]
 
 
 @dataclasses.dataclass
@@ -38,14 +39,32 @@ class PartitionEvent:
     heal_at: Optional[float] = None
 
 
+@dataclasses.dataclass
+class SlowLinkEvent:
+    """Scale the latency between two *sites* by ``factor`` from ``at``
+    until ``heal_at`` (None = forever). ``a == b`` degrades a DC's
+    intra-site fabric."""
+
+    a: str
+    b: str
+    at: float
+    heal_at: Optional[float] = None
+    factor: float = 10.0
+
+
+FaultEvent = Union[CrashEvent, PartitionEvent, SlowLinkEvent]
+
+
 class FailureInjector:
-    """Arms crash and partition schedules on a simulator."""
+    """Arms crash, partition, and slow-link schedules on a simulator."""
 
     def __init__(self, sim: Simulator, network: Network):
         self.sim = sim
         self.network = network
         self.injected_crashes = 0
         self.injected_partitions = 0
+        self.injected_slow_links = 0
+        self._saved_links: Dict[FrozenSet[str], Optional[LatencyModel]] = {}
         self._log: List[str] = []
 
     @property
@@ -79,11 +98,27 @@ class FailureInjector:
                 raise ValueError(f"heal_at {heal_at} must follow partition at {at}")
             self.sim.schedule_at(heal_at, self._heal, a, b)
 
-    def apply(self, events: List[Union[CrashEvent, PartitionEvent]]) -> None:
+    def schedule_slow_link(
+        self,
+        a: str,
+        b: str,
+        at: float,
+        heal_at: Optional[float] = None,
+        factor: float = 10.0,
+    ) -> None:
+        self.sim.schedule_at(at, self._slow_link, a, b, factor)
+        if heal_at is not None:
+            if heal_at <= at:
+                raise ValueError(f"heal_at {heal_at} must follow slowdown at {at}")
+            self.sim.schedule_at(heal_at, self._restore_link, a, b)
+
+    def apply(self, events: List[FaultEvent]) -> None:
         """Arm a declarative schedule."""
         for ev in events:
             if isinstance(ev, CrashEvent):
                 self.schedule_crash(ev.actor, ev.at, ev.recover_at, ev.wipe_storage)
+            elif isinstance(ev, SlowLinkEvent):
+                self.schedule_slow_link(ev.a, ev.b, ev.at, ev.heal_at, ev.factor)
             else:
                 self.schedule_partition(ev.a, ev.b, ev.at, ev.heal_at)
 
@@ -109,3 +144,21 @@ class FailureInjector:
     def _heal(self, a: Union[str, Address], b: Union[str, Address]) -> None:
         self.network.unblock(a, b)
         self._log.append(f"t={self.sim.now:.3f} heal {a} | {b}")
+
+    def _slow_link(self, a: str, b: str, factor: float) -> None:
+        link = frozenset((a, b))
+        if link not in self._saved_links:
+            # remember only the *pre-existing* override (None = default
+            # lan/wan) so stacked slowdowns restore to the original model
+            self._saved_links[link] = self.network._site_links.get(link)
+        self.network.set_link(a, b, ScaledLatency(self.network.site_model(a, b), factor))
+        self.injected_slow_links += 1
+        self._log.append(f"t={self.sim.now:.3f} slow-link {a}~{b} x{factor}")
+
+    def _restore_link(self, a: str, b: str) -> None:
+        saved = self._saved_links.pop(frozenset((a, b)), None)
+        if saved is None:
+            self.network.clear_link(a, b)
+        else:
+            self.network.set_link(a, b, saved)
+        self._log.append(f"t={self.sim.now:.3f} restore-link {a}~{b}")

@@ -15,64 +15,55 @@ chain index known to hold it)`` — and
 
 Entries disappear as soon as a read reports the version stable, so in
 steady state the table stays tiny — the effect measured by experiment E8.
+
+Robustness (the E9/fault-campaign story) lives in the retry layer the
+session inherits from :class:`~repro.cluster.client_base.RetryingSession`:
+bounded attempts under a per-operation deadline, seeded-jitter
+exponential backoff, and ring-view re-resolution between attempts. On
+top of that this client adds a **degraded read mode**: when the chain
+prefix that is guaranteed to hold a session's observed version stays
+unreachable, the session probes the remaining replicas and — rather
+than raising — returns whatever version they serve, flagged
+``GetResult.degraded=True`` (the returned value may predate versions
+the session has already seen). Campaign drivers account such reads
+separately; disable with ``config.degraded_reads=False``.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List
 
-from repro.api import ClientSession, GetResult, PutResult, SnapshotResult
-from repro.cluster.membership import RingView
-from repro.core.config import ChainReactionConfig
+from repro.api import GetResult, PutResult, SnapshotResult
+from repro.cluster.client_base import RetryingSession
 from repro.core.messages import DepEntry, PutReply, PutRequest, deps_size_bytes
-from repro.errors import RemoteError, ReproError, RequestTimeout
-from repro.net.actor import Actor
-from repro.net.network import Address, Network
-from repro.sim.kernel import Simulator
+from repro.errors import ReproError, RequestTimeout, TransientError
 from repro.sim.process import Future, all_of, spawn, with_timeout
-
-import random
 
 __all__ = ["ChainClientSession"]
 
 
-class ChainClientSession(Actor, ClientSession):
+class ChainClientSession(RetryingSession):
     """One sequential client of a ChainReaction deployment."""
 
-    def __init__(
-        self,
-        sim: Simulator,
-        network: Network,
-        site: str,
-        name: str,
-        initial_view: RingView,
-        config: ChainReactionConfig,
-        rng: random.Random,
-    ) -> None:
-        super().__init__(sim, network, Address(site, name))
-        self.site = site
-        self.session_id = f"{site}:{name}"
-        self.view = initial_view
-        self.config = config
-        self._rng = rng
-        self._manager = Address(site, "manager")
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
         self._deps: Dict[str, DepEntry] = {}
         self._pending_puts: Dict[int, Future] = {}
         self._request_seq = 0
-        # observability
-        self.retries = 0
-        self.failed_ops = 0
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
     def get(self, key: str) -> Future:
+        self._check_open()
         return spawn(self.sim, self._get_gen(key), name=f"get:{key}")
 
     def put(self, key: str, value: Any) -> Future:
+        self._check_open()
         return spawn(self.sim, self._put_gen(key, value, False), name=f"put:{key}")
 
     def delete(self, key: str) -> Future:
+        self._check_open()
         return spawn(self.sim, self._put_gen(key, None, True), name=f"del:{key}")
 
     def metadata_bytes(self) -> int:
@@ -84,6 +75,11 @@ class ChainClientSession(Actor, ClientSession):
     def dependency_table(self) -> Dict[str, DepEntry]:
         """Copy of the session's current causality metadata (for tests/E8)."""
         return dict(self._deps)
+
+    def _fail_pending(self, exc: ReproError) -> None:
+        pending, self._pending_puts = self._pending_puts, {}
+        for fut in pending.values():
+            fut.try_set_exception(exc)
 
     # ------------------------------------------------------------------
     # reads
@@ -105,29 +101,54 @@ class ChainClientSession(Actor, ClientSession):
         return self._rng.randint(0, bound)
 
     def _get_gen(self, key: str) -> Iterator[Any]:
+        start = self.sim.now
         force_head = False
-        for attempt in range(self.config.max_retries):
+        for attempt in self._op_attempts(start):
             chain = self.view.chain_for(key)
-            index = self._read_target_index(len(chain), key, force_head)
+            # Degraded probe: after the preferred prefix (and the head
+            # fallback) kept failing, any replica is fair game — the
+            # answer may be stale, and is flagged as such below.
+            probe_deep = (
+                self.config.degraded_reads
+                and attempt >= self.config.degraded_read_after
+                and len(chain) > 1
+            )
+            if probe_deep:
+                index = self._rng.randrange(len(chain))
+            else:
+                index = self._read_target_index(len(chain), key, force_head)
             target = self.view.address_of(chain[index])
             try:
                 reply = yield self.call(
                     target, "get", key, timeout=self.config.op_timeout
                 )
-            except (RequestTimeout, RemoteError):
-                self.retries += 1
-                yield from self._backoff_and_refresh()
+            except TransientError as exc:
+                yield from self._backoff_and_refresh(attempt, exc)
                 continue
 
             version = reply["version"]
             entry = self._deps.get(key)
             if entry is not None and not version.dominates(entry.version):
+                if probe_deep:
+                    # The replica is behind this session's observed
+                    # version and nothing better is reachable: serve it
+                    # degraded. The dependency table is left untouched —
+                    # a degraded read must not regress what the session
+                    # is known to depend on.
+                    self.degraded_reads += 1
+                    return GetResult(
+                        key=key,
+                        value=reply["value"],
+                        version=version,
+                        stable=reply["stable"],
+                        served_by=chain[index],
+                        degraded=True,
+                    )
                 # The server lost chain positions in a reconfiguration and
                 # does not hold the version this session already observed;
                 # fall back to the head, which is never behind.
-                self.retries += 1
                 force_head = True
-                yield from self._backoff_and_refresh()
+                yield from self._backoff_and_refresh(attempt)
                 continue
 
             self._note_observed(key, reply)
@@ -138,8 +159,7 @@ class ChainClientSession(Actor, ClientSession):
                 stable=reply["stable"],
                 served_by=chain[index],
             )
-        self.failed_ops += 1
-        raise RequestTimeout(f"get({key!r}) failed after {self.config.max_retries} attempts")
+        raise self._give_up("get", key)
 
     def _note_observed(self, key: str, reply: Dict[str, Any]) -> None:
         version = reply["version"]
@@ -181,6 +201,7 @@ class ChainClientSession(Actor, ClientSession):
         keys that fall short (stability is monotone, so a re-read always
         satisfies the floor); in practice one extra round suffices.
         """
+        self._check_open()
         return spawn(self.sim, self._multi_get_gen(list(keys)), name="multi-get")
 
     def _multi_get_gen(self, keys: List[str]) -> Iterator[Any]:
@@ -225,7 +246,8 @@ class ChainClientSession(Actor, ClientSession):
         )
 
     def _get_stable_one(self, key: str) -> Iterator[Any]:
-        for _attempt in range(self.config.max_retries):
+        start = self.sim.now
+        for attempt in self._op_attempts(start):
             chain = self.view.chain_for(key)
             # Stable versions live on every replica: load-balance freely.
             target = self.view.address_of(chain[self._rng.randrange(len(chain))])
@@ -234,13 +256,9 @@ class ChainClientSession(Actor, ClientSession):
                     target, "get_stable", key, timeout=self.config.op_timeout
                 )
                 return reply
-            except (RequestTimeout, RemoteError):
-                self.retries += 1
-                yield from self._backoff_and_refresh()
-        self.failed_ops += 1
-        raise RequestTimeout(
-            f"snapshot read of {key!r} failed after {self.config.max_retries} attempts"
-        )
+            except TransientError as exc:
+                yield from self._backoff_and_refresh(attempt, exc)
+        raise self._give_up("get_stable", key)
 
     # ------------------------------------------------------------------
     # writes
@@ -252,7 +270,8 @@ class ChainClientSession(Actor, ClientSession):
         # entry it could become visible remotely before the
         # predecessor's own dependencies have arrived.
         deps = dict(self._deps)
-        for attempt in range(self.config.max_retries):
+        start = self.sim.now
+        for attempt in self._op_attempts(start):
             self._request_seq += 1
             request_id = self._request_seq
             fut: Future = Future(self.sim)
@@ -273,15 +292,13 @@ class ChainClientSession(Actor, ClientSession):
                 reply: PutReply = yield with_timeout(
                     self.sim, fut, self.config.op_timeout, f"put({key!r})"
                 )
-            except RequestTimeout:
+            except TransientError as exc:
                 self._pending_puts.pop(request_id, None)
-                self.retries += 1
-                yield from self._backoff_and_refresh()
+                yield from self._backoff_and_refresh(attempt, exc)
                 continue
             if not reply.ok:
                 # syncing / not-head / not-responsible: refresh and retry
-                self.retries += 1
-                yield from self._backoff_and_refresh()
+                yield from self._backoff_and_refresh(attempt)
                 continue
 
             stable = reply.index >= reply.chain_len - 1
@@ -289,8 +306,7 @@ class ChainClientSession(Actor, ClientSession):
             return PutResult(
                 key=key, version=reply.version, stable=stable, acked_by=str(reply.index)
             )
-        self.failed_ops += 1
-        raise RequestTimeout(f"put({key!r}) failed after {self.config.max_retries} attempts")
+        raise self._give_up("delete" if is_delete else "put", key)
 
     def _record_put(self, key: str, reply: PutReply, stable: bool) -> None:
         if self.config.collapse_deps_on_put:
@@ -308,21 +324,7 @@ class ChainClientSession(Actor, ClientSession):
             # Ablation mode: accumulate forever (measured in E8).
             self._deps[key] = DepEntry(reply.version, reply.index)
 
-    def on_put_reply(self, msg: PutReply, src: Address) -> None:
+    def on_put_reply(self, msg: PutReply, src: Any) -> None:
         fut = self._pending_puts.pop(msg.request_id, None)
         if fut is not None:
             fut.try_set_result(msg)
-
-    # ------------------------------------------------------------------
-    # view refresh
-    # ------------------------------------------------------------------
-    def _backoff_and_refresh(self) -> Iterator[Any]:
-        yield self.config.client_retry_backoff
-        try:
-            view = yield self.call(
-                self._manager, "get_view", timeout=self.config.op_timeout
-            )
-        except ReproError:
-            return  # manager briefly unreachable; retry with the stale view
-        if view.epoch > self.view.epoch:
-            self.view = view

@@ -38,8 +38,22 @@ class ChainReactionConfig:
         op_timeout: client-side per-attempt deadline for get/put. Kept
             well below a second so a crashed server costs a client one
             short stall, not a multi-second blackout (E9).
-        client_retry_backoff: delay between client retries.
+        client_retry_backoff: base delay between client retries; grows
+            by ``backoff_multiplier`` per attempt up to ``max_backoff``,
+            with a deterministic ``backoff_jitter`` fraction drawn from
+            the session's seeded RNG (see repro.core.retry).
         max_retries: client attempts before an operation fails.
+        backoff_multiplier: exponential backoff growth factor.
+        max_backoff: cap on one backoff sleep (seconds).
+        backoff_jitter: symmetric jitter fraction in [0, 1).
+        op_deadline: total virtual-time budget for one operation across
+            all attempts; 0 disables (the attempt budget still bounds it).
+        degraded_reads: when the chain prefix holding a session's
+            observed version stays unreachable, serve a possibly-stale
+            version from any replica flagged ``GetResult.degraded``
+            instead of raising (the degraded-mode read path, E9).
+        degraded_read_after: failed attempts before a read may probe
+            beyond its dependency-safe prefix.
         lan_median / wan_median: link latency medians in seconds.
         heartbeat_interval / failure_timeout: failure-detector tuning.
         durable_storage: back each server's store with a FAWN-KV-style
@@ -67,6 +81,12 @@ class ChainReactionConfig:
     op_timeout: float = 0.25
     client_retry_backoff: float = 0.02
     max_retries: int = 25
+    backoff_multiplier: float = 2.0
+    max_backoff: float = 0.5
+    backoff_jitter: float = 0.1
+    op_deadline: float = 0.0
+    degraded_reads: bool = True
+    degraded_read_after: int = 2
     lan_median: float = 0.0003
     wan_median: float = 0.040
     heartbeat_interval: float = 0.05
@@ -101,6 +121,16 @@ class ChainReactionConfig:
             raise ConfigError("timeouts must be positive")
         if self.max_retries < 1:
             raise ConfigError("max_retries must be >= 1")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigError("backoff_multiplier must be >= 1.0")
+        if self.max_backoff <= 0:
+            raise ConfigError("max_backoff must be positive")
+        if not 0.0 <= self.backoff_jitter < 1.0:
+            raise ConfigError("backoff_jitter must be in [0, 1)")
+        if self.op_deadline < 0:
+            raise ConfigError("op_deadline must be >= 0 (0 = disabled)")
+        if self.degraded_read_after < 1:
+            raise ConfigError("degraded_read_after must be >= 1")
 
     @property
     def is_geo(self) -> bool:

@@ -11,7 +11,14 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
-from repro.api import Datastore
+from repro.api import (
+    CAP_DEGRADED_READS,
+    CAP_DURABLE_STORAGE,
+    CAP_SNAPSHOT_READS,
+    CAP_STABILITY,
+    CAP_TRACING,
+    Datastore,
+)
 
 if TYPE_CHECKING:
     from repro.trace import Tracer
@@ -44,6 +51,12 @@ class ChainReactionStore(Datastore):
         resolver: Optional[ConflictResolver] = None,
     ) -> None:
         self.config = config or ChainReactionConfig()
+        caps = {CAP_SNAPSHOT_READS, CAP_STABILITY, CAP_TRACING}
+        if self.config.degraded_reads:
+            caps.add(CAP_DEGRADED_READS)
+        if self.config.durable_storage:
+            caps.add(CAP_DURABLE_STORAGE)
+        self.capabilities = frozenset(caps)
         self.sim = sim or Simulator()
         self.rng = RngRegistry(self.config.seed)
         self.network = network or Network(

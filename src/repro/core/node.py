@@ -43,7 +43,7 @@ from repro.core.messages import (
     TransferDone,
 )
 from repro.core.stability import StabilityTracker
-from repro.errors import NotResponsibleError, RemoteError, RequestTimeout, StorageError
+from repro.errors import NotResponsibleError, RemoteError, ReplicaUnavailable, RequestTimeout
 from repro.net.message import Message
 from repro.net.network import Address, Network
 from repro.sim.kernel import Simulator
@@ -160,6 +160,22 @@ class ChainNode(RingServer):
                 for dep_key, version in unresolved
             ]
             yield all_of(self.sim, waits)
+
+        # Admission is re-checked at apply time, not only at arrival: a
+        # view change can land between the two (the serve runs as its own
+        # process), and a no-longer-head that assigned a version here
+        # would mint the same number as the new head — a split-brain
+        # write under a stale epoch.
+        error = self._put_admission_error(msg.key)
+        if error is not None:
+            self.rejected_ops += 1
+            self.trace("put", "apply-rejected", msg.key, error=error)
+            if msg.reply_to is not None:
+                self.send(
+                    msg.reply_to,
+                    PutReply(request_id=msg.request_id, key=msg.key, ok=False, error=error),
+                )
+            return None
 
         value = TOMBSTONE if msg.is_delete else msg.value
         # The version is assigned at apply time (not at arrival) so that
@@ -375,7 +391,7 @@ class ChainNode(RingServer):
     def rpc_get(self, key: str, src: Address) -> Dict[str, Any]:
         if self.syncing:
             self.rejected_ops += 1
-            raise StorageError("syncing")
+            raise ReplicaUnavailable("syncing")
         pos = chain_positions(self.chain_for(key), self.name)
         if pos is None:
             self.rejected_ops += 1
@@ -415,7 +431,7 @@ class ChainNode(RingServer):
         are on every replica by definition."""
         if self.syncing:
             self.rejected_ops += 1
-            raise StorageError("syncing")
+            raise ReplicaUnavailable("syncing")
         if chain_positions(self.chain_for(key), self.name) is None:
             self.rejected_ops += 1
             raise NotResponsibleError(f"{self.name} not in chain for {key!r}")
@@ -451,7 +467,7 @@ class ChainNode(RingServer):
     def rpc_apply_remote(self, payload: Dict[str, Any], src: Address) -> bool:
         key = payload["key"]
         if self.syncing:
-            raise StorageError("syncing")
+            raise ReplicaUnavailable("syncing")
         pos = chain_positions(self.chain_for(key), self.name)
         if pos is None or pos != 0:
             raise NotResponsibleError(f"{self.name} is not head for {key!r}")

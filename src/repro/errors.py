@@ -1,20 +1,44 @@
 """Exception hierarchy for the ChainReaction reproduction.
 
 Every error raised by this library derives from :class:`ReproError`, so
-callers can catch one type at the API boundary. Protocol-level failures
-that a real deployment would surface to clients (timeouts, unavailable
-chains) get their own subclasses because benchmark harnesses and tests
-need to tell them apart.
+callers can catch one type at the API boundary. Below the root the
+hierarchy splits along the axis that matters to a client retry layer:
+
+- :class:`TransientError` — the operation *may* succeed if reissued
+  (timeouts, unreachable replicas, chains mid-reconfiguration). All
+  transient errors carry ``retryable = True``; the client library's
+  :class:`~repro.core.retry.RetryPolicy` keys off exactly this flag.
+- :class:`PermanentError` — reissuing the identical request cannot
+  help (misconfiguration, unsupported operation, closed session,
+  malformed history). ``retryable = False``.
+
+Orthogonally, the *category* classes (:class:`NetworkError`,
+:class:`ClusterError`, :class:`StorageError`, :class:`CheckerError`)
+group errors by subsystem, as before; concrete errors inherit both a
+disposition and a category (e.g. ``RequestTimeout(TransientError,
+NetworkError)``), so both ``except TransientError`` and ``except
+NetworkError`` keep working.
+
+:class:`RemoteError` is the one class whose disposition is decided at
+runtime: the RPC layer copies the *remote* exception's ``retryable``
+flag onto the wire (see ``RpcResponse.retryable``) and rebuilds it on
+the client side, so a head rejecting a put because it is mid-sync
+(transient) retries, while a permanent remote failure does not.
 """
 
 from __future__ import annotations
 
+from typing import ClassVar
+
 __all__ = [
     "ReproError",
+    "TransientError",
+    "PermanentError",
     "SimulationError",
     "NetworkError",
     "AddressUnknownError",
     "RequestTimeout",
+    "ReplicaUnavailable",
     "RemoteError",
     "ClusterError",
     "ChainUnavailableError",
@@ -24,55 +48,97 @@ __all__ = [
     "CheckerError",
     "HistoryViolation",
     "ConfigError",
+    "UnsupportedOperationError",
+    "SessionClosedError",
 ]
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by this library."""
+    """Base class for all errors raised by this library.
+
+    ``retryable`` is the contract with the client retry layer: True
+    means reissuing the same request may succeed (the default for
+    :class:`TransientError` subclasses), False means it cannot.
+    """
+
+    retryable: ClassVar[bool] = False
 
 
-class SimulationError(ReproError):
-    """Misuse of the discrete-event kernel (past scheduling, reentrancy, livelock)."""
+class TransientError(ReproError):
+    """The operation failed now but may succeed if retried."""
+
+    retryable = True
 
 
+class PermanentError(ReproError):
+    """Retrying the identical request cannot succeed."""
+
+    retryable = False
+
+
+# ----------------------------------------------------------------------
+# subsystem categories (disposition-neutral; combined via multiple
+# inheritance by the concrete errors below)
+# ----------------------------------------------------------------------
 class NetworkError(ReproError):
     """Message could not be delivered (partition, dropped link, dead actor)."""
-
-
-class AddressUnknownError(NetworkError):
-    """Destination address was never registered with the network."""
-
-
-class RequestTimeout(NetworkError):
-    """An RPC did not receive a response within its deadline."""
-
-
-class RemoteError(NetworkError):
-    """The remote side of an RPC raised an error while handling the request."""
 
 
 class ClusterError(ReproError):
     """Cluster-level failures: membership, placement, reconfiguration."""
 
 
-class ChainUnavailableError(ClusterError):
-    """No live replica chain exists for the requested key."""
-
-
-class NotResponsibleError(ClusterError):
-    """A server received a request for a key outside the chains it serves."""
-
-
 class StorageError(ReproError):
     """Local store failures."""
 
 
-class VersionConflictError(StorageError):
-    """A conditional update observed a newer version than expected."""
-
-
-class CheckerError(ReproError):
+class CheckerError(PermanentError):
     """The consistency checker was fed a malformed history."""
+
+
+# ----------------------------------------------------------------------
+# concrete errors
+# ----------------------------------------------------------------------
+class SimulationError(PermanentError):
+    """Misuse of the discrete-event kernel (past scheduling, reentrancy, livelock)."""
+
+
+class AddressUnknownError(PermanentError, NetworkError):
+    """Destination address was never registered with the network."""
+
+
+class RequestTimeout(TransientError, NetworkError):
+    """An RPC did not receive a response within its deadline."""
+
+
+class ReplicaUnavailable(TransientError, NetworkError):
+    """The replica cannot serve the request right now (crashed endpoint,
+    mid-sync server, or chain position lost in a reconfiguration)."""
+
+
+class RemoteError(TransientError, NetworkError):
+    """The remote side of an RPC raised an error while handling the request.
+
+    The remote exception's ``retryable`` disposition travels back over
+    the wire, so ``RemoteError`` instances carry it per instance rather
+    than per class.
+    """
+
+    def __init__(self, message: str = "", retryable: bool = True) -> None:
+        super().__init__(message)
+        self.retryable = retryable  # type: ignore[misc]
+
+
+class ChainUnavailableError(TransientError, ClusterError):
+    """No live replica chain exists for the requested key."""
+
+
+class NotResponsibleError(TransientError, ClusterError):
+    """A server received a request for a key outside the chains it serves."""
+
+
+class VersionConflictError(PermanentError, StorageError):
+    """A conditional update observed a newer version than expected."""
 
 
 class HistoryViolation(CheckerError):
@@ -83,5 +149,17 @@ class HistoryViolation(CheckerError):
     """
 
 
-class ConfigError(ReproError):
+class ConfigError(PermanentError):
     """Invalid experiment or protocol configuration."""
+
+
+class UnsupportedOperationError(PermanentError):
+    """The protocol does not implement this optional operation.
+
+    Callers should consult :attr:`repro.api.Datastore.capabilities`
+    instead of probing with try/except.
+    """
+
+
+class SessionClosedError(PermanentError):
+    """An operation was issued on a session after ``close()``."""

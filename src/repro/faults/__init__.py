@@ -1,0 +1,44 @@
+"""Fault campaigns: declarative failure schedules over live deployments.
+
+The E9 story as a reusable subsystem. A campaign declares *what goes
+wrong and when* — seeded crashes, recoveries, partitions, slow links —
+over a deployment + workload shape; the engine runs it, resolves every
+operation to an explicit outcome (ok / degraded / timeout), and audits
+the chain invariants and the causal history afterwards. Deterministic
+end to end: same campaign + same seed replays bit-identical traces.
+
+Entry points: ``python -m repro faults`` (CLI),
+:func:`~repro.faults.engine.run_campaign` /
+:func:`~repro.faults.engine.sanitize_campaign` (library), and the
+built-in :data:`~repro.faults.campaign.CAMPAIGNS`.
+"""
+
+from repro.faults.campaign import (
+    CAMPAIGNS,
+    CampaignSpec,
+    FaultSpec,
+    campaign,
+    resolve_server,
+)
+from repro.faults.engine import (
+    CampaignResult,
+    FaultSessionDriver,
+    OutcomeCounts,
+    PhaseStats,
+    run_campaign,
+    sanitize_campaign,
+)
+
+__all__ = [
+    "CAMPAIGNS",
+    "CampaignResult",
+    "CampaignSpec",
+    "FaultSessionDriver",
+    "FaultSpec",
+    "OutcomeCounts",
+    "PhaseStats",
+    "campaign",
+    "resolve_server",
+    "run_campaign",
+    "sanitize_campaign",
+]

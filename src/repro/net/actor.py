@@ -16,7 +16,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Callable, ClassVar, Dict, Optional, Set
 
-from repro.errors import RemoteError, ReproError, RequestTimeout
+from repro.errors import RemoteError, ReplicaUnavailable, ReproError, RequestTimeout
 from repro.net.message import Message
 from repro.net.network import Address, Network
 from repro.sim.kernel import ScheduledEvent, Simulator
@@ -44,6 +44,9 @@ class RpcResponse(Message):
     ok: bool = True
     payload: Any = None
     error: str = ""
+    #: disposition of the remote failure (see repro.errors); carried on
+    #: the wire so the caller's RemoteError keeps the retryable flag
+    retryable: bool = True
 
 
 class Actor:
@@ -165,7 +168,9 @@ class Actor:
         self._timers.clear()
         pending, self._rpc_pending = self._rpc_pending, {}
         for fut in pending.values():
-            fut.try_set_exception(RequestTimeout(f"{self.address} crashed with RPC in flight"))
+            fut.try_set_exception(
+                ReplicaUnavailable(f"{self.address} crashed with RPC in flight")
+            )
 
     def recover(self) -> None:
         """Bring a crashed actor back; volatile protocol state is NOT restored
@@ -197,7 +202,7 @@ class Actor:
         """
         fut = Future(self.sim)
         if self.crashed:
-            fut.set_exception(RequestTimeout(f"{self.address} is crashed"))
+            fut.set_exception(ReplicaUnavailable(f"{self.address} is crashed"))
             return fut
         self._rpc_seq += 1
         rid = self._rpc_seq
@@ -231,7 +236,12 @@ class Actor:
         except ReproError as exc:
             self.send(
                 src,
-                RpcResponse(request_id=msg.request_id, ok=False, error=str(exc)),
+                RpcResponse(
+                    request_id=msg.request_id,
+                    ok=False,
+                    error=str(exc),
+                    retryable=exc.retryable,
+                ),
             )
             return
         if isinstance(result, Future):
@@ -243,9 +253,15 @@ class Actor:
 
     def _reply_from_future(self, src: Address, request_id: int, fut: Future) -> None:
         if fut.failed():
+            exc = fut.exception()
             self.send(
                 src,
-                RpcResponse(request_id=request_id, ok=False, error=str(fut.exception())),
+                RpcResponse(
+                    request_id=request_id,
+                    ok=False,
+                    error=str(exc),
+                    retryable=bool(getattr(exc, "retryable", True)),
+                ),
             )
         else:
             self.send(
@@ -260,7 +276,7 @@ class Actor:
         if msg.ok:
             fut.try_set_result(msg.payload)
         else:
-            fut.try_set_exception(RemoteError(msg.error))
+            fut.try_set_exception(RemoteError(msg.error, retryable=msg.retryable))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "crashed" if self.crashed else "up"

@@ -20,6 +20,7 @@ __all__ = [
     "UniformLatency",
     "NormalLatency",
     "LogNormalLatency",
+    "ScaledLatency",
     "lan_latency",
     "wan_latency",
 ]
@@ -115,6 +116,31 @@ class LogNormalLatency(LatencyModel):
 
     def __repr__(self) -> str:
         return f"LogNormalLatency(median={self.median}, sigma={self.sigma})"
+
+
+class ScaledLatency(LatencyModel):
+    """A base model slowed down by a constant factor.
+
+    The fault injector's "slow link" degradation: one sample is drawn
+    from the base model per message either way, so swapping a link to
+    its scaled version mid-run changes delays without perturbing the
+    RNG draw sequence — campaigns stay deterministic.
+    """
+
+    def __init__(self, base: LatencyModel, factor: float) -> None:
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        self.base = base
+        self.factor = factor
+
+    def sample(self, rng: random.Random) -> float:
+        return self.base.sample(rng) * self.factor
+
+    def mean(self) -> float:
+        return self.base.mean() * self.factor
+
+    def __repr__(self) -> str:
+        return f"ScaledLatency({self.base!r}, x{self.factor})"
 
 
 def lan_latency(median: float = 0.0003) -> LatencyModel:

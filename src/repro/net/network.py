@@ -114,11 +114,20 @@ class Network:
         self._site_links[frozenset((site_a, site_b))] = model
         self._link_cache.clear()
 
-    def latency_model(self, src: Address, dst: Address) -> LatencyModel:
-        override = self._site_links.get(frozenset((src.site, dst.site)))
+    def clear_link(self, site_a: str, site_b: str) -> None:
+        """Drop a link override, restoring the default lan/wan model."""
+        self._site_links.pop(frozenset((site_a, site_b)), None)
+        self._link_cache.clear()
+
+    def site_model(self, site_a: str, site_b: str) -> LatencyModel:
+        """The latency model currently in force between two sites."""
+        override = self._site_links.get(frozenset((site_a, site_b)))
         if override is not None:
             return override
-        return self._lan if src.site == dst.site else self._wan
+        return self._lan if site_a == site_b else self._wan
+
+    def latency_model(self, src: Address, dst: Address) -> LatencyModel:
+        return self.site_model(src.site, dst.site)
 
     # ------------------------------------------------------------------
     # registration

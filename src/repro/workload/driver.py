@@ -117,15 +117,20 @@ class SessionDriver:
                     outcome = yield self.session.get(key)
                 else:
                     outcome = yield self.session.put(key, self._payload())
-            except ReproError:
-                if sim.now >= self.measure_from:
-                    self.result.errors += 1
+            except ReproError as exc:
+                self._op_failed(op, key, exc, measured=sim.now >= self.measure_from)
                 continue
             t_return = sim.now
             if t_return < self.measure_from:
                 continue  # warm-up
             self._record(op, key, outcome, t_invoke, t_return)
         return self._op_seq
+
+    def _op_failed(self, op: str, key: str, exc: ReproError, measured: bool) -> None:
+        """Hook: one operation exhausted its retry budget (overridden by
+        the fault-campaign driver for per-outcome accounting)."""
+        if measured:
+            self.result.errors += 1
 
     def _record(self, op: str, key: str, outcome, t_invoke: float, t_return: float) -> None:
         latency = t_return - t_invoke
@@ -164,6 +169,7 @@ class WorkloadRunner:
         drain: float = 2.0,
         record_history: bool = True,
         preload_value: str = "initial",
+        driver_factory: Optional[Any] = None,
     ):
         self.store = store
         self.spec = spec
@@ -173,6 +179,9 @@ class WorkloadRunner:
         self.drain = drain
         self.record_history = record_history
         self.preload_value = preload_value
+        #: constructs one driver per client (keyword args of SessionDriver);
+        #: the fault-campaign engine swaps in its accounting driver here
+        self.driver_factory = driver_factory or SessionDriver
         self.drivers: List[SessionDriver] = []
 
     def run(self) -> RunResult:
@@ -205,7 +214,7 @@ class WorkloadRunner:
         processes = []
         for i in range(self.n_clients):
             session = self.store.session(site=sites[i % len(sites)])
-            driver = SessionDriver(
+            driver = self.driver_factory(
                 session=session,
                 spec=self.spec,
                 rng=self.store.rng.stream(f"driver:{i}"),
@@ -219,4 +228,9 @@ class WorkloadRunner:
 
         sim.run(until=stop_at + self.drain)
         result.throughput = result.ops_completed / self.duration
+        # Drivers are done: release their sessions so late replies are
+        # dropped rather than delivered to finished clients. (After the
+        # drain no further events fire, so determinism is unaffected.)
+        for driver in self.drivers:
+            driver.session.close()
         return result

@@ -27,6 +27,28 @@ class TestErrorHierarchy:
         with pytest.raises(errors.ReproError):
             raise errors.RequestTimeout("x")
 
+    def test_disposition_split(self):
+        assert issubclass(errors.RequestTimeout, errors.TransientError)
+        assert issubclass(errors.ReplicaUnavailable, errors.TransientError)
+        assert issubclass(errors.ChainUnavailableError, errors.TransientError)
+        assert issubclass(errors.SessionClosedError, errors.PermanentError)
+        assert issubclass(errors.UnsupportedOperationError, errors.PermanentError)
+        assert issubclass(errors.ConfigError, errors.PermanentError)
+
+    def test_retryable_flags(self):
+        assert errors.RequestTimeout("x").retryable is True
+        assert errors.ReplicaUnavailable("x").retryable is True
+        assert errors.SessionClosedError("x").retryable is False
+        assert errors.ConfigError("x").retryable is False
+
+    def test_remote_error_carries_instance_disposition(self):
+        assert errors.RemoteError("boom").retryable is True
+        wrapped = errors.RemoteError("bad config", retryable=False)
+        assert wrapped.retryable is False
+        # still catchable as transient (class-level), so retry layers
+        # must consult the instance flag — which is the documented contract
+        assert isinstance(wrapped, errors.TransientError)
+
 
 class TestResultTypes:
     def test_get_result_defaults(self):

@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
@@ -100,3 +101,75 @@ class TestTraceAndDurable:
         code, output = run_cli("run", "--protocol", "eventual", "--durable")
         assert code == 2
         assert "chainreaction" in output
+
+    def test_trace_rejected_without_capability(self):
+        code, output = run_cli(
+            "run", "--protocol", "eventual", "--trace", "user00000001",
+        )
+        assert code == 2
+        assert "CAP_TRACING" in output
+
+
+class TestOutputFlags:
+    def test_run_json_format(self):
+        code, output = run_cli(
+            "run", "--clients", "2", "--duration", "0.2", "--warmup", "0.05",
+            "--records", "10", "--format", "json",
+        )
+        assert code == 0
+        # progress line first, then the JSON document
+        doc = json.loads(output[output.index("{"):])
+        assert doc["protocol"] == "chainreaction"
+        assert "throughput_ops_s" in doc
+
+    def test_out_writes_file(self, tmp_path):
+        path = tmp_path / "report.json"
+        code, output = run_cli(
+            "consistency", "--protocols", "chainreaction", "--pairs", "2",
+            "--rounds", "3", "--format", "json", "--out", str(path),
+        )
+        assert code == 0
+        assert f"report written to {path}" in output
+        doc = json.loads(path.read_text())
+        assert doc["protocols"][0]["protocol"] == "chainreaction"
+        assert doc["protocols"][0]["causal"] == 0
+
+    def test_info_json(self):
+        code, output = run_cli("info", "--format", "json")
+        assert code == 0
+        doc = json.loads(output)
+        assert "chainreaction" in doc["protocols"]
+
+
+class TestFaults:
+    def test_list_campaigns(self):
+        code, output = run_cli("faults", "--list")
+        assert code == 0
+        assert "crash-head" in output
+        assert "slow-link" in output
+
+    def test_campaign_required(self):
+        code, output = run_cli("faults")
+        assert code == 2
+        assert "--campaign" in output
+
+    def test_unknown_campaign_raises(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="unknown campaign"):
+            run_cli("faults", "--campaign", "meteor-strike")
+
+    def test_crash_head_campaign_clean(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        code, output = run_cli(
+            "faults", "--campaign", "crash-head", "--seed", "7",
+            "--clients", "4", "--format", "json", "--out", str(path),
+        )
+        assert code == 0
+        doc = json.loads(path.read_text())
+        assert doc["campaign"] == "crash-head"
+        assert doc["clean"] is True
+        assert doc["outcomes"]["unresolved"] == 0
+        assert doc["causal_violations"] == 0
+        phases = {p["phase"]: p for p in doc["phases"]}
+        assert set(phases) == {"before", "during", "after"}

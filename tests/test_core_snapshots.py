@@ -167,8 +167,12 @@ class TestOtherProtocols:
     def test_baselines_do_not_support_snapshots(self):
         from helpers import build
 
+        from repro.api import CAP_SNAPSHOT_READS
+        from repro.errors import UnsupportedOperationError
+
         for protocol in ("eventual", "quorum", "cops"):
             store = build(protocol)
+            assert CAP_SNAPSHOT_READS not in store.capabilities
             session = store.session()
-            with pytest.raises(NotImplementedError):
+            with pytest.raises(UnsupportedOperationError):
                 session.multi_get(["a"])

@@ -1,0 +1,177 @@
+"""Tests for the fault-campaign subsystem: specs, engine, determinism."""
+
+import pytest
+
+from repro.baselines.registry import build_store
+from repro.errors import ConfigError
+from repro.faults import (
+    CAMPAIGNS,
+    CampaignSpec,
+    FaultSpec,
+    campaign,
+    resolve_server,
+    run_campaign,
+    sanitize_campaign,
+)
+
+#: Shrunk deployment/workload so engine tests stay fast. The duration
+#: still covers every built-in recovery time (latest: t=1.6), so the
+#: "after" phase sees recovered traffic.
+_SMALL = dict(clients=4, records=25, duration=1.8, warmup=0.2)
+
+
+def small(name, **extra):
+    return campaign(name).with_updates(**{**_SMALL, **extra})
+
+
+class TestFaultSpec:
+    def test_crash_spec_roundtrip(self):
+        spec = FaultSpec(kind="crash", at=0.5, target="dc0:s1", until=1.0)
+        assert spec.until == 1.0
+        assert not spec.wipe_storage
+
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            ({"kind": "meteor", "at": 0.5, "target": "dc0:s1"}, "unknown fault kind"),
+            ({"kind": "crash", "at": 0.0, "target": "dc0:s1"}, "must be positive"),
+            ({"kind": "crash", "at": 0.5, "target": ""}, "non-empty"),
+            ({"kind": "crash", "at": 0.5, "target": "dc0:s1", "until": 0.4}, "must follow"),
+            ({"kind": "partition", "at": 0.5, "target": "dc0"}, "a|b"),
+            ({"kind": "slow-link", "at": 0.5, "target": "dc0"}, "a~b"),
+            (
+                {"kind": "slow-link", "at": 0.5, "target": "a~b", "factor": 0.0},
+                "factor",
+            ),
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs, match):
+        with pytest.raises(ConfigError):
+            FaultSpec(**kwargs)
+
+
+class TestCampaignSpec:
+    def test_requires_events(self):
+        with pytest.raises(ConfigError, match="no faults"):
+            CampaignSpec(name="empty", description="", events=())
+
+    def test_fault_must_precede_stop(self):
+        with pytest.raises(ConfigError, match="after"):
+            CampaignSpec(
+                name="late", description="",
+                events=(FaultSpec(kind="crash", at=99.0, target="dc0:s0"),),
+            )
+
+    def test_fault_window_spans_events(self):
+        spec = CampaignSpec(
+            name="w", description="",
+            events=(
+                FaultSpec(kind="crash", at=0.5, target="dc0:s0", until=1.0),
+                FaultSpec(kind="crash", at=0.8, target="dc0:s1", until=1.6),
+            ),
+        )
+        assert spec.fault_window() == (0.5, 1.6)
+
+    def test_open_ended_fault_extends_to_stop(self):
+        spec = CampaignSpec(
+            name="w", description="",
+            events=(FaultSpec(kind="crash", at=0.5, target="dc0:s0"),),
+            warmup=0.2, duration=2.0,
+        )
+        assert spec.fault_window() == (0.5, 2.2)
+
+    def test_builtin_campaigns_valid(self):
+        assert set(CAMPAIGNS)  # non-empty
+        for name, spec in CAMPAIGNS.items():
+            assert spec.name == name
+            assert spec.description
+
+    def test_unknown_campaign_lists_choices(self):
+        with pytest.raises(ConfigError, match="crash-head"):
+            campaign("nope")
+
+
+class TestResolveServer:
+    @pytest.fixture(scope="class")
+    def store(self):
+        return build_store(
+            "chainreaction", sites=("dc0", "dc1"), servers_per_site=4,
+            chain_length=3, ack_k=2, seed=7,
+        )
+
+    def test_named_server(self, store):
+        node = resolve_server(store, "dc0:s2")
+        assert node.name == "s2"
+
+    def test_chain_positions(self, store):
+        chain = store.managers["dc0"].view.chain_for("user00000000")
+        assert resolve_server(store, "head-of:user00000000").name == chain[0]
+        assert resolve_server(store, "mid-of:user00000000").name == chain[1]
+        assert resolve_server(store, "tail-of:user00000000").name == chain[-1]
+
+    def test_site_prefixed_position(self, store):
+        chain = store.managers["dc1"].view.chain_for("user00000000")
+        assert resolve_server(store, "dc1/head-of:user00000000").name == chain[0]
+
+    @pytest.mark.parametrize(
+        "selector", ["nowhere:s0", "dc0:s99", "s0", "dc9/head-of:k"]
+    )
+    def test_bad_selectors_rejected(self, store, selector):
+        with pytest.raises(ConfigError):
+            resolve_server(store, selector)
+
+
+class TestEngine:
+    def test_crash_head_campaign_clean(self):
+        result = run_campaign(small("crash-head"), seed=7)
+        assert result.clean, result.format()
+        assert result.causal_violations == 0
+        assert result.invariant_report is not None
+        assert result.invariant_report.clean
+
+    def test_every_op_resolves_to_an_outcome(self):
+        result = run_campaign(small("crash-head"), seed=7)
+        o = result.outcomes
+        assert o.unresolved == 0
+        assert o.ok + o.degraded + o.timeouts == o.total
+        assert o.total > 0
+
+    def test_phase_accounting_shows_dip_and_recovery(self):
+        result = run_campaign(small("crash-head"), seed=7)
+        phases = {p.phase: p for p in result.phases}
+        assert set(phases) == {"before", "during", "after"}
+        assert phases["during"].ops_per_sec < phases["before"].ops_per_sec
+        assert phases["after"].ops_per_sec > phases["during"].ops_per_sec
+
+    def test_crash_without_recovery_still_clean(self):
+        result = run_campaign(small("crash-mid-norecover"), seed=7)
+        assert result.clean, result.format()
+
+    def test_slow_link_campaign_clean(self):
+        result = run_campaign(small("slow-link"), seed=7)
+        assert result.clean, result.format()
+        assert any("slow-link" in line for line in result.injector_log)
+        assert any("restore-link" in line for line in result.injector_log)
+
+    def test_report_is_json_shaped(self):
+        import json
+
+        result = run_campaign(small("crash-head"), seed=7)
+        doc = json.loads(json.dumps(result.to_report()))
+        assert doc["campaign"] == "crash-head"
+        assert doc["clean"] is True
+        assert doc["outcomes"]["unresolved"] == 0
+
+
+class TestDeterminism:
+    def test_same_seed_replays_identical_traces(self):
+        report = sanitize_campaign(small("crash-head"), seed=11)
+        assert report.divergence is None, report.format()
+        assert report.events_processed[0] == report.events_processed[1]
+        assert report.clean
+
+    def test_same_seed_same_outcome_counts(self):
+        first = run_campaign(small("rolling-crashes"), seed=13)
+        second = run_campaign(small("rolling-crashes"), seed=13)
+        assert first.outcomes.as_dict() == second.outcomes.as_dict()
+        assert first.throughput == second.throughput
