@@ -14,7 +14,10 @@ What it does:
    (exit 1) on a >30% regression;
 3. also fails if the optimized kernel no longer beats the in-process
    seed-kernel baseline (the machine-independent floor);
-4. rewrites the BENCH JSON with the fresh numbers on success.
+4. runs a small batched-vs-unbatched protocol-plane comparison and
+   fails if the batched configuration's wall rate drops below 90% of
+   the unbatched one (batching must never cost wall-clock);
+5. rewrites the BENCH JSON with the fresh numbers on success.
 
 CHANGES.md convention: a PR that moves any number here by >10% should
 say so in its CHANGES.md line and ship the regenerated BENCH file.
@@ -29,10 +32,19 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.perf import collect_report, summary_lines, write_report  # noqa: E402
+from repro.perf import (  # noqa: E402
+    bench_protocol_plane,
+    collect_report,
+    summary_lines,
+    write_report,
+)
 
 #: Fail when event throughput drops below this fraction of the recorded run.
 REGRESSION_FLOOR = 0.70
+
+#: Fail when the batched config's wall rate drops below this fraction of
+#: the unbatched run (>10% regression).
+BATCHED_FLOOR = 0.90
 
 
 def main(argv=None) -> int:
@@ -40,6 +52,10 @@ def main(argv=None) -> int:
     parser.add_argument("--output", default="BENCH_PR1.json", metavar="PATH")
     parser.add_argument("--events", type=int, default=60_000)
     parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument(
+        "--skip-protocol", action="store_true",
+        help="skip the batched-vs-unbatched protocol-plane gate",
+    )
     args = parser.parse_args(argv)
 
     recorded = None
@@ -73,6 +89,24 @@ def main(argv=None) -> int:
                     f"event throughput regressed to {ratio:.0%} of the recorded "
                     f"baseline (floor {REGRESSION_FLOOR:.0%})"
                 )
+
+    if not args.skip_protocol:
+        proto = bench_protocol_plane(duration=0.4, repeats=args.repeats)
+        speedup = proto["ops_per_wall_sec_speedup"]
+        print(
+            f"  batched / unbatched ops per wall-s "
+            f"{proto['batched']['sim_ops_per_wall_sec']:,.0f} / "
+            f"{proto['unbatched']['sim_ops_per_wall_sec']:,.0f} ({speedup:.2f}x)"
+        )
+        print(
+            f"  stability msg reduction            "
+            f"{proto['stability_message_reduction']:.1f}x"
+        )
+        if speedup < BATCHED_FLOOR:
+            failures.append(
+                f"batched config runs at {speedup:.0%} of the unbatched wall "
+                f"rate (floor {BATCHED_FLOOR:.0%})"
+            )
 
     if failures:
         for failure in failures:

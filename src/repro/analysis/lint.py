@@ -83,6 +83,7 @@ DEFAULT_WALL_CLOCK_EXEMPT: Tuple[str, ...] = (
     "perf/micro.py",
     "perf/profile.py",
     "perf/legacy.py",
+    "perf/protocol.py",
 )
 
 #: Directories (relative to ``src/repro``) whose code runs inside the

@@ -167,10 +167,13 @@ def capture_run(
     chain_length: int = 3,
     records: int = 25,
     check_invariants: bool = False,
+    overrides: Optional[Dict[str, object]] = None,
     mutate_store: Optional[Callable[[Any], None]] = None,
 ) -> RunCapture:
     """Build a deployment, run one workload, and return its trace.
 
+    ``overrides`` passes protocol config fields through to the store
+    (e.g. the batching knobs for ``repro sanitize --batch``).
     ``mutate_store`` is a test hook invoked on the freshly built store
     before the run starts — used to inject deliberate nondeterminism and
     verify the detector localizes it.
@@ -181,6 +184,7 @@ def capture_run(
         servers_per_site=servers_per_site,
         chain_length=chain_length,
         seed=seed,
+        overrides=overrides,
     )
     monitor = None
     if check_invariants:
@@ -253,6 +257,7 @@ def sanitize_run(
     chain_length: int = 3,
     records: int = 25,
     check_invariants: bool = False,
+    overrides: Optional[Dict[str, object]] = None,
     run_kwargs: Optional[Dict[str, Any]] = None,
 ) -> SanitizeReport:
     """Run the experiment twice under one seed and diff the traces.
@@ -271,6 +276,7 @@ def sanitize_run(
         servers_per_site=servers_per_site,
         chain_length=chain_length,
         records=records,
+        overrides=overrides,
     )
     first = capture_run(protocol, check_invariants=check_invariants, **base)
     second_kwargs = dict(base)

@@ -34,10 +34,12 @@ Examples::
     python -m repro run --protocol eventual --sites dc0 dc1 --check
     python -m repro consistency --protocols chainreaction eventual
     python -m repro perf --out BENCH_PR1.json
+    python -m repro perf --protocol --out BENCH_PR4.json
     python -m repro faults --campaign crash-head --seed 7
-    python -m repro faults --campaign crash-head --check-determinism
+    python -m repro faults --campaign crash-head --check-determinism --batch
     python -m repro lint --typing
     python -m repro sanitize --protocol chainreaction --invariants --format json
+    python -m repro sanitize --batch --invariants
 """
 
 from __future__ import annotations
@@ -114,6 +116,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="back servers with the FAWN-KV-style append-only log store",
     )
+    run.add_argument(
+        "--batch",
+        action="store_true",
+        help="enable protocol batching + metadata GC (chainreaction/chain only)",
+    )
 
     probe = sub.add_parser(
         "consistency", parents=[output],
@@ -147,6 +154,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="print the hottest functions of the end-to-end run (cProfile)",
     )
+    perf.add_argument(
+        "--protocol", action="store_true",
+        help="also run the protocol-plane benchmark (batching + metadata GC on vs off)",
+    )
 
     faults = sub.add_parser(
         "faults", parents=[output],
@@ -172,6 +183,10 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument(
         "--check-determinism", action="store_true",
         help="run the campaign twice under one seed and diff the message traces",
+    )
+    faults.add_argument(
+        "--batch", action="store_true",
+        help="run the campaign with protocol batching + metadata GC enabled",
     )
 
     lint = sub.add_parser(
@@ -204,6 +219,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--invariants", action="store_true",
         help="attach the chain prefix/stability/causal-cut monitors",
     )
+    sanitize.add_argument(
+        "--batch", action="store_true",
+        help="sanitize with protocol batching + metadata GC enabled",
+    )
 
     sub.add_parser("info", parents=[output], help="list protocols, workloads, and defaults")
     return parser
@@ -224,12 +243,19 @@ def _emit(args: argparse.Namespace, out, text: str, payload: Dict[str, Any]) -> 
 
 
 def _cmd_run(args: argparse.Namespace, out) -> int:
-    overrides = {}
+    overrides: Dict[str, Any] = {}
     if args.durable:
         if args.protocol not in ("chainreaction", "chain"):
             print("--durable applies to chainreaction/chain only", file=out)
             return 2
         overrides["durable_storage"] = True
+    if args.batch:
+        if args.protocol not in ("chainreaction", "chain"):
+            print("--batch applies to chainreaction/chain only", file=out)
+            return 2
+        from repro.perf.protocol import BATCHED_OVERRIDES
+
+        overrides.update(BATCHED_OVERRIDES)
     store = build_store(
         args.protocol,
         sites=tuple(args.sites),
@@ -377,6 +403,7 @@ def _cmd_perf(args: argparse.Namespace, out) -> int:
         repeats=args.repeats,
         include_end_to_end=not args.skip_e2e,
         include_sweep=args.sweep,
+        include_protocol=args.protocol,
     )
     kernel = report["event_kernel"]
     sections = [
@@ -420,6 +447,10 @@ def _cmd_faults(args: argparse.Namespace, out) -> int:
         updates["clients"] = args.clients
     if args.workload is not None:
         updates["workload_name"] = args.workload
+    if args.batch:
+        from repro.perf.protocol import BATCHED_OVERRIDES
+
+        updates["overrides"] = {**(spec.overrides or {}), **BATCHED_OVERRIDES}
     if updates:
         spec = spec.with_updates(**updates)
 
@@ -480,6 +511,11 @@ def _cmd_sanitize(args: argparse.Namespace, out) -> int:
         f"two runs under seed {args.seed} ...",
         file=out,
     )
+    overrides = None
+    if args.batch:
+        from repro.perf.protocol import BATCHED_OVERRIDES
+
+        overrides = dict(BATCHED_OVERRIDES)
     report = sanitize_run(
         args.protocol,
         seed=args.seed,
@@ -492,6 +528,7 @@ def _cmd_sanitize(args: argparse.Namespace, out) -> int:
         chain_length=args.chain_length,
         records=args.records,
         check_invariants=args.invariants,
+        overrides=overrides,
     )
     payload = {
         "protocol": report.protocol,

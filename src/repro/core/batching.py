@@ -1,0 +1,164 @@
+"""Metadata-plane coalescing: per-destination buffers with flush timers.
+
+The batching layer (``config.protocol_batching``) routes three message
+streams through coalescers instead of the wire:
+
+- stability notifications (tail → upstream ``BulkStable`` hops),
+- global-stability fan-out (``GlobalStableBatch``),
+- geo shipping (``RemoteUpdateBatch`` per peer DC).
+
+A coalescer keeps one buffer per destination address. The first entry
+buffered arms a single simulator timer ``flush_interval`` out; when it
+fires, every destination's buffer is flushed as one message. A buffer
+that reaches ``max_entries`` first is flushed eagerly on its own, so a
+hot destination cannot grow an unbounded batch while waiting for the
+window to close.
+
+Everything is deterministic: buffers are plain dicts (insertion
+ordered), flushes walk them in that order, and the only clock involved
+is the simulator's. Crash recovery must call :meth:`Coalescer.reset` —
+the actor's crash cancelled the armed timer, and the buffered entries
+belong to the pre-crash lifetime.
+
+Counters on each coalescer feed the ``protocol_stats()`` /
+``repro perf --protocol`` report: ``entries_enqueued`` is what the
+unbatched protocol would have sent as individual messages,
+``batches_flushed`` is what actually hit the wire, and the difference
+is the message count the batching layer saved.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.net.network import Address
+from repro.sim.kernel import ScheduledEvent
+from repro.storage.version import VersionVector
+
+__all__ = ["Coalescer", "StabilityCoalescer", "UpdateCoalescer"]
+
+
+class Coalescer:
+    """Base: per-destination buffers, one shared flush timer, counters."""
+
+    def __init__(self, actor: Any, flush_interval: float, max_entries: int) -> None:
+        #: the owning actor supplies timers and sends the flushed batches
+        self.actor = actor
+        self.flush_interval = flush_interval
+        self.max_entries = max_entries
+        self._pending: Dict[Address, Any] = {}
+        self._timer: Optional[ScheduledEvent] = None
+        self.entries_enqueued = 0
+        self.batches_flushed = 0
+        self.eager_flushes = 0
+
+    # ------------------------------------------------------------------
+    # flush machinery
+    # ------------------------------------------------------------------
+    def _arm(self) -> None:
+        if self._timer is None:
+            self._timer = self.actor.set_timer(self.flush_interval, self._on_timer)
+
+    def _on_timer(self) -> None:
+        self._timer = None
+        self.flush_all()
+
+    def flush_all(self) -> None:
+        """Flush every destination's buffer, in buffering order."""
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, {}
+        for dst, bucket in pending.items():
+            self.batches_flushed += 1
+            self._emit(dst, bucket)
+
+    def _flush_destination(self, dst: Address) -> None:
+        bucket = self._pending.pop(dst, None)
+        if bucket is not None:
+            self.batches_flushed += 1
+            self.eager_flushes += 1
+            self._emit(dst, bucket)
+
+    def _emit(self, dst: Address, bucket: Any) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # lifecycle / introspection
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Crash recovery: drop buffers; the armed timer died with the actor."""
+        self._pending.clear()
+        self._timer = None
+
+    def pending_entries(self) -> int:
+        return sum(len(bucket) for bucket in self._pending.values())
+
+    def messages_saved(self) -> int:
+        """Individual sends the protocol skipped thanks to coalescing."""
+        return max(0, self.entries_enqueued - self.batches_flushed)
+
+
+class StabilityCoalescer(Coalescer):
+    """Coalesces (key, version) stability entries per destination.
+
+    Same-key entries for one destination merge (pointwise max), so a
+    flush carries each key at most once — the bulk of the ≥5x message
+    reduction on write-heavy keys comes from exactly this dedup.
+    """
+
+    def __init__(
+        self,
+        actor: Any,
+        flush_interval: float,
+        max_entries: int,
+        emit: Callable[[Address, Tuple[Tuple[str, VersionVector], ...]], None],
+    ) -> None:
+        super().__init__(actor, flush_interval, max_entries)
+        self._emit_entries = emit
+
+    def add(self, dst: Address, key: str, version: VersionVector) -> None:
+        bucket = self._pending.get(dst)
+        if bucket is None:
+            bucket = self._pending[dst] = {}
+        have = bucket.get(key)
+        bucket[key] = version if have is None else have.merge(version)
+        self.entries_enqueued += 1
+        if len(bucket) >= self.max_entries:
+            self._flush_destination(dst)
+        else:
+            self._arm()
+
+    def _emit(self, dst: Address, bucket: Any) -> None:
+        self._emit_entries(dst, tuple(bucket.items()))
+
+
+class UpdateCoalescer(Coalescer):
+    """Coalesces whole payload messages per destination, order preserved.
+
+    No dedup: successive same-key updates must all be injected at the
+    receiver (in order) for the gate-chain causality argument to hold.
+    """
+
+    def __init__(
+        self,
+        actor: Any,
+        flush_interval: float,
+        max_entries: int,
+        emit: Callable[[Address, Tuple[Any, ...]], None],
+    ) -> None:
+        super().__init__(actor, flush_interval, max_entries)
+        self._emit_updates = emit
+
+    def add(self, dst: Address, update: Any) -> None:
+        bucket = self._pending.get(dst)
+        if bucket is None:
+            bucket = self._pending[dst] = []
+        bucket.append(update)
+        self.entries_enqueued += 1
+        if len(bucket) >= self.max_entries:
+            self._flush_destination(dst)
+        else:
+            self._arm()
+
+    def _emit(self, dst: Address, bucket: Any) -> None:
+        self._emit_updates(dst, tuple(bucket))

@@ -166,7 +166,11 @@ class ChainClientSession(RetryingSession):
         if reply.get("global", reply["stable"]):
             # Globally stable (== DC-stable in a single-DC deployment):
             # every replica everywhere serves it, so it constrains nothing.
-            if self.config.collapse_deps_on_put:
+            if self.config.collapse_deps_on_put or self.config.metadata_gc:
+                # metadata_gc prunes dominated entries even in the
+                # accumulate-forever ablation mode: a globally stable
+                # version constrains no read and no remote delivery, so
+                # keeping it only inflates the table the GC is bounding.
                 self._deps.pop(key, None)
             else:
                 self._deps[key] = DepEntry(version, reply["index"])

@@ -67,6 +67,31 @@ class ChainReactionConfig:
         sync_timeout: upper bound on a server's read-unavailability window
             while chain repair streams state after a view change.
         virtual_nodes: consistent-hashing virtual nodes per server.
+        protocol_batching: coalesce the metadata plane — stability
+            notifications travel as :class:`~repro.core.messages.BulkStable`
+            per upstream hop, geo shipping as
+            :class:`~repro.core.messages.RemoteUpdateBatch` per peer DC,
+            and global-stability fan-out as
+            :class:`~repro.core.messages.GlobalStableBatch` — flushed on
+            a simulator-driven window (``batch_flush_interval``) or when
+            a destination's buffer reaches ``batch_max_entries``. Off by
+            default so fixed-seed traces recorded without batching stay
+            bit-identical.
+        batch_flush_interval: virtual-time window over which stability /
+            geo metadata is coalesced before flushing (seconds). The
+            knob trades metadata-plane message count against stability
+            latency; keep it well under ``wan_median`` so batching never
+            dominates the geo-visibility path.
+        batch_max_entries: per-destination buffer size that forces an
+            eager flush before the window expires (bounds both batch
+            wire size and worst-case buffered-entry memory).
+        metadata_gc: seal fully-stable keys — once a key's newest record
+            is stable in every DC with no waiters, drop its tracker
+            entries (the stable record itself becomes the per-key floor)
+            and the dependency lists retained for snapshot reads. Bounds
+            metadata memory on long runs; off by default (no effect on
+            protocol messages, but the sweep alters timer event counts).
+        gc_interval: how often a server runs the sealing sweep (seconds).
         seed: root seed for every random stream in the deployment.
     """
 
@@ -96,6 +121,11 @@ class ChainReactionConfig:
     service_time: float = 0.0001
     sync_timeout: float = 1.0
     virtual_nodes: int = 64
+    protocol_batching: bool = False
+    batch_flush_interval: float = 0.002
+    batch_max_entries: int = 128
+    metadata_gc: bool = False
+    gc_interval: float = 0.25
     seed: int = 42
 
     def __post_init__(self) -> None:
@@ -131,6 +161,12 @@ class ChainReactionConfig:
             raise ConfigError("op_deadline must be >= 0 (0 = disabled)")
         if self.degraded_read_after < 1:
             raise ConfigError("degraded_read_after must be >= 1")
+        if self.batch_flush_interval <= 0:
+            raise ConfigError("batch_flush_interval must be positive")
+        if self.batch_max_entries < 1:
+            raise ConfigError("batch_max_entries must be >= 1")
+        if self.gc_interval <= 0:
+            raise ConfigError("gc_interval must be positive")
 
     @property
     def is_geo(self) -> bool:

@@ -28,6 +28,13 @@ from repro.core.config import ChainReactionConfig
 from repro.core.geo import GeoProxy
 from repro.core.node import ChainNode
 from repro.errors import ConfigError
+from repro.metrics.protocol import (
+    GLOBAL_STABILITY_MESSAGE_TYPES,
+    SHIPPING_MESSAGE_TYPES,
+    STABILITY_MESSAGE_TYPES,
+    batching_stats,
+    metadata_footprint,
+)
 from repro.net.latency import lan_latency, wan_latency
 from repro.net.network import Network
 from repro.sim.kernel import Simulator
@@ -228,4 +235,11 @@ class ChainReactionStore(Datastore):
             stats["global_stability_samples"] = [
                 s for p in self.proxies.values() for s in p.global_stability_samples
             ]
+        net = self.network.stats
+        stats["stability_messages"] = net.count_of(*STABILITY_MESSAGE_TYPES)
+        stats["global_stability_messages"] = net.count_of(*GLOBAL_STABILITY_MESSAGE_TYPES)
+        stats["shipping_messages"] = net.count_of(*SHIPPING_MESSAGE_TYPES)
+        stats["metadata"] = metadata_footprint(nodes, self._sessions)
+        if self.config.protocol_batching:
+            stats["batching"] = batching_stats(nodes, self.proxies.values())
         return stats

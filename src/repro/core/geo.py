@@ -24,8 +24,17 @@ from __future__ import annotations
 from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.cluster.membership import RingView
+from repro.core.batching import StabilityCoalescer, UpdateCoalescer
 from repro.core.config import ChainReactionConfig
-from repro.core.messages import GlobalAck, GlobalStableNotice, RemoteUpdate, TailStable
+from repro.core.messages import (
+    GlobalAck,
+    GlobalStableBatch,
+    GlobalStableNotice,
+    RemoteUpdate,
+    RemoteUpdateBatch,
+    StableEntries,
+    TailStable,
+)
 from repro.errors import RemoteError, ReproError, RequestTimeout
 from repro.net.actor import Actor
 from repro.net.network import Address, Network
@@ -65,7 +74,25 @@ class GeoProxy(Actor):
         self.global_stability_samples: List[float] = []
         self._shipped: Set[Tuple[str, VersionVector]] = set()
         #: per-key chain of in-flight remote applications (FIFO per key)
-        self._key_apply_tail: Dict[str, object] = {}
+        self._key_apply_tail: Dict[str, Future] = {}
+        #: updates handled since the last done-gate sweep of that table
+        self._applies_since_sweep = 0
+        #: batching-mode coalescers (None = unbatched per-write sends)
+        self._update_coalescer: Optional[UpdateCoalescer] = None
+        self._global_coalescer: Optional[StabilityCoalescer] = None
+        if config.protocol_batching:
+            self._update_coalescer = UpdateCoalescer(
+                self,
+                config.batch_flush_interval,
+                config.batch_max_entries,
+                self._send_update_batch,
+            )
+            self._global_coalescer = StabilityCoalescer(
+                self,
+                config.batch_flush_interval,
+                config.batch_max_entries,
+                self._send_global_batch,
+            )
 
     def set_view(self, view: RingView) -> None:
         """Installed as a manager view listener by the datastore."""
@@ -91,6 +118,23 @@ class GeoProxy(Actor):
         self.trace("geo", "ship", msg.key, version=str(msg.version))
         if self._peers:
             self._pending_global[token] = ({p.site for p in self._peers}, msg.origin_put_at)
+            if self._update_coalescer is not None:
+                # Coalesced shipping: one shared RemoteUpdate object is
+                # buffered for every peer; the flush window turns a
+                # window's worth of them into one RemoteUpdateBatch per
+                # peer (memoized element sizes are computed once).
+                update = RemoteUpdate(
+                    key=msg.key,
+                    value=msg.value,
+                    version=msg.version,
+                    stamp=msg.stamp,
+                    deps=msg.deps,
+                    origin_site=self.site,
+                    origin_put_at=msg.origin_put_at,
+                )
+                for peer in self._peers:
+                    self._update_coalescer.add(peer, update)
+                return
             # Per-peer copies are byte-identical; size the first one on
             # send and let the rest inherit the memoized size.
             first: Optional[RemoteUpdate] = None
@@ -128,9 +172,15 @@ class GeoProxy(Actor):
     def _announce_global(self, key: str, version: VersionVector) -> None:
         """Tell every DC (and our own chain members) the write is globally
         stable, so client dependency tables can prune it."""
-        for peer in self._peers:
-            self.send(peer, GlobalStableNotice(key=key, version=version, fan_out=True))
-        self._fan_out_global(key, version)
+        if self._global_coalescer is not None:
+            for peer in self._peers:
+                self._global_coalescer.add(peer, key, version)
+            for server in self.view.chain_for(key):
+                self._global_coalescer.add(self.view.address_of(server), key, version)
+        else:
+            for peer in self._peers:
+                self.send(peer, GlobalStableNotice(key=key, version=version, fan_out=True))
+            self._fan_out_global(key, version)
         # Globally stable writes need no duplicate-ship suppression any
         # more; dropping the token keeps proxy memory proportional to
         # in-flight writes rather than to history.
@@ -149,6 +199,45 @@ class GeoProxy(Actor):
     def on_global_stable_notice(self, msg: GlobalStableNotice, src: Address) -> None:
         if msg.fan_out:
             self._fan_out_global(msg.key, msg.version)
+
+    def on_global_stable_batch(self, msg: GlobalStableBatch, src: Address) -> None:
+        """Peer-proxy side of the batched fan-out: regroup per chain member.
+
+        Entries arrive grouped by *origin* proxy; each local server only
+        cares about the keys it replicates, so the batch is re-bucketed
+        by chain membership and forwarded immediately (no second flush
+        window — the WAN hop already paid the batching latency).
+        """
+        if not msg.fan_out:
+            return
+        buckets: Dict[Address, Dict[str, VersionVector]] = {}
+        for key, version in msg.entries:
+            for server in self.view.chain_for(key):
+                addr = self.view.address_of(server)
+                bucket = buckets.setdefault(addr, {})
+                have = bucket.get(key)
+                bucket[key] = version if have is None else have.merge(version)
+        for addr, bucket in buckets.items():
+            self.send(addr, GlobalStableBatch(entries=tuple(bucket.items())))
+
+    # ------------------------------------------------------------------
+    # batching emit hooks / lifecycle
+    # ------------------------------------------------------------------
+    def _send_update_batch(self, dst: Address, updates: Tuple[RemoteUpdate, ...]) -> None:
+        self.send(dst, RemoteUpdateBatch(updates=updates))
+
+    def _send_global_batch(self, dst: Address, entries: "StableEntries") -> None:
+        # Peer proxies re-fan the entries to their own chains; local
+        # chain members consume them directly.
+        fan_out = dst.node == "geoproxy"
+        self.send(dst, GlobalStableBatch(entries=entries, fan_out=fan_out))
+
+    def on_recover(self) -> None:
+        if self._update_coalescer is not None:
+            self._update_coalescer.reset()
+        if self._global_coalescer is not None:
+            self._global_coalescer.reset()
+        super().on_recover()
 
     # ------------------------------------------------------------------
     # inbound: apply a remote update into the local chain
@@ -170,6 +259,20 @@ class GeoProxy(Actor):
             self._apply_remote(msg, previous_gate, gate),
             name=f"remote:{msg.key}",
         )
+        # Periodically drop gates that have already opened: a done gate
+        # is behaviourally identical to no gate, so pruning is invisible
+        # to ordering but keeps the table sized to in-flight keys.
+        self._applies_since_sweep += 1
+        if self._applies_since_sweep >= 256:
+            self._applies_since_sweep = 0
+            done = [k for k, g in self._key_apply_tail.items() if g.done()]
+            for k in done:
+                del self._key_apply_tail[k]
+
+    def on_remote_update_batch(self, msg: RemoteUpdateBatch, src: Address) -> None:
+        """Unpack a coalesced shipment; in-batch order is arrival order."""
+        for update in msg.updates:
+            self.on_remote_update(update, src)
 
     def _apply_remote(
         self, msg: RemoteUpdate, previous_gate: Optional[Future], gate: Future

@@ -13,6 +13,14 @@ Three planes:
   datacenters; ``GlobalAck`` flows back to the origin so it can declare
   the write globally stable.
 
+With ``config.protocol_batching`` the metadata plane coalesces:
+``BulkStable`` replaces per-write ``ChainStable`` hops,
+``RemoteUpdateBatch`` carries a flush window's worth of ``RemoteUpdate``
+payloads to one peer DC, and ``GlobalStableBatch`` replaces the
+``GlobalStableNotice`` fan-out. Batches hold (key, version) entries or
+whole updates in buffering order; receivers process them left to right,
+so per-link FIFO semantics carry over unchanged.
+
 ``DepEntry`` is the unit of the client library's causality metadata:
 the version of an object the session observed and the deepest chain
 position known to hold it.
@@ -35,13 +43,19 @@ __all__ = [
     "PutReply",
     "ChainPut",
     "ChainStable",
+    "BulkStable",
     "TailStable",
     "RemoteUpdate",
+    "RemoteUpdateBatch",
     "GlobalAck",
     "GlobalStableNotice",
+    "GlobalStableBatch",
     "StateTransfer",
     "TransferDone",
 ]
+
+#: (key, version) pairs as carried by the coalesced stability messages.
+StableEntries = Tuple[Tuple[str, VersionVector], ...]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -123,6 +137,20 @@ class ChainStable(Message):
 
 
 @dataclasses.dataclass(frozen=True)
+class BulkStable(Message):
+    """Coalesced ``ChainStable``: one flush window of stability entries.
+
+    Sent tail → upstream (and re-coalesced hop by hop) when
+    ``protocol_batching`` is on. Entries appear in buffering order and
+    carry the merged stable version per key.
+    """
+
+    type_name: ClassVar[str] = "bulk-stable"
+    memoize_size: ClassVar[bool] = True
+    entries: "StableEntries" = ()
+
+
+@dataclasses.dataclass(frozen=True)
 class TailStable(Message):
     """Chain tail → local geo-proxy: a write just became DC-stable here.
 
@@ -160,6 +188,16 @@ class RemoteUpdate(Message):
 
 
 @dataclasses.dataclass(frozen=True)
+class RemoteUpdateBatch(Message):
+    """Coalesced geo shipping: one flush window of ``RemoteUpdate``s for
+    one peer DC, applied in order on receipt (``protocol_batching``)."""
+
+    type_name: ClassVar[str] = "remote-update-batch"
+    memoize_size: ClassVar[bool] = True
+    updates: Tuple[RemoteUpdate, ...] = ()
+
+
+@dataclasses.dataclass(frozen=True)
 class GlobalAck(Message):
     """Remote geo-proxy → origin geo-proxy: the write is DC-stable here."""
 
@@ -183,6 +221,22 @@ class GlobalStableNotice(Message):
     key: str = ""
     version: VersionVector = dataclasses.field(default_factory=VersionVector)
     #: True on the proxy→proxy hop; the receiving proxy fans out locally.
+    fan_out: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class GlobalStableBatch(Message):
+    """Coalesced ``GlobalStableNotice``: a flush window of globally
+    stable (key, version) entries (``protocol_batching``).
+
+    With ``fan_out`` set (the proxy → proxy hop) the receiving proxy
+    regroups the entries per local chain member and forwards one batch
+    to each; without it the batch is terminal at a storage server.
+    """
+
+    type_name: ClassVar[str] = "global-stable-batch"
+    memoize_size: ClassVar[bool] = True
+    entries: "StableEntries" = ()
     fan_out: bool = False
 
 

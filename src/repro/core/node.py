@@ -30,14 +30,18 @@ from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 from repro.cluster.membership import RingView
 from repro.cluster.ring import chain_positions
 from repro.cluster.server_base import RingServer
+from repro.core.batching import StabilityCoalescer
 from repro.core.config import ChainReactionConfig
 from repro.core.messages import (
+    BulkStable,
     ChainPut,
     ChainStable,
     Deps,
+    GlobalStableBatch,
     GlobalStableNotice,
     PutReply,
     PutRequest,
+    StableEntries,
     StateTransfer,
     TailStable,
     TransferDone,
@@ -106,6 +110,23 @@ class ChainNode(RingServer):
         self._sync_epoch = initial_view.epoch
         self._transfer_pending: Set[str] = set()
         self._done_received: Set[Tuple[int, str]] = set()
+        #: coalesces upstream stability notifications into BulkStable
+        #: messages (None = unbatched per-write ChainStable)
+        self._stable_coalescer: Optional[StabilityCoalescer] = None
+        if config.protocol_batching:
+            self._stable_coalescer = StabilityCoalescer(
+                self,
+                config.batch_flush_interval,
+                config.batch_max_entries,
+                self._send_bulk_stable,
+            )
+        #: per-key globally-stable floor for sealed keys (geo deployments;
+        #: the DC floor needs no map — the stable record itself serves it)
+        self._global_floor: Dict[str, VersionVector] = {}
+        if config.metadata_gc:
+            self.stability.set_floor(self._stable_floor)
+            self.global_stability.set_floor(self._global_stable_floor)
+            self.set_timer(config.gc_interval, self._gc_tick)
         # counters surfaced by the harness
         self.puts_served = 0
         self.gets_served = 0
@@ -114,6 +135,7 @@ class ChainNode(RingServer):
         self.dep_wait_timeouts = 0
         self.rejected_ops = 0
         self.forced_sync_exits = 0
+        self.keys_sealed = 0
 
     # ------------------------------------------------------------------
     # client puts (head role)
@@ -356,10 +378,14 @@ class ChainNode(RingServer):
         self._refresh_stable_record(key)
         self.trace("stability", "dc-stable", key, version=str(version))
         if len(chain) > 1:
-            self.send(
-                self.view.address_of(chain[-2]),
-                ChainStable(key=key, version=version, position=len(chain) - 2),
-            )
+            upstream = self.view.address_of(chain[-2])
+            if self._stable_coalescer is not None:
+                self._stable_coalescer.add(upstream, key, version)
+            else:
+                self.send(
+                    upstream,
+                    ChainStable(key=key, version=version, position=len(chain) - 2),
+                )
         if self.config.is_geo:
             self.send(
                 Address(self.site, _GEOPROXY),
@@ -384,6 +410,32 @@ class ChainNode(RingServer):
                 self.view.address_of(chain[pos - 1]),
                 ChainStable(key=msg.key, version=msg.version, position=pos - 1),
             )
+
+    def _send_bulk_stable(self, dst: Address, entries: StableEntries) -> None:
+        """Coalescer flush hook: one BulkStable per destination per window."""
+        self.send(dst, BulkStable(entries=entries))
+
+    def on_bulk_stable(self, msg: BulkStable, src: Address) -> None:
+        """Record a window's worth of stability entries; re-coalesce the
+        upstream forward per key (chains differ between keys)."""
+        coalescer = self._stable_coalescer
+        for key, version in msg.entries:
+            self.stability.record(key, version)
+            self._refresh_stable_record(key)
+            chain = self.chain_for(key)
+            pos = chain_positions(chain, self.name)
+            if pos is None or pos == 0:
+                continue
+            upstream = self.view.address_of(chain[pos - 1])
+            if coalescer is not None:
+                coalescer.add(upstream, key, version)
+            else:
+                # Defensive: a batched peer notified an unbatched node
+                # (mixed configs only happen in hand-built tests).
+                self.send(
+                    upstream,
+                    ChainStable(key=key, version=version, position=pos - 1),
+                )
 
     # ------------------------------------------------------------------
     # reads (any chain position)
@@ -423,6 +475,10 @@ class ChainNode(RingServer):
     def on_global_stable_notice(self, msg: GlobalStableNotice, src: Address) -> None:
         self.trace("stability", "global-stable", msg.key, version=str(msg.version))
         self.global_stability.record(msg.key, msg.version)
+
+    def on_global_stable_batch(self, msg: GlobalStableBatch, src: Address) -> None:
+        for key, version in msg.entries:
+            self.global_stability.record(key, version)
 
     def rpc_get_stable(self, key: str, src: Address) -> Dict[str, Any]:
         """Serve the newest DC-stable record for ``key``, with the deps of
@@ -580,7 +636,112 @@ class ChainNode(RingServer):
             self.trace("storage", "compaction", reclaimed=reclaimed)
         self.set_timer(self.config.compaction_interval, self._compaction_tick)
 
+    # ------------------------------------------------------------------
+    # metadata GC (sealing)
+    # ------------------------------------------------------------------
+    def _stable_floor(self, key: str) -> VersionVector:
+        """DC-stable floor for sealed keys: the newest stable record the
+        server already holds answers the query exactly — refreshing it is
+        guarded by DC-stability, so everything it reports *is* stable."""
+        entry = self._stable_records.get(key)
+        if entry is None:
+            return VersionVector()
+        return entry[0].version
+
+    def _global_stable_floor(self, key: str) -> VersionVector:
+        """Globally-stable floor. Unlike the DC floor this needs its own
+        map: ``_stable_records`` refreshes on *DC* stability, so reusing
+        it here would claim global stability a WAN round-trip early."""
+        return self._global_floor.get(key, VersionVector())
+
+    def _gc_tick(self) -> None:
+        """Seal keys whose metadata the stable record already subsumes."""
+        sealed = 0
+        for key in self.stability.tracked_keys():
+            if self._try_seal(key):
+                sealed += 1
+        if sealed:
+            self.keys_sealed += sealed
+            self.trace("gc", "sealed", sealed=str(sealed))
+            if isinstance(self.store, DurableStore):
+                # Sealing frees tracker entries; give the log the same
+                # chance to shed its dead prefix.
+                self.store.maybe_compact()
+        self.set_timer(self.config.gc_interval, self._gc_tick)
+
+    def _try_seal(self, key: str) -> bool:
+        """Seal one key if every stability fact about it is recoverable
+        from the stable record itself:
+
+        - the live DC entry equals the newest record's version (nothing
+          newer is in flight on the chain),
+        - in geo mode the record is acknowledged globally stable,
+        - no waiters are parked on the key.
+
+        Dropping the record's dependency list is covered by the
+        stability gates themselves: a write only becomes DC-stable
+        after its dependencies are DC-stable in that DC (the head holds
+        local puts; the proxy holds remote injections), so a globally
+        stable record has globally stable dependencies — every
+        replica's latest-stable version of a dep key already dominates
+        the floor the list would have imposed on a snapshot cut. That
+        implication needs the causal-delivery gate, so sealing is
+        disabled under the E10 ablation that switches it off.
+        """
+        if self.config.is_geo and not self.config.geo_causal_delivery:
+            return False
+        entry = self.stability.raw_entry(key)
+        if entry is None or self.stability.has_waiters(key):
+            return False
+        record = self.store.get_record(key)
+        if record is None or not entry.dominates(record.version):
+            return False
+        stable_entry = self._stable_records.get(key)
+        if stable_entry is None or stable_entry[0].version != record.version:
+            return False
+        if self.config.is_geo:
+            if self.global_stability.has_waiters(key):
+                return False
+            global_entry = self.global_stability.raw_entry(key)
+            if global_entry is None or not global_entry.dominates(record.version):
+                return False
+        if not self.stability.drop_entry(key):
+            return False
+        if self.config.is_geo:
+            self._global_floor[key] = record.version
+            self.global_stability.drop_entry(key)
+        # The deps of a globally stable write are globally stable too;
+        # the snapshot path needs no floors from them any more.
+        self._stable_records[key] = (stable_entry[0], {})
+        self._record_deps.pop(key, None)
+        return True
+
+    def metadata_entries(self) -> int:
+        """Live protocol metadata entries this server holds (GC metric).
+
+        Counts what sealing can reclaim: tracker entries and record
+        dependency lists. The global floor is excluded — it is the O(1)
+        seal marker a sealed record keeps forever (one frozen vector,
+        like the record's own version), counted separately by
+        :meth:`global_floor_entries`.
+        """
+        return (
+            self.stability.entry_count()
+            + self.global_stability.entry_count()
+            + sum(len(deps) for deps in self._record_deps.values())
+        )
+
+    def global_floor_entries(self) -> int:
+        """Sealed-key floor vectors (one per sealed key, never reclaimed)."""
+        return len(self._global_floor)
+
     def on_recover(self) -> None:
+        if self._stable_coalescer is not None:
+            # The crash cancelled the armed flush timer and the buffered
+            # entries belong to the pre-crash lifetime; start clean.
+            self._stable_coalescer.reset()
+        if self.config.metadata_gc:
+            self.set_timer(self.config.gc_interval, self._gc_tick)
         if isinstance(self.store, DurableStore) and len(self.store) == 0 and len(self.store.log):
             replayed = self.store.recover_from_log()
             self.trace("storage", "log-recovery", replayed=replayed)

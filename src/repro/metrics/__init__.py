@@ -1,5 +1,6 @@
 """Measurement utilities: latency reservoirs, throughput timelines, rendering."""
 
+from repro.metrics.protocol import batching_stats, coalescer_stats, metadata_footprint
 from repro.metrics.reservoir import LatencyReservoir
 from repro.metrics.series import ThroughputTimeline
 from repro.metrics.summary import format_number, render_series, render_table
@@ -10,4 +11,7 @@ __all__ = [
     "render_table",
     "render_series",
     "format_number",
+    "batching_stats",
+    "coalescer_stats",
+    "metadata_footprint",
 ]

@@ -1,0 +1,84 @@
+"""Protocol-plane counters: batching effectiveness and metadata footprint.
+
+These helpers aggregate the coalescer counters (``repro.core.batching``)
+and the metadata-GC gauges that PR 4 added across a deployment's servers,
+proxies, and client sessions. They are duck-typed (``Any``) rather than
+importing the core classes, so the metrics package stays a leaf.
+
+Two views matter for the perf report:
+
+- **flow** — how many individual notifications the protocol *would*
+  have sent versus how many batch messages actually hit the wire
+  (``entries_enqueued`` / ``batches_flushed`` / ``messages_saved``);
+- **footprint** — how much stability/dependency metadata is live right
+  now (stable-map entries, sealed keys, client dep-table entries and
+  bytes). With ``metadata_gc`` on, the footprint should plateau as the
+  run grows; without it, it grows with the keyspace.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable
+
+__all__ = [
+    "STABILITY_MESSAGE_TYPES",
+    "GLOBAL_STABILITY_MESSAGE_TYPES",
+    "SHIPPING_MESSAGE_TYPES",
+    "coalescer_stats",
+    "batching_stats",
+    "metadata_footprint",
+]
+
+#: wire types carrying intra-DC stability notifications
+STABILITY_MESSAGE_TYPES = ("chain-stable", "bulk-stable")
+#: wire types carrying global-stability announcements
+GLOBAL_STABILITY_MESSAGE_TYPES = ("global-stable-notice", "global-stable-batch")
+#: wire types carrying geo-replicated update payloads
+SHIPPING_MESSAGE_TYPES = ("remote-update", "remote-update-batch")
+
+
+def coalescer_stats(coalescers: Iterable[Any]) -> Dict[str, int]:
+    """Sum the counters of a set of coalescers (``None`` entries skipped)."""
+    out = {
+        "entries_enqueued": 0,
+        "batches_flushed": 0,
+        "eager_flushes": 0,
+        "messages_saved": 0,
+        "pending_entries": 0,
+    }
+    for c in coalescers:
+        if c is None:
+            continue
+        out["entries_enqueued"] += c.entries_enqueued
+        out["batches_flushed"] += c.batches_flushed
+        out["eager_flushes"] += c.eager_flushes
+        out["messages_saved"] += c.messages_saved()
+        out["pending_entries"] += c.pending_entries()
+    return out
+
+
+def batching_stats(nodes: Iterable[Any], proxies: Iterable[Any]) -> Dict[str, Any]:
+    """Batching counters split by stream: chain stability, geo, global."""
+    proxy_list = list(proxies)
+    return {
+        "stability": coalescer_stats(n._stable_coalescer for n in nodes),
+        "shipping": coalescer_stats(p._update_coalescer for p in proxy_list),
+        "global": coalescer_stats(p._global_coalescer for p in proxy_list),
+    }
+
+
+def metadata_footprint(nodes: Iterable[Any], sessions: Iterable[Any]) -> Dict[str, int]:
+    """Live metadata gauges: server stability maps and client dep tables."""
+    node_list = list(nodes)
+    session_list = list(sessions)
+    return {
+        "stable_map_entries": sum(n.metadata_entries() for n in node_list),
+        "global_floor_entries": sum(n.global_floor_entries() for n in node_list),
+        "keys_sealed": sum(n.keys_sealed for n in node_list),
+        "entries_sealed": sum(
+            n.stability.entries_sealed + n.global_stability.entries_sealed
+            for n in node_list
+        ),
+        "dep_table_entries": sum(s.metadata_entries() for s in session_list),
+        "dep_table_bytes": sum(s.metadata_bytes() for s in session_list),
+    }

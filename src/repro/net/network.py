@@ -79,6 +79,19 @@ class NetworkStats:
             self.cross_site_messages += 1
             self.cross_site_bytes += size
 
+    def count_of(self, *type_names: str) -> int:
+        """Messages sent whose type is any of ``type_names``.
+
+        The protocol-plane perf report compares e.g. the unbatched
+        ``chain-stable`` flow against ``chain-stable`` + ``bulk-stable``
+        under batching; this saves every caller the by_type plumbing.
+        """
+        return sum(self.by_type.get(name, 0) for name in type_names)
+
+    def bytes_of(self, *type_names: str) -> int:
+        """Bytes sent across messages of any of ``type_names``."""
+        return sum(self.bytes_by_type.get(name, 0) for name in type_names)
+
 
 class Network:
     """Message fabric connecting actors over simulated links."""

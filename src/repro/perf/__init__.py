@@ -15,6 +15,7 @@ from repro.perf.micro import (
     bench_network_send,
 )
 from repro.perf.profile import format_profile_rows, profile_call
+from repro.perf.protocol import BATCHED_OVERRIDES, bench_protocol_plane
 from repro.perf.report import collect_report, summary_lines, write_report
 
 __all__ = [
@@ -23,6 +24,8 @@ __all__ = [
     "bench_event_kernel",
     "bench_message_sizing",
     "bench_network_send",
+    "bench_protocol_plane",
+    "BATCHED_OVERRIDES",
     "profile_call",
     "format_profile_rows",
     "collect_report",

@@ -35,6 +35,7 @@ def collect_report(
     repeats: int = 3,
     include_end_to_end: bool = True,
     include_sweep: bool = False,
+    include_protocol: bool = False,
 ) -> Dict[str, Any]:
     """Run the microbenchmark suite and return the report dict."""
     import os
@@ -61,6 +62,10 @@ def collect_report(
         report["end_to_end"] = bench_end_to_end()
     if include_sweep:
         report["parallel_sweep"] = _bench_parallel_sweep()
+    if include_protocol:
+        from repro.perf.protocol import bench_protocol_plane
+
+        report["protocol_plane"] = bench_protocol_plane()
     return report
 
 
@@ -122,4 +127,30 @@ def summary_lines(report: Dict[str, Any]) -> list:
             )
         )
         rows.append(("sweep rows identical", str(sweep["rows_identical"])))
+    proto = report.get("protocol_plane")
+    if proto:
+        rows.append(
+            ("protocol ops/wall-s speedup", f"{proto['ops_per_wall_sec_speedup']:.2f}x")
+        )
+        rows.append(
+            (
+                "stability msgs unbatched / batched",
+                f"{proto['unbatched']['stability_messages']:,} / "
+                f"{proto['batched']['stability_messages']:,} "
+                f"({proto['stability_message_reduction']:.1f}x)",
+            )
+        )
+        rows.append(
+            (
+                "global-stability msg reduction",
+                f"{proto['global_stability_message_reduction']:.1f}x",
+            )
+        )
+        rows.append(
+            (
+                "stable-map entries unbatched / batched",
+                f"{proto['unbatched']['metadata']['stable_map_entries']:,} / "
+                f"{proto['batched']['metadata']['stable_map_entries']:,}",
+            )
+        )
     return rows

@@ -67,11 +67,31 @@ class VersionVector:
         return VersionVector(updated)
 
     def merge(self, other: "VersionVector") -> "VersionVector":
-        """Pointwise maximum — the least upper bound under causality."""
+        """Pointwise maximum — the least upper bound under causality.
+
+        When one operand already dominates the other, the dominating
+        vector *is* the least upper bound, so it is returned as-is —
+        no dict build, no new object. Merges against ``ZERO`` and
+        self-merges (both ubiquitous in stability bookkeeping) take
+        this path. Safe for ``__eq__``/``__hash__`` users: the result
+        compares equal to a freshly-built merge; only identity differs.
+        """
+        if not other._entries or other._entries == self._entries:
+            return self
+        if not self._entries:
+            return other
         merged = dict(self._entries)
+        changed = False
         for dc, n in other._entries:
             if n > merged.get(dc, 0):
                 merged[dc] = n
+                changed = True
+        if not changed:
+            return self
+        if len(merged) == len(other._entries) and all(
+            merged[dc] == n for dc, n in other._entries
+        ):
+            return other
         return VersionVector(merged)
 
     @staticmethod
