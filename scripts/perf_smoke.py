@@ -17,7 +17,12 @@ What it does:
 4. runs a small batched-vs-unbatched protocol-plane comparison and
    fails if the batched configuration's wall rate drops below 90% of
    the unbatched one (batching must never cost wall-clock);
-5. rewrites the BENCH JSON with the fresh numbers on success.
+5. runs a shrunk two-arm memory-model comparison (`perf --scale`
+   profile at smoke size) and fails if the current layout's bytes/key
+   exceeds 110% of the figure committed in BENCH_PR5.json, scaled to
+   the smoke profile via the in-run legacy arm — or if the layout ever
+   costs more memory than the legacy one;
+6. rewrites the BENCH JSON with the fresh numbers on success.
 
 CHANGES.md convention: a PR that moves any number here by >10% should
 say so in its CHANGES.md line and ship the regenerated BENCH file.
@@ -46,6 +51,18 @@ REGRESSION_FLOOR = 0.70
 #: the unbatched run (>10% regression).
 BATCHED_FLOOR = 0.90
 
+#: Fail when the memory model's bytes/key rises above this multiple of
+#: the committed BENCH_PR5 figure (after scaling to the smoke profile).
+BYTES_PER_KEY_CEILING = 1.10
+
+#: Shrunk ``perf --scale`` profile for the memory smoke gate.
+SCALE_SMOKE = {
+    "record_count": 200,
+    "duration": 0.4,
+    "n_clients": 4,
+    "rate_repeats": 1,
+}
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -55,6 +72,14 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--skip-protocol", action="store_true",
         help="skip the batched-vs-unbatched protocol-plane gate",
+    )
+    parser.add_argument(
+        "--skip-scale", action="store_true",
+        help="skip the memory-model bytes/key gate",
+    )
+    parser.add_argument(
+        "--bench-pr5", default="BENCH_PR5.json", metavar="PATH",
+        help="committed memory benchmark the bytes/key gate compares against",
     )
     args = parser.parse_args(argv)
 
@@ -107,6 +132,50 @@ def main(argv=None) -> int:
                 f"batched config runs at {speedup:.0%} of the unbatched wall "
                 f"rate (floor {BATCHED_FLOOR:.0%})"
             )
+
+    if not args.skip_scale:
+        from repro.perf import bench_scale
+
+        scale = bench_scale(dict(SCALE_SMOKE))
+        opt_bpk = scale["optimized"]["bytes_per_key"]
+        legacy_bpk = scale["legacy"]["bytes_per_key"]
+        ratio = opt_bpk / legacy_bpk if legacy_bpk else 1.0
+        print(
+            f"  bytes/key current / legacy         "
+            f"{opt_bpk:,.0f} / {legacy_bpk:,.0f} ({ratio:.0%})"
+        )
+        if not scale["events_match"]:
+            failures.append("memory-model arms diverged (events_match false)")
+        if ratio >= 1.0:
+            failures.append(
+                "current memory model costs more bytes/key than the legacy "
+                f"layout ({ratio:.0%})"
+            )
+        committed = None
+        if os.path.exists(args.bench_pr5):
+            with open(args.bench_pr5) as fh:
+                committed = json.load(fh)
+        if committed is not None:
+            # Absolute bytes/key is scale-dependent (fewer keys amortise
+            # less fixed cost), so the gate compares the current-vs-legacy
+            # *ratio*, which both this smoke run and the committed file
+            # measure in-process on their own scale.
+            c_opt = committed.get("optimized", {}).get("bytes_per_key")
+            c_legacy = committed.get("legacy", {}).get("bytes_per_key")
+            if c_opt and c_legacy:
+                committed_ratio = c_opt / c_legacy
+                print(
+                    f"  vs committed bytes/key ratio       "
+                    f"{ratio / committed_ratio:.2f}x "
+                    f"(committed {committed_ratio:.0%}, "
+                    f"ceiling {BYTES_PER_KEY_CEILING:.2f}x)"
+                )
+                if ratio > committed_ratio * BYTES_PER_KEY_CEILING:
+                    failures.append(
+                        f"bytes/key regressed to {ratio:.0%} of legacy — above "
+                        f"{BYTES_PER_KEY_CEILING:.0%} of the committed "
+                        f"{committed_ratio:.0%} ({args.bench_pr5})"
+                    )
 
     if failures:
         for failure in failures:

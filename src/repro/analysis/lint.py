@@ -26,6 +26,12 @@ failure mode in a discrete-event reproduction:
 - ``set-iteration`` — iterating a bare ``set`` in event-ordering code
   makes the event order depend on hash layout. Iterate ``sorted(...)``
   or use an order-preserving container.
+- ``slots`` — a class in a hot-path package (``sim``, ``storage``,
+  ``core``) that assigns instance attributes but declares no
+  ``__slots__`` carries a per-instance ``__dict__`` (~100 B each); at
+  simulation scale those dicts dominate the heap. Classes that need a
+  ``__dict__`` (dataclasses are exempt automatically; per-instance
+  monkeypatch targets carry a pragma) opt out explicitly.
 
 Suppression: append ``# repro: lint-ok(<rule>[, <rule>...])`` to the
 offending line, or put ``# repro: lint-ok-file(<rule>)`` in the first
@@ -46,6 +52,7 @@ __all__ = [
     "ALL_RULES",
     "DEFAULT_WALL_CLOCK_EXEMPT",
     "EVENT_ORDERING_DIRS",
+    "SLOTS_DIRS",
     "LintConfig",
     "LintViolation",
     "lint_file",
@@ -65,6 +72,7 @@ RULE_NO_BUILTIN_HASH_SEED = "no-builtin-hash-seed"
 RULE_FROZEN_MESSAGE = "frozen-message"
 RULE_NO_MUTABLE_DEFAULT = "no-mutable-default"
 RULE_SET_ITERATION = "set-iteration"
+RULE_SLOTS = "slots"
 
 ALL_RULES: Tuple[str, ...] = (
     RULE_NO_WALL_CLOCK,
@@ -74,6 +82,7 @@ ALL_RULES: Tuple[str, ...] = (
     RULE_FROZEN_MESSAGE,
     RULE_NO_MUTABLE_DEFAULT,
     RULE_SET_ITERATION,
+    RULE_SLOTS,
 )
 
 #: Files (paths relative to ``src/repro``) allowed to read the wall
@@ -84,6 +93,7 @@ DEFAULT_WALL_CLOCK_EXEMPT: Tuple[str, ...] = (
     "perf/profile.py",
     "perf/legacy.py",
     "perf/protocol.py",
+    "perf/scale.py",
 )
 
 #: Directories (relative to ``src/repro``) whose code runs inside the
@@ -96,6 +106,15 @@ EVENT_ORDERING_DIRS: Tuple[str, ...] = (
     "cluster",
     "baselines",
     "storage",
+)
+
+#: Directories (relative to ``src/repro``) whose classes are allocated
+#: at simulation scale and therefore must declare ``__slots__`` (or
+#: carry a pragma explaining why they need a ``__dict__``).
+SLOTS_DIRS: Tuple[str, ...] = (
+    "sim",
+    "storage",
+    "core",
 )
 
 #: Wall-clock functions per module.
@@ -164,12 +183,15 @@ class LintConfig:
 
     ``wall_clock_exempt`` entries are path suffixes (POSIX separators)
     matched against the linted file; ``event_ordering_dirs`` scopes the
-    ``set-iteration`` rule to code that runs inside the event loop.
+    ``set-iteration`` rule to code that runs inside the event loop;
+    ``slots_dirs`` scopes the ``slots`` rule to the hot-path packages
+    whose instances exist in per-key / per-event quantities.
     """
 
     rules: Tuple[str, ...] = ALL_RULES
     wall_clock_exempt: Tuple[str, ...] = DEFAULT_WALL_CLOCK_EXEMPT
     event_ordering_dirs: Tuple[str, ...] = EVENT_ORDERING_DIRS
+    slots_dirs: Tuple[str, ...] = SLOTS_DIRS
 
     def rules_for(self, path: Path) -> Set[str]:
         """The subset of rules that applies to ``path``."""
@@ -184,6 +206,11 @@ class LintConfig:
             top = rel.split("/", 1)[0]
             if "/" in rel and top not in self.event_ordering_dirs:
                 active.discard(RULE_SET_ITERATION)
+        if RULE_SLOTS in active and "/repro/" in posix:
+            rel = posix.split("/repro/", 1)[1]
+            top = rel.split("/", 1)[0]
+            if "/" not in rel or top not in self.slots_dirs:
+                active.discard(RULE_SLOTS)
         return active
 
 
@@ -453,6 +480,8 @@ class _Linter(ast.NodeVisitor):
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
         if self._subclasses_message(node):
             self._check_frozen_dataclass(node)
+        else:
+            self._check_slots(node)
         self.generic_visit(node)
 
     def _subclasses_message(self, node: ast.ClassDef) -> bool:
@@ -509,6 +538,82 @@ class _Linter(ast.NodeVisitor):
             f"protocol message {node.name} must be declared as a frozen "
             "dataclass so wire sizing can enumerate its fields",
         )
+
+    # -- slots ------------------------------------------------------------
+    def _check_slots(self, node: ast.ClassDef) -> None:
+        if RULE_SLOTS not in self.active:
+            return
+        if self._is_dataclass_decorated(node):
+            # Dataclass layout (including frozen messages, which memoize
+            # their wire size onto the instance) is the dataclass's
+            # business — instance attrs come from field declarations,
+            # not method-body assignments.
+            return
+        if self._has_slots_declaration(node):
+            return
+        attrs = self._instance_attrs(node)
+        if not attrs:
+            return
+        preview = ", ".join(sorted(attrs)[:4])
+        if len(attrs) > 4:
+            preview += ", ..."
+        self._add(
+            node,
+            RULE_SLOTS,
+            f"hot-path class {node.name} assigns instance attributes "
+            f"({preview}) but declares no __slots__; every instance "
+            "carries a __dict__ — add __slots__ or a "
+            "'# repro: lint-ok(slots)' pragma explaining why the dict "
+            "is needed",
+        )
+
+    def _is_dataclass_decorated(self, node: ast.ClassDef) -> bool:
+        for deco in node.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            name = (
+                target.id
+                if isinstance(target, ast.Name)
+                else target.attr
+                if isinstance(target, ast.Attribute)
+                else None
+            )
+            if name == "dataclass":
+                return True
+        return False
+
+    def _has_slots_declaration(self, node: ast.ClassDef) -> bool:
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, ast.AnnAssign):
+                targets = [stmt.target]
+            else:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    return True
+        return False
+
+    def _instance_attrs(self, node: ast.ClassDef) -> Set[str]:
+        """``self.<attr>`` assignment targets across the class's methods."""
+        attrs: Set[str] = set()
+        for stmt in node.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for child in ast.walk(stmt):
+                targets: List[ast.expr] = []
+                if isinstance(child, ast.Assign):
+                    targets = list(child.targets)
+                elif isinstance(child, (ast.AnnAssign, ast.AugAssign)):
+                    targets = [child.target]
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        attrs.add(target.attr)
+        return attrs
 
     # -- set iteration ---------------------------------------------------
     def visit_For(self, node: ast.For) -> None:

@@ -158,6 +158,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--protocol", action="store_true",
         help="also run the protocol-plane benchmark (batching + metadata GC on vs off)",
     )
+    perf.add_argument(
+        "--scale", action="store_true",
+        help="run the large-keyspace memory benchmark instead (current vs legacy layout)",
+    )
 
     faults = sub.add_parser(
         "faults", parents=[output],
@@ -384,7 +388,42 @@ def _cmd_consistency(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_perf_scale(args: argparse.Namespace, out) -> int:
+    from repro.perf import write_report
+    from repro.perf.scale import bench_scale
+
+    print("running large-keyspace memory benchmark (two arms, traced + untraced) ...", file=out)
+    report = bench_scale()
+    opt, leg = report["optimized"], report["legacy"]
+    rows = [
+        ("distinct keys", f"{opt['distinct_keys']:,}"),
+        ("peak traced MiB (optimized)", f"{opt['traced_peak_bytes'] / 2**20:.1f}"),
+        ("peak traced MiB (legacy)", f"{leg['traced_peak_bytes'] / 2**20:.1f}"),
+        ("peak bytes reduction", f"{report['peak_bytes_reduction']:.1%}"),
+        ("bytes/key (optimized)", f"{opt['bytes_per_key']:,.0f}"),
+        ("bytes/key (legacy)", f"{leg['bytes_per_key']:,.0f}"),
+        ("bytes/key reduction", f"{report['bytes_per_key_reduction']:.1%}"),
+        ("ops/wall-s ratio", f"{report['ops_per_wall_sec_ratio']:.2f}x"),
+        ("events match (determinism)", str(report["events_match"])),
+    ]
+    report_path = args.out or "BENCH_PR5.json"
+    write_report(report, report_path)
+    text = "\n\n".join(
+        [
+            render_table(["metric", "value"], rows, title="perf --scale"),
+            f"report written to {report_path}",
+        ]
+    )
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True, default=str), file=out)
+    else:
+        print(text, file=out)
+    return 0
+
+
 def _cmd_perf(args: argparse.Namespace, out) -> int:
+    if args.scale:
+        return _cmd_perf_scale(args, out)
     from repro.perf import (
         bench_end_to_end,
         collect_report,

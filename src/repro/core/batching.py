@@ -41,6 +41,17 @@ __all__ = ["Coalescer", "StabilityCoalescer", "UpdateCoalescer"]
 class Coalescer:
     """Base: per-destination buffers, one shared flush timer, counters."""
 
+    __slots__ = (
+        "actor",
+        "flush_interval",
+        "max_entries",
+        "_pending",
+        "_timer",
+        "entries_enqueued",
+        "batches_flushed",
+        "eager_flushes",
+    )
+
     def __init__(self, actor: Any, flush_interval: float, max_entries: int) -> None:
         #: the owning actor supplies timers and sends the flushed batches
         self.actor = actor
@@ -106,6 +117,8 @@ class StabilityCoalescer(Coalescer):
     reduction on write-heavy keys comes from exactly this dedup.
     """
 
+    __slots__ = ("_emit_entries",)
+
     def __init__(
         self,
         actor: Any,
@@ -138,6 +151,8 @@ class UpdateCoalescer(Coalescer):
     No dedup: successive same-key updates must all be injected at the
     receiver (in order) for the gate-chain causality argument to hold.
     """
+
+    __slots__ = ("_emit_updates",)
 
     def __init__(
         self,

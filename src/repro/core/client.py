@@ -35,19 +35,22 @@ from typing import Any, Dict, Iterable, Iterator, List
 
 from repro.api import GetResult, PutResult, SnapshotResult
 from repro.cluster.client_base import RetryingSession
-from repro.core.messages import DepEntry, PutReply, PutRequest, deps_size_bytes
+from repro.core.deptable import make_dep_table
+from repro.core.messages import DepEntry, PutReply, PutRequest
 from repro.errors import ReproError, RequestTimeout, TransientError
 from repro.sim.process import Future, all_of, spawn, with_timeout
+from repro.storage.version import intern_str
 
 __all__ = ["ChainClientSession"]
 
 
-class ChainClientSession(RetryingSession):
+class ChainClientSession(RetryingSession):  # repro: lint-ok(slots) — unslotted Actor base keeps the __dict__; one instance per client
     """One sequential client of a ChainReaction deployment."""
 
     def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
-        self._deps: Dict[str, DepEntry] = {}
+        #: columnar key → (version, chain index) table; see repro.core.deptable
+        self._deps = make_dep_table()
         self._pending_puts: Dict[int, Future] = {}
         self._request_seq = 0
 
@@ -56,25 +59,30 @@ class ChainClientSession(RetryingSession):
     # ------------------------------------------------------------------
     def get(self, key: str) -> Future:
         self._check_open()
+        # Interned at every API boundary: records, dep-table columns,
+        # and stability entries all end up holding this exact object.
+        key = intern_str(key)
         return spawn(self.sim, self._get_gen(key), name=f"get:{key}")
 
     def put(self, key: str, value: Any) -> Future:
         self._check_open()
+        key = intern_str(key)
         return spawn(self.sim, self._put_gen(key, value, False), name=f"put:{key}")
 
     def delete(self, key: str) -> Future:
         self._check_open()
+        key = intern_str(key)
         return spawn(self.sim, self._put_gen(key, None, True), name=f"del:{key}")
 
     def metadata_bytes(self) -> int:
-        return deps_size_bytes(self._deps)
+        return self._deps.size_bytes()
 
     def metadata_entries(self) -> int:
         return len(self._deps)
 
     def dependency_table(self) -> Dict[str, DepEntry]:
         """Copy of the session's current causality metadata (for tests/E8)."""
-        return dict(self._deps)
+        return self._deps.as_dict()
 
     def _fail_pending(self, exc: ReproError) -> None:
         pending, self._pending_puts = self._pending_puts, {}
@@ -96,8 +104,8 @@ class ChainClientSession(RetryingSession):
             return 0
         if not self.config.allow_prefix_reads:
             return chain_len - 1
-        entry = self._deps.get(key)
-        bound = chain_len - 1 if entry is None else min(entry.index, chain_len - 1)
+        index = self._deps.index_for(key)
+        bound = chain_len - 1 if index is None else min(index, chain_len - 1)
         return self._rng.randint(0, bound)
 
     def _get_gen(self, key: str) -> Iterator[Any]:
@@ -127,8 +135,8 @@ class ChainClientSession(RetryingSession):
                 continue
 
             version = reply["version"]
-            entry = self._deps.get(key)
-            if entry is not None and not version.dominates(entry.version):
+            observed = self._deps.version_for(key)
+            if observed is not None and not version.dominates(observed):
                 if probe_deep:
                     # The replica is behind this session's observed
                     # version and nothing better is reachable: serve it
@@ -173,7 +181,7 @@ class ChainClientSession(RetryingSession):
                 # keeping it only inflates the table the GC is bounding.
                 self._deps.pop(key, None)
             else:
-                self._deps[key] = DepEntry(version, reply["index"])
+                self._deps.set(key, version, reply["index"])
             return
         if reply["stable"]:
             # DC-stable but not yet globally: any *local* replica may
@@ -181,13 +189,14 @@ class ChainClientSession(RetryingSession):
             # puts — remote DCs still need the dependency.
             index = len(self.view.chain_for(key)) - 1
         else:
-            entry = self._deps.get(key)
-            if entry is not None and entry.version == version:
+            have = self._deps.version_for(key)
+            if have is not None and have == version:
                 # Same version seen again: keep the deepest known position.
-                index = max(entry.index, reply["index"])
+                known = self._deps.index_for(key)
+                index = reply["index"] if known is None else max(known, reply["index"])
             else:
                 index = reply["index"]
-        self._deps[key] = DepEntry(version, index)
+        self._deps.set(key, version, index)
 
     # ------------------------------------------------------------------
     # snapshot reads (multi_get)
@@ -273,7 +282,7 @@ class ChainClientSession(RetryingSession):
         # — the new write dominates its predecessor, so without the
         # entry it could become visible remotely before the
         # predecessor's own dependencies have arrived.
-        deps = dict(self._deps)
+        deps = self._deps.snapshot()
         start = self.sim.now
         for attempt in self._op_attempts(start):
             self._request_seq += 1
@@ -323,10 +332,10 @@ class ChainClientSession(RetryingSession):
             self._deps.clear()
             if not stable or self.config.is_geo:
                 index = len(self.view.chain_for(key)) - 1 if stable else reply.index
-                self._deps[key] = DepEntry(reply.version, index)
+                self._deps.set(key, reply.version, index)
         else:
             # Ablation mode: accumulate forever (measured in E8).
-            self._deps[key] = DepEntry(reply.version, reply.index)
+            self._deps.set(key, reply.version, reply.index)
 
     def on_put_reply(self, msg: PutReply, src: Any) -> None:
         fut = self._pending_puts.pop(msg.request_id, None)

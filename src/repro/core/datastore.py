@@ -40,12 +40,12 @@ from repro.net.network import Network
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
 from repro.storage.merge import ConflictResolver
-from repro.storage.version import VersionVector
+from repro.storage.version import VersionVector, intern_str
 
 __all__ = ["ChainReactionStore"]
 
 
-class ChainReactionStore(Datastore):
+class ChainReactionStore(Datastore):  # repro: lint-ok(slots) — one per deployment; attach_tracer sets attributes dynamically
     """A running ChainReaction deployment on a discrete-event simulator."""
 
     name = "chainreaction"
@@ -181,6 +181,7 @@ class ChainReactionStore(Datastore):
         """
         version = VersionVector({"preload": 1})
         for key, value in data.items():
+            key = intern_str(key)
             for site, manager in self.managers.items():
                 for server_name in manager.view.chain_for(key):
                     node = self._node(site, server_name)

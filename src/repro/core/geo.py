@@ -45,7 +45,7 @@ from repro.storage.version import VersionVector
 __all__ = ["GeoProxy"]
 
 
-class GeoProxy(Actor):
+class GeoProxy(Actor):  # repro: lint-ok(slots) — unslotted Actor base keeps the __dict__; one instance per site
     """Ships DC-stable writes across datacenters and applies inbound ones."""
 
     def __init__(

@@ -58,22 +58,48 @@ __all__ = [
 StableEntries = Tuple[Tuple[str, VersionVector], ...]
 
 
-@dataclasses.dataclass(frozen=True)
 class DepEntry:
-    """One tracked causal dependency: (version seen, chain index holding it)."""
+    """One tracked causal dependency: (version seen, chain index holding it).
 
-    version: VersionVector
-    index: int
+    Hand-rolled slotted class (py3.9-safe): sessions hold one per
+    tracked key and every ``PutRequest`` snapshot references them, so
+    the dataclass ``__dict__`` was pure overhead at scale. Value
+    semantics (eq/hash by fields) match the old frozen dataclass.
+    """
+
+    __slots__ = ("version", "index")
+
+    def __init__(self, version: VersionVector, index: int) -> None:
+        self.version = version
+        self.index = index
 
     def size_bytes(self) -> int:
         return self.version.size_bytes() + 4
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DepEntry):
+            return NotImplemented
+        return self.version == other.version and self.index == other.index
 
+    def __hash__(self) -> int:
+        return hash((self.version, self.index))
+
+    def __repr__(self) -> str:
+        return f"DepEntry(version={self.version!r}, index={self.index!r})"
+
+
+#: Any mapping of key → DepEntry. ``PutRequest.deps`` carries either a
+#: plain dict or a frozen :class:`repro.storage.deptable.DepSnapshot`;
+#: both satisfy the Mapping protocol and size identically on the wire.
 Deps = Dict[str, DepEntry]
 
 
-def deps_size_bytes(deps: Deps) -> int:
-    """Wire size of a dependency map as carried on a PutRequest."""
+def deps_size_bytes(deps: "Deps") -> int:
+    """Wire size of a dependency map as carried on a PutRequest.
+
+    Duck-typed over ``items()`` so dep-table snapshots account
+    byte-identically to the dicts they replaced.
+    """
     return 4 + sum(4 + len(k) + d.size_bytes() for k, d in deps.items())
 
 

@@ -46,6 +46,7 @@ from repro.core.messages import (
     TailStable,
     TransferDone,
 )
+from repro.core.deptable import DepSnapshot
 from repro.core.stability import StabilityTracker
 from repro.errors import NotResponsibleError, RemoteError, ReplicaUnavailable, RequestTimeout
 from repro.net.message import Message
@@ -59,10 +60,15 @@ from repro.storage.version import VersionVector
 
 __all__ = ["ChainNode"]
 
+#: Shared read-only empty dependency map. ``_stable_records`` retains a
+#: deps mapping per stable key, so handing out a fresh ``{}`` default on
+#: every refresh pinned thousands of identical empty dicts.
+_NO_DEPS: Deps = {}
+
 _GEOPROXY = "geoproxy"
 
 
-class ChainNode(RingServer):
+class ChainNode(RingServer):  # repro: lint-ok(slots) — unslotted Actor base keeps the __dict__; one instance per server, not per key
     """A ChainReaction server: head/replica/tail for its share of chains."""
 
     SERVICED_TYPES = frozenset(
@@ -211,7 +217,9 @@ class ChainNode(RingServer):
             value=value,
             version=version,
             origin_site=self.site,
-            deps=dict(msg.deps),
+            # Client snapshots are immutable (COW), so the chain shares
+            # one object; a plain-dict deps payload is copied defensively.
+            deps=msg.deps if isinstance(msg.deps, DepSnapshot) else dict(msg.deps),
             ack_index=self.config.ack_k - 1,
             request_id=msg.request_id,
             reply_to=msg.reply_to,
@@ -330,24 +338,56 @@ class ChainNode(RingServer):
         and tracking the surviving write's dependency list."""
         existing = self.store.get_record(key)
         if existing is not None and self.stability.is_stable(key, existing.version):
-            self._stable_records[key] = (existing, self._record_deps.get(key, {}))
+            self._stable_records[key] = (existing, self._record_deps.get(key, _NO_DEPS))
         result = self.store.apply(key, value, version, self.sim.now, stamp)
         if result.applied:
             if result.was_conflict:
-                merged = dict(self._record_deps.get(key, {}))
+                merged = dict(self._record_deps.get(key, _NO_DEPS))
                 for dep_key, entry in deps.items():
                     mine = merged.get(dep_key)
                     if mine is None or entry.version.dominates(mine.version):
                         merged[dep_key] = entry
                 self._record_deps[key] = merged
             else:
-                self._record_deps[key] = dict(deps)
+                # An immutable snapshot is retained as-is — every replica
+                # on the chain (and the remote site's chain, via the
+                # geo-proxy) then pins the same column arrays rather than
+                # its own dict copy. Mutable dicts are still copied.
+                self._record_deps[key] = (
+                    deps if isinstance(deps, DepSnapshot) else dict(deps)
+                )
         self._refresh_stable_record(key)
 
     def _refresh_stable_record(self, key: str) -> None:
+        """Drop the shadow entry once the live record is itself stable.
+
+        ``_stable_records`` only materialises a (record, deps) pair while
+        a newer *unstable* write shadows the stable one — the common
+        steady state (live record stable, nothing in flight) is served
+        lazily by :meth:`_stable_entry` from the store and dep map
+        directly, so the per-key tuple is pinned only for keys actually
+        in transition. Sealed keys keep their explicit pair: sealing
+        drops the tracker entry this laziness relies on.
+        """
         record = self.store.get_record(key)
         if record is not None and self.stability.is_stable(key, record.version):
-            self._stable_records[key] = (record, self._record_deps.get(key, {}))
+            self._stable_records.pop(key, None)
+
+    def _stable_entry(self, key: str) -> Optional[Tuple[Any, Deps]]:
+        """The newest DC-stable (record, deps) pair, or None.
+
+        Reads the shadow map first (set while an unstable write hides
+        the stable record, and by sealing); otherwise the live record
+        serves iff it is DC-stable — exactly the pair the eager refresh
+        used to store.
+        """
+        entry = self._stable_records.get(key)
+        if entry is not None:
+            return entry
+        record = self.store.get_record(key)
+        if record is not None and self.stability.is_stable(key, record.version):
+            return (record, self._record_deps.get(key, _NO_DEPS))
+        return None
 
     def on_chain_put(self, msg: ChainPut, src: Address) -> None:
         self._apply_and_propagate(
@@ -492,7 +532,7 @@ class ChainNode(RingServer):
             self.rejected_ops += 1
             raise NotResponsibleError(f"{self.name} not in chain for {key!r}")
         self.gets_served += 1
-        entry = self._stable_records.get(key)
+        entry = self._stable_entry(key)
         if entry is None:
             return {
                 "found": False,
@@ -643,6 +683,11 @@ class ChainNode(RingServer):
         """DC-stable floor for sealed keys: the newest stable record the
         server already holds answers the query exactly — refreshing it is
         guarded by DC-stability, so everything it reports *is* stable."""
+        # Reads the explicit map only — NOT the lazy ``_stable_entry``:
+        # this is the tracker's floor callback, and the lazy path calls
+        # ``is_stable``, which falls through to this floor (recursion).
+        # Only sealed keys need the floor, and sealing always leaves an
+        # explicit pair behind.
         entry = self._stable_records.get(key)
         if entry is None:
             return VersionVector()
@@ -696,7 +741,7 @@ class ChainNode(RingServer):
         record = self.store.get_record(key)
         if record is None or not entry.dominates(record.version):
             return False
-        stable_entry = self._stable_records.get(key)
+        stable_entry = self._stable_entry(key)
         if stable_entry is None or stable_entry[0].version != record.version:
             return False
         if self.config.is_geo:

@@ -1,5 +1,6 @@
 """Measurement utilities: latency reservoirs, throughput timelines, rendering."""
 
+from repro.metrics.memory import TracedPeak, census_totals, memory_census, traced_call
 from repro.metrics.protocol import batching_stats, coalescer_stats, metadata_footprint
 from repro.metrics.reservoir import LatencyReservoir
 from repro.metrics.series import ThroughputTimeline
@@ -14,4 +15,8 @@ __all__ = [
     "batching_stats",
     "coalescer_stats",
     "metadata_footprint",
+    "TracedPeak",
+    "traced_call",
+    "memory_census",
+    "census_totals",
 ]

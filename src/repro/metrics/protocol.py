@@ -68,9 +68,26 @@ def batching_stats(nodes: Iterable[Any], proxies: Iterable[Any]) -> Dict[str, An
 
 
 def metadata_footprint(nodes: Iterable[Any], sessions: Iterable[Any]) -> Dict[str, int]:
-    """Live metadata gauges: server stability maps and client dep tables."""
+    """Live metadata gauges: server stability maps and client dep tables.
+
+    Since the PR 5 memory work the report also covers the pooled and
+    interned structures backing that metadata — the version-vector
+    intern pool and the allocated dependency-table column cells — so
+    PR 4's plateau numbers stay comparable against the new layout
+    (``dep_table_slots`` ≥ ``dep_table_entries``; the difference is
+    unreclaimed holes awaiting compaction).
+    """
+    from repro.storage.version import intern_stats
+
     node_list = list(nodes)
     session_list = list(sessions)
+    pool = intern_stats()
+    dep_slots = 0
+    for s in session_list:
+        table = getattr(s, "_deps", None)
+        column_slots = getattr(table, "column_slots", None)
+        if column_slots is not None:
+            dep_slots += column_slots()
     return {
         "stable_map_entries": sum(n.metadata_entries() for n in node_list),
         "global_floor_entries": sum(n.global_floor_entries() for n in node_list),
@@ -81,4 +98,8 @@ def metadata_footprint(nodes: Iterable[Any], sessions: Iterable[Any]) -> Dict[st
         ),
         "dep_table_entries": sum(s.metadata_entries() for s in session_list),
         "dep_table_bytes": sum(s.metadata_bytes() for s in session_list),
+        "dep_table_slots": dep_slots,
+        "vv_intern_entries": pool["entries"],
+        "vv_intern_capacity": pool["capacity"],
+        "vv_intern_hits": pool["hits"],
     }

@@ -17,7 +17,23 @@ __all__ = ["LatencyReservoir"]
 
 
 class LatencyReservoir:
-    """Bounded, unbiased sample of a latency stream."""
+    """Bounded, unbiased sample of a latency stream.
+
+    Slotted: long benchmark runs keep one reservoir per metric series
+    and samples are raw floats in a list — no per-sample objects.
+    """
+
+    __slots__ = (
+        "_capacity",
+        "_rng",
+        "_samples",
+        "_sorted",
+        "_dirty",
+        "count",
+        "total",
+        "min",
+        "max",
+    )
 
     def __init__(self, capacity: int = 50_000, *, seed: int):
         if capacity < 1:

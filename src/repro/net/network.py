@@ -28,6 +28,7 @@ from repro.net.latency import LatencyModel, lan_latency, wan_latency
 from repro.net.message import Message
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
+from repro.storage.version import intern_str
 
 __all__ = ["Address", "Network", "NetworkStats"]
 
@@ -48,6 +49,12 @@ class Address:
 
     site: str
     node: str
+
+    def __post_init__(self) -> None:
+        # Site/node names recur across every address, record, and
+        # tracker entry; interning shares one string object apiece.
+        object.__setattr__(self, "site", intern_str(self.site))
+        object.__setattr__(self, "node", intern_str(self.node))
 
     def __str__(self) -> str:
         return f"{self.site}:{self.node}"

@@ -17,6 +17,7 @@ from repro.perf.micro import (
 from repro.perf.profile import format_profile_rows, profile_call
 from repro.perf.protocol import BATCHED_OVERRIDES, bench_protocol_plane
 from repro.perf.report import collect_report, summary_lines, write_report
+from repro.perf.scale import SCALE_PROFILE, bench_scale
 
 __all__ = [
     "LegacySimulator",
@@ -31,4 +32,6 @@ __all__ = [
     "collect_report",
     "write_report",
     "summary_lines",
+    "bench_scale",
+    "SCALE_PROFILE",
 ]

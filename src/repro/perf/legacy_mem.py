@@ -1,0 +1,93 @@
+"""The pre-PR5 memory layout, kept in-tree as the scale-bench baseline.
+
+``python -m repro perf --scale`` compares two *memory models* under an
+identical protocol run: the current one (interned version vectors,
+slotted records, columnar dependency tables) and this module's legacy
+one (no interning, ``__dict__``-backed records and dependency entries,
+dict-of-objects dependency tables). Because every class here is
+value-compatible with its optimized counterpart, both arms execute the
+same deterministic event sequence — ``events_processed`` doubles as the
+canary — and the difference tracemalloc sees is purely the layout.
+
+Mirrors the PR 1 pattern of shipping the seed kernel in-tree
+(``repro.perf.legacy``): the comparison runs both implementations in
+one process on one machine, so the reported reduction is portable.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Iterator, Tuple
+
+from repro.core.deptable import LegacyDepTable, set_dep_table_factory
+from repro.storage.store import VersionedStore
+from repro.storage.version import VersionVector, set_interning
+
+__all__ = ["LegacyRecord", "LegacyDepEntry", "legacy_memory_model"]
+
+
+class LegacyRecord:
+    """Dict-backed record, as stored before the slotted conversion."""
+
+    def __init__(
+        self,
+        key: str,
+        value: Any,
+        version: VersionVector,
+        stamp: Tuple = (),
+        updated_at: float = 0.0,
+    ) -> None:
+        self.key = key
+        self.value = value
+        self.version = version
+        self.stamp = stamp
+        self.updated_at = updated_at
+
+    @property
+    def is_deleted(self) -> bool:
+        from repro.storage.store import TOMBSTONE
+
+        return self.value is TOMBSTONE
+
+    def size_bytes(self) -> int:
+        from repro.net.message import estimate_size
+
+        return estimate_size(self.key) + estimate_size(self.value) + self.version.size_bytes()
+
+
+class LegacyDepEntry:
+    """Dict-backed dependency entry (pre-``__slots__`` layout)."""
+
+    def __init__(self, version: VersionVector, index: int) -> None:
+        self.version = version
+        self.index = index
+
+    def size_bytes(self) -> int:
+        return self.version.size_bytes() + 4
+
+
+class _LegacyDepTableUnslotted(LegacyDepTable):
+    """Legacy dict table boxing unslotted entries, for the baseline arm."""
+
+    def set(self, key: str, version: VersionVector, index: int) -> None:
+        self[key] = LegacyDepEntry(version, index)  # type: ignore[assignment]
+
+
+@contextlib.contextmanager
+def legacy_memory_model() -> Iterator[None]:
+    """Run the enclosed block under the pre-PR5 memory layout.
+
+    Swaps the record factory, the dependency-table factory, and the
+    version-vector interning flag; restores all three on exit. Only
+    stores/sessions *created inside* the block use the legacy layout.
+    """
+    previous_interning = set_interning(False)
+    previous_record = VersionedStore.record_factory
+    VersionedStore.record_factory = LegacyRecord
+    previous_table = set_dep_table_factory(_LegacyDepTableUnslotted)
+    try:
+        yield
+    finally:
+        set_interning(previous_interning)
+        VersionedStore.record_factory = previous_record
+        set_dep_table_factory(previous_table)

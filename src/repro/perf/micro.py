@@ -30,6 +30,7 @@ __all__ = [
     "bench_event_kernel",
     "bench_network_send",
     "bench_message_sizing",
+    "bench_version_ops",
     "bench_end_to_end",
 ]
 
@@ -183,6 +184,74 @@ def bench_message_sizing(n_sizings: int = 100_000, repeats: int = 3) -> Dict[str
         "memoized_sizings_per_sec": memo_r["best"],
         "memoization_speedup": memo_r["best"] / fresh_r["best"] if fresh_r["best"] else 0.0,
     }
+
+
+# ----------------------------------------------------------------------
+# version-vector operations
+# ----------------------------------------------------------------------
+def bench_version_ops(n_ops: int = 200_000, repeats: int = 3) -> Dict[str, Any]:
+    """Ops/sec for the version-vector hot paths.
+
+    Covers the allocation-free fast paths the memory-scale PR added:
+    the 0-/1-element ``join`` (canonical ``ZERO`` / operand-identity
+    returns), the dominating-operand ``merge``, and intern-pool lookups
+    (``increment`` on a warm pool returns the pooled instance). The
+    general N-way join is measured alongside for contrast.
+    """
+    from repro.storage.version import ZERO, VersionVector, clear_intern_pool
+
+    a = VersionVector({"dc0": 3, "dc1": 1})
+    b = VersionVector({"dc0": 2, "dc1": 5})
+    many = [VersionVector({"dc0": i % 7, "dc1": (i * 3) % 5}) for i in range(8)]
+    join = VersionVector.join
+
+    def timed(fn: Callable[[], None]) -> float:
+        t0 = time.perf_counter()
+        fn()
+        return n_ops / (time.perf_counter() - t0)
+
+    def join_empty() -> float:
+        return timed(lambda: [join(()) for _ in range(n_ops)])
+
+    def join_single() -> float:
+        operand = (a,)
+        return timed(lambda: [join(operand) for _ in range(n_ops)])
+
+    def join_many() -> float:
+        return timed(lambda: [join(many) for _ in range(n_ops)])
+
+    def merge_dominating() -> float:
+        zero = ZERO
+        return timed(lambda: [a.merge(zero) for _ in range(n_ops)])
+
+    def merge_general() -> float:
+        return timed(lambda: [a.merge(b) for _ in range(n_ops)])
+
+    def increment_pooled() -> float:
+        a.increment("dc0")  # warm the pool entry
+        return timed(lambda: [a.increment("dc0") for _ in range(n_ops)])
+
+    clear_intern_pool()
+    results = {
+        "join_empty_per_sec": _best_rate(join_empty, repeats)["best"],
+        "join_single_per_sec": _best_rate(join_single, repeats)["best"],
+        "join_many_per_sec": _best_rate(join_many, repeats)["best"],
+        "merge_dominating_per_sec": _best_rate(merge_dominating, repeats)["best"],
+        "merge_general_per_sec": _best_rate(merge_general, repeats)["best"],
+        "increment_pooled_per_sec": _best_rate(increment_pooled, repeats)["best"],
+    }
+    # Identity checks double as correctness canaries for the fast paths.
+    assert join(()) is ZERO
+    assert join((a,)) is a
+    assert a.merge(ZERO) is a
+    results["n_ops"] = n_ops
+    results["repeats"] = repeats
+    results["join_single_vs_many"] = (
+        results["join_single_per_sec"] / results["join_many_per_sec"]
+        if results["join_many_per_sec"]
+        else 0.0
+    )
+    return results
 
 
 # ----------------------------------------------------------------------

@@ -25,6 +25,7 @@ from repro.perf.micro import (
     bench_event_kernel,
     bench_message_sizing,
     bench_network_send,
+    bench_version_ops,
 )
 
 __all__ = ["collect_report", "write_report", "summary_lines"]
@@ -56,6 +57,9 @@ def collect_report(
         ),
         "message_sizing": bench_message_sizing(
             n_sizings=max(1000, n_events // 2), repeats=repeats
+        ),
+        "version_ops": bench_version_ops(
+            n_ops=max(1000, n_events // 2), repeats=repeats
         ),
     }
     if include_end_to_end:
@@ -114,6 +118,13 @@ def summary_lines(report: Dict[str, Any]) -> list:
         ("sizing fresh/s", f"{report['message_sizing']['fresh_sizings_per_sec']:,.0f}"),
         ("sizing memoized/s", f"{report['message_sizing']['memoized_sizings_per_sec']:,.0f}"),
     ]
+    vops = report.get("version_ops")
+    if vops:
+        rows.append(("vv join single-elem/s", f"{vops['join_single_per_sec']:,.0f}"))
+        rows.append(("vv join 8-way/s", f"{vops['join_many_per_sec']:,.0f}"))
+        rows.append(
+            ("vv merge dominating/s", f"{vops['merge_dominating_per_sec']:,.0f}")
+        )
     e2e: Optional[Dict[str, Any]] = report.get("end_to_end")
     if e2e:
         rows.append(("end-to-end events/s", f"{e2e['events_per_sec']:,.0f}"))

@@ -1,0 +1,211 @@
+"""Large-keyspace scale benchmark: memory model A/B (``perf --scale``).
+
+A growing-keyspace, YCSB-style geo workload runs twice — once on the
+current memory model and once on the legacy one
+(:mod:`repro.perf.legacy_mem`) — and the report compares, per arm:
+
+- **ops/wall-s** — simulated ops per wall second, measured untraced
+  (tracemalloc slows the interpreter; rate and memory come from
+  separate runs of the same deterministic simulation);
+- **peak traced bytes** — tracemalloc's peak across build + preload +
+  run, the peak-RSS proxy;
+- **bytes/key** — end-of-run *live* traced bytes divided by the number
+  of distinct keys the deployment holds, i.e. the steady-state cost of
+  keeping one more key resident;
+- **census** — the per-subsystem live-object breakdown
+  (:func:`repro.metrics.memory.memory_census`).
+
+Both arms execute the identical event sequence (``events_match`` is the
+canary — value-compatible layouts, same seed), so the memory delta is
+attributable to layout alone. The default profile holds a keyspace an
+order of magnitude past the PR‑4 protocol bench and keeps growing it
+with inserts; ``metadata_gc`` stays off so per-item costs are measured
+at their worst.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from typing import Any, Dict, Optional
+
+from repro.metrics.memory import TracedPeak, census_totals, memory_census
+from repro.perf.legacy_mem import legacy_memory_model
+from repro.storage.version import clear_intern_pool
+
+__all__ = ["SCALE_PROFILE", "bench_scale"]
+
+#: Default ``perf --scale`` profile: 2 geo sites × 4 servers (R=3, k=2),
+#: 16 closed-loop clients over an insert-heavy "latest" mix that keeps
+#: growing the keyspace past its 2 000-record preload — ~10x the PR-4
+#: protocol-bench scale on every axis that costs memory.
+SCALE_PROFILE: Dict[str, Any] = {
+    "sites": ("dc0", "dc1"),
+    "servers_per_site": 4,
+    "chain_length": 3,
+    "ack_k": 2,
+    "seed": 1234,
+    "record_count": 2000,
+    "duration": 2.0,
+    "n_clients": 16,
+    "value_size": 64,
+    "read_proportion": 0.55,
+    "update_proportion": 0.15,
+    "insert_proportion": 0.30,
+    "rate_repeats": 3,
+}
+
+
+def _build_and_run(profile: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.baselines.registry import build_store
+    from repro.workload.driver import WorkloadRunner
+    from repro.workload.ycsb import WorkloadSpec
+
+    store = build_store(
+        "chainreaction",
+        sites=tuple(profile["sites"]),
+        servers_per_site=profile["servers_per_site"],
+        chain_length=profile["chain_length"],
+        ack_k=profile["ack_k"],
+        seed=profile["seed"],
+    )
+    spec = WorkloadSpec(
+        "scale",
+        read_proportion=profile["read_proportion"],
+        update_proportion=profile["update_proportion"],
+        insert_proportion=profile["insert_proportion"],
+        record_count=profile["record_count"],
+        distribution="latest",
+        value_size=profile["value_size"],
+    )
+    runner = WorkloadRunner(
+        store,
+        spec,
+        n_clients=profile["n_clients"],
+        duration=profile["duration"],
+        warmup=0.1,
+        record_history=False,
+        # Small reservoirs: the bench measures the datastore, and 50k
+        # retained float samples per reservoir would drown bytes/key.
+        reservoir_capacity=4096,
+    )
+    result = runner.run()
+    return {"store": store, "result": result}
+
+
+def _distinct_keys(store: Any) -> int:
+    keys = set()
+    for node in store.servers():
+        keys.update(node.store.digest())
+    return len(keys)
+
+
+def _run_arm(profile: Dict[str, Any], legacy: bool) -> Dict[str, Any]:
+    """One memory-model arm: an untraced run for rate, a traced for bytes."""
+
+    def execute() -> Dict[str, Any]:
+        if legacy:
+            with legacy_memory_model():
+                return _build_and_run(profile)
+        return _build_and_run(profile)
+
+    # Rate runs (untraced — tracemalloc would skew the wall clock).
+    # Best-of-repeats: the sim is deterministic so ops/events repeat
+    # exactly; only host noise varies, and the fastest wall is closest
+    # to the true cost.
+    wall = float("inf")
+    ops = events = 0
+    for _ in range(int(profile.get("rate_repeats", 2))):
+        clear_intern_pool()
+        t0 = time.perf_counter()
+        run = execute()
+        wall = min(wall, time.perf_counter() - t0)
+        ops = run["result"].ops_completed
+        events = run["store"].sim.events_processed
+        del run
+
+    # Memory run (same seed, identical virtual behaviour, traced).
+    # The pool is cleared first so previously-pooled vectors count as
+    # allocations of this arm, keeping both arms' accounting symmetric.
+    # Memory runs are taken under a tight collector: cyclic garbage
+    # (future/closure cycles from finished RPCs) otherwise floats until
+    # an allocation-count threshold trips, so both the peak and the
+    # live reading would measure collector latency — which differs
+    # between arms exactly because their allocation rates differ — on
+    # top of the data structures this benchmark is about.
+    thresholds = gc.get_threshold()
+    gc.set_threshold(thresholds[0], 2, 2)
+    try:
+        clear_intern_pool()
+        with TracedPeak() as trace:
+            traced_run = execute()
+            gc.collect()
+    finally:
+        gc.set_threshold(*thresholds)
+    store = traced_run["store"]
+    if store.sim.events_processed != events:
+        raise RuntimeError(
+            "scale bench: traced and untraced runs diverged "
+            f"({store.sim.events_processed} != {events} events)"
+        )
+    census = memory_census(store)
+    distinct = _distinct_keys(store)
+    arm = {
+        "legacy_memory_model": legacy,
+        "wall_seconds": wall,
+        "ops_completed": ops,
+        "events_processed": events,
+        "sim_ops_per_wall_sec": ops / wall if wall else 0.0,
+        "traced_peak_bytes": trace.peak_bytes,
+        "traced_live_bytes": trace.current_bytes,
+        "distinct_keys": distinct,
+        "bytes_per_key": trace.current_bytes / distinct if distinct else 0.0,
+        "census": census,
+        "census_totals": census_totals(census),
+    }
+    # Drop the stores before the next arm allocates its own.
+    del traced_run, store
+    return arm
+
+
+def bench_scale(overrides: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Run both arms of the memory-model comparison; see module docstring.
+
+    ``overrides`` updates :data:`SCALE_PROFILE` (the CI smoke gate runs
+    a shrunk profile this way). The report's acceptance ratios:
+
+    - ``peak_bytes_reduction``   — 1 − optimized/legacy peak traced bytes
+    - ``bytes_per_key_reduction`` — 1 − optimized/legacy bytes-per-key
+    - ``ops_per_wall_sec_ratio`` — optimized / legacy wall rate
+    """
+    profile = dict(SCALE_PROFILE)
+    if overrides:
+        profile.update(overrides)
+
+    legacy = _run_arm(profile, legacy=True)
+    optimized = _run_arm(profile, legacy=False)
+
+    def reduction(opt: float, base: float) -> float:
+        return 1.0 - (opt / base) if base else 0.0
+
+    return {
+        "profile": {k: (list(v) if isinstance(v, tuple) else v) for k, v in profile.items()},
+        "optimized": optimized,
+        "legacy": legacy,
+        "events_match": optimized["events_processed"] == legacy["events_processed"],
+        "ops_match": optimized["ops_completed"] == legacy["ops_completed"],
+        "peak_bytes_reduction": reduction(
+            optimized["traced_peak_bytes"], legacy["traced_peak_bytes"]
+        ),
+        "live_bytes_reduction": reduction(
+            optimized["traced_live_bytes"], legacy["traced_live_bytes"]
+        ),
+        "bytes_per_key_reduction": reduction(
+            optimized["bytes_per_key"], legacy["bytes_per_key"]
+        ),
+        "ops_per_wall_sec_ratio": (
+            optimized["sim_ops_per_wall_sec"] / legacy["sim_ops_per_wall_sec"]
+            if legacy["sim_ops_per_wall_sec"]
+            else 0.0
+        ),
+    }

@@ -30,6 +30,7 @@ message hop and timer passes through it):
 from __future__ import annotations
 
 import heapq
+import sys
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
@@ -41,6 +42,18 @@ _heappop = heapq.heappop
 
 #: Below this heap size compaction is pointless churn.
 _COMPACT_MIN_HEAP = 64
+
+#: Upper bound on recycled handles kept per simulator.
+_FREELIST_MAX = 1024
+
+#: Expected ``sys.getrefcount`` result inside :meth:`Simulator._recycle`
+#: when the heap entry tuple plus the caller's and the helper's locals
+#: hold the only remaining references to a handle: entry tuple (1) +
+#: caller local (1) + helper parameter (1) + getrefcount argument (1).
+#: Any external holder pushes the count past this and vetoes reuse.
+_RECYCLE_REFS = 4
+
+_getrefcount = getattr(sys, "getrefcount", None)
 
 
 class ScheduledEvent:
@@ -92,6 +105,18 @@ class Simulator:
     the wall clock; ``run`` simply drains the event heap.
     """
 
+    __slots__ = (
+        "_now",
+        "_seq",
+        "_heap",
+        "_running",
+        "_events_processed",
+        "_pending",
+        "_cancelled_in_heap",
+        "_freelist",
+        "_events_reused",
+    )
+
     def __init__(self) -> None:
         self._now: float = 0.0
         self._seq: int = 0
@@ -100,6 +125,8 @@ class Simulator:
         self._events_processed: int = 0
         self._pending: int = 0
         self._cancelled_in_heap: int = 0
+        self._freelist: List[ScheduledEvent] = []
+        self._events_reused: int = 0
 
     # ------------------------------------------------------------------
     # time
@@ -135,7 +162,18 @@ class Simulator:
             )
         seq = self._seq
         self._seq = seq + 1
-        ev = ScheduledEvent(time, seq, callback, args, self)
+        free = self._freelist
+        if free:
+            ev = free.pop()
+            ev.time = time
+            ev.seq = seq
+            ev.callback = callback
+            ev.args = args
+            ev.cancelled = False
+            ev._sim = self
+            self._events_reused += 1
+        else:
+            ev = ScheduledEvent(time, seq, callback, args, self)
         _heappush(self._heap, (time, seq, ev))
         self._pending += 1
         return ev
@@ -184,6 +222,39 @@ class Simulator:
             self._cancelled_in_heap = 0
 
     # ------------------------------------------------------------------
+    # handle recycling
+    # ------------------------------------------------------------------
+    def _recycle(self, ev: ScheduledEvent) -> None:
+        """Return a fired/cancelled handle to the freelist — only when
+        provably safe.
+
+        A handle is reused only if the heap-entry tuple plus the
+        caller's and this helper's locals hold the *sole* remaining
+        references (``sys.getrefcount`` == ``_RECYCLE_REFS``). An actor
+        still holding the handle (stored timers are the common case)
+        keeps its refcount higher, so a late ``cancel()`` through a
+        stale reference can never touch a recycled event. On runtimes
+        without ``sys.getrefcount`` recycling is disabled entirely.
+        """
+        if (
+            _getrefcount is not None
+            and len(self._freelist) < _FREELIST_MAX
+            and _getrefcount(ev) == _RECYCLE_REFS
+        ):
+            ev.callback = None
+            ev.args = ()
+            ev._sim = None
+            self._freelist.append(ev)
+
+    def event_pool_stats(self) -> dict:
+        """Freelist gauges: handles parked, capacity, reuses served."""
+        return {
+            "free": len(self._freelist),
+            "capacity": _FREELIST_MAX,
+            "reused": self._events_reused,
+        }
+
+    # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def _fire(self, entry: Tuple) -> None:
@@ -195,6 +266,7 @@ class Simulator:
             ev = entry[2]
             ev._sim = None
             ev.callback(*ev.args)
+            self._recycle(ev)
         else:
             entry[2](*entry[3])
 
@@ -203,9 +275,12 @@ class Simulator:
         heap = self._heap
         while heap:
             entry = _heappop(heap)
-            if len(entry) == 3 and entry[2].cancelled:
-                self._cancelled_in_heap -= 1
-                continue
+            if len(entry) == 3:
+                ev = entry[2]
+                if ev.cancelled:
+                    self._cancelled_in_heap -= 1
+                    self._recycle(ev)
+                    continue
             self._fire(entry)
             return True
         return False
@@ -237,12 +312,14 @@ class Simulator:
                         ev = entry[2]
                         if ev.cancelled:
                             self._cancelled_in_heap -= 1
+                            self._recycle(ev)
                             continue
                         ev._sim = None
                         self._pending -= 1
                         self._now = entry[0]
                         self._events_processed += 1
                         ev.callback(*ev.args)
+                        self._recycle(ev)
                     else:
                         self._pending -= 1
                         self._now = entry[0]
@@ -252,8 +329,10 @@ class Simulator:
             while heap:
                 entry = heap[0]
                 if len(entry) == 3 and entry[2].cancelled:
+                    ev = entry[2]
                     pop(heap)
                     self._cancelled_in_heap -= 1
+                    self._recycle(ev)
                     continue
                 if until is not None and entry[0] > until:
                     break

@@ -30,6 +30,8 @@ class RngRegistry:
     produces the same sequence, regardless of creation order.
     """
 
+    __slots__ = ("root_seed", "_streams")
+
     def __init__(self, root_seed: int = 0) -> None:
         self.root_seed = root_seed
         self._streams: Dict[str, random.Random] = {}

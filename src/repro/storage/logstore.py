@@ -16,7 +16,6 @@ missed while it was down.
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Any, List, Optional, Tuple
 
 from repro.storage.merge import ConflictResolver
@@ -26,23 +25,51 @@ from repro.storage.version import VersionVector
 __all__ = ["LogEntry", "AppendLog", "DurableStore"]
 
 
-@dataclasses.dataclass(frozen=True)
 class LogEntry:
-    """One durable record of an applied write (tombstones included)."""
+    """One durable record of an applied write (tombstones included).
 
-    key: str
-    value: Any
-    version: VersionVector
-    stamp: Tuple
+    Slotted hand-rolled class (py3.9-safe): durable runs append one per
+    applied write, so the dataclass ``__dict__`` was the dominant cost
+    of the simulated log.
+    """
+
+    __slots__ = ("key", "value", "version", "stamp")
+
+    def __init__(self, key: str, value: Any, version: VersionVector, stamp: Tuple) -> None:
+        self.key = key
+        self.value = value
+        self.version = version
+        self.stamp = stamp
 
     def size_bytes(self) -> int:
         from repro.net.message import estimate_size
 
         return estimate_size(self.key) + estimate_size(self.value) + self.version.size_bytes()
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LogEntry):
+            return NotImplemented
+        return (
+            self.key == other.key
+            and self.value == other.value
+            and self.version == other.version
+            and self.stamp == other.stamp
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.key, self.version, self.stamp))
+
+    def __repr__(self) -> str:
+        return (
+            f"LogEntry(key={self.key!r}, value={self.value!r}, "
+            f"version={self.version!r}, stamp={self.stamp!r})"
+        )
+
 
 class AppendLog:
     """The simulated durable medium: append-only, survives crashes."""
+
+    __slots__ = ("_entries", "appends", "bytes_written")
 
     def __init__(self) -> None:
         self._entries: List[LogEntry] = []
@@ -69,7 +96,7 @@ class AppendLog:
         self._entries = []
 
 
-class DurableStore(VersionedStore):
+class DurableStore(VersionedStore):  # repro: lint-ok(slots) — base keeps __dict__ for the invariant monitor
     """A versioned store whose applied writes are logged for recovery.
 
     - ``apply``/``delete`` append to the log *only when the write took

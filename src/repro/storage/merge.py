@@ -48,6 +48,8 @@ class ConflictResolver:
     or replicas applying writes in different orders will diverge.
     """
 
+    __slots__ = ()
+
     def resolve(
         self,
         value_a: Any,
@@ -60,6 +62,8 @@ class ConflictResolver:
 
 class LWWResolver(ConflictResolver):
     """Last-writer-wins over the stamp order (extends causality)."""
+
+    __slots__ = ()
 
     def resolve(
         self,
@@ -81,6 +85,8 @@ class MergingResolver(ConflictResolver):
     larger input stamp, keeping arbitration deterministic when a merged
     value later meets a third concurrent write.
     """
+
+    __slots__ = ("_merge_fn",)
 
     def __init__(self, merge_fn: Callable[[Any, Any], Any]):
         self._merge_fn = merge_fn

@@ -15,7 +15,6 @@ like any other write instead of resurrecting old data.
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.storage.merge import ConflictResolver, LWWResolver, Stamp, stamp_of
@@ -44,7 +43,6 @@ class Tombstone:
 TOMBSTONE = Tombstone()
 
 
-@dataclasses.dataclass(frozen=True)
 class Record:
     """One stored key: its current value and the version that produced it.
 
@@ -52,13 +50,28 @@ class Record:
     ``stamp`` is the immutable arbitration stamp of the write whose
     value survived — the pair that keeps conflict resolution
     order-independent.
+
+    Hand-rolled slotted class (not ``dataclass(slots=True)`` — py3.9):
+    stores hold one instance per key per replica, so the per-instance
+    ``__dict__`` a dataclass carries dominated large-keyspace memory.
+    Treat instances as immutable; nothing in the tree mutates them.
     """
 
-    key: str
-    value: Any
-    version: VersionVector
-    stamp: Tuple = ()
-    updated_at: float = 0.0
+    __slots__ = ("key", "value", "version", "stamp", "updated_at")
+
+    def __init__(
+        self,
+        key: str,
+        value: Any,
+        version: VersionVector,
+        stamp: Tuple = (),
+        updated_at: float = 0.0,
+    ) -> None:
+        self.key = key
+        self.value = value
+        self.version = version
+        self.stamp = stamp
+        self.updated_at = updated_at
 
     @property
     def is_deleted(self) -> bool:
@@ -69,18 +82,54 @@ class Record:
 
         return estimate_size(self.key) + estimate_size(self.value) + self.version.size_bytes()
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Record):
+            return NotImplemented
+        return (
+            self.key == other.key
+            and self.value == other.value
+            and self.version == other.version
+            and self.stamp == other.stamp
+            and self.updated_at == other.updated_at
+        )
 
-@dataclasses.dataclass(frozen=True)
+    def __hash__(self) -> int:
+        return hash((self.key, self.version, self.stamp, self.updated_at))
+
+    def __repr__(self) -> str:
+        return (
+            f"Record(key={self.key!r}, value={self.value!r}, "
+            f"version={self.version!r}, stamp={self.stamp!r}, "
+            f"updated_at={self.updated_at!r})"
+        )
+
+
 class ApplyResult:
-    """Outcome of offering a write to the store."""
+    """Outcome of offering a write to the store (slotted; py3.9-safe)."""
 
-    applied: bool
-    record: Record
-    was_conflict: bool = False
+    __slots__ = ("applied", "record", "was_conflict")
+
+    def __init__(self, applied: bool, record: Record, was_conflict: bool = False) -> None:
+        self.applied = applied
+        self.record = record
+        self.was_conflict = was_conflict
+
+    def __repr__(self) -> str:
+        return (
+            f"ApplyResult(applied={self.applied!r}, record={self.record!r}, "
+            f"was_conflict={self.was_conflict!r})"
+        )
 
 
-class VersionedStore:
-    """Convergent versioned KV store used by every replica."""
+class VersionedStore:  # repro: lint-ok(slots) — invariant monitor rebinds .apply per instance
+    """Convergent versioned KV store used by every replica.
+
+    ``record_factory`` is the class used for stored entries; the scale
+    benchmark's baseline arm swaps in an unslotted legacy record to
+    measure the memory delta under identical protocol behaviour.
+    """
+
+    record_factory: "type" = Record
 
     def __init__(self, resolver: Optional[ConflictResolver] = None):
         self._data: Dict[str, Record] = {}
@@ -145,9 +194,10 @@ class VersionedStore:
         """
         if stamp is None:
             stamp = stamp_of(version)
+        make_record = self.record_factory
         existing = self._data.get(key)
         if existing is None:
-            rec = Record(key, value, version, stamp, now)
+            rec = make_record(key, value, version, stamp, now)
             self._data[key] = rec
             self.writes_applied += 1
             return ApplyResult(True, rec)
@@ -157,7 +207,7 @@ class VersionedStore:
             return ApplyResult(False, existing)
 
         if version.dominates(existing.version):
-            rec = Record(key, value, version, stamp, now)
+            rec = make_record(key, value, version, stamp, now)
             self._data[key] = rec
             self.writes_applied += 1
             return ApplyResult(True, rec)
@@ -165,7 +215,7 @@ class VersionedStore:
         winner_value, winner_stamp = self._resolver.resolve(
             existing.value, existing.stamp, value, stamp
         )
-        rec = Record(key, winner_value, existing.version.merge(version), winner_stamp, now)
+        rec = make_record(key, winner_value, existing.version.merge(version), winner_stamp, now)
         self._data[key] = rec
         self.writes_applied += 1
         self.conflicts_resolved += 1

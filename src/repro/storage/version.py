@@ -17,7 +17,113 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Mapping, Tuple
 
-__all__ = ["VersionVector", "ZERO"]
+__all__ = [
+    "VersionVector",
+    "ZERO",
+    "set_interning",
+    "interning_enabled",
+    "intern_stats",
+    "intern_str",
+    "clear_intern_pool",
+]
+
+_EntriesTuple = Tuple[Tuple[str, int], ...]
+
+# Intern pool: canonical entries tuple -> the one shared instance.  The
+# pool is bounded (no eviction — overflow vectors are simply not pooled)
+# so a pathological run cannot grow it without limit, and it can be
+# switched off wholesale for A/B memory measurements (the legacy arm of
+# ``perf --scale``).  Safe because vectors are immutable and compare by
+# value: pooling only collapses identity, never equality or hashing.
+_INTERN_MAX = 8192
+_INTERN_ENABLED = True
+_POOL: Dict[_EntriesTuple, "VersionVector"] = {}
+_STR_POOL: Dict[str, str] = {}
+_HITS = 0
+_MISSES = 0
+
+
+def set_interning(enabled: bool) -> bool:
+    """Toggle vector interning; returns the previous setting."""
+    global _INTERN_ENABLED
+    previous = _INTERN_ENABLED
+    _INTERN_ENABLED = bool(enabled)
+    return previous
+
+
+def interning_enabled() -> bool:
+    return _INTERN_ENABLED
+
+
+def intern_str(s: str) -> str:
+    """``sys.intern`` under the memory-model switch.
+
+    Key and site-name strings are interned at their creation boundaries
+    (workload generator, client API, preload, addresses) so every
+    record, dependency column, and stability entry across all replicas
+    pins one shared object per name. The legacy arm of ``perf --scale``
+    turns this off together with vector interning — per-arm, the switch
+    selects the whole memory model, not just the vector pool.
+
+    An own pool rather than ``sys.intern``: interpreter-interned strings
+    are immortal and their table resizes get charged to whichever caller
+    triggers them, while this pool is bounded (same cap as the vector
+    pool, overflow passes through) and dropped by ``clear_intern_pool``.
+    """
+    if not _INTERN_ENABLED:
+        return s
+    pooled = _STR_POOL.get(s)
+    if pooled is not None:
+        return pooled
+    if len(_STR_POOL) < _INTERN_MAX:
+        _STR_POOL[s] = s
+    return s
+
+
+def intern_stats() -> Dict[str, int]:
+    """Pool gauges: entries live, capacity, lookup hits/misses."""
+    return {
+        "enabled": int(_INTERN_ENABLED),
+        "entries": len(_POOL),
+        "str_entries": len(_STR_POOL),
+        "capacity": _INTERN_MAX,
+        "hits": _HITS,
+        "misses": _MISSES,
+    }
+
+
+def clear_intern_pool() -> None:
+    """Drop every pooled vector and string except the canonical ZERO
+    (test/bench hook)."""
+    global _HITS, _MISSES
+    _POOL.clear()
+    _STR_POOL.clear()
+    _HITS = 0
+    _MISSES = 0
+    if "ZERO" in globals():
+        _POOL[()] = ZERO
+
+
+def _from_entries(entries: _EntriesTuple) -> "VersionVector":
+    """Build (or fetch) a vector from an already-canonical entries tuple."""
+    global _HITS, _MISSES
+    if _INTERN_ENABLED:
+        pooled = _POOL.get(entries)
+        if pooled is not None:
+            _HITS += 1
+            return pooled
+        _MISSES += 1
+    inst = object.__new__(VersionVector)
+    inst._entries = entries
+    inst._stamp = None
+    if _INTERN_ENABLED and len(_POOL) < _INTERN_MAX:
+        _POOL[entries] = inst
+    return inst
+
+
+def _rebuild_vv(entries: _EntriesTuple) -> "VersionVector":
+    """Pickle/copy reconstructor — routes through the intern pool."""
+    return _from_entries(tuple(entries))
 
 
 class VersionVector:
@@ -27,14 +133,29 @@ class VersionVector:
     with different DC sets compare correctly.
     """
 
-    __slots__ = ("_entries",)
+    __slots__ = ("_entries", "_stamp")
 
-    def __init__(self, entries: Mapping[str, int] = ()):
+    _entries: _EntriesTuple
+
+    def __new__(cls, entries: Mapping[str, int] = ()):
         cleaned = {dc: n for dc, n in dict(entries).items() if n != 0}
         for dc, n in cleaned.items():
             if n < 0:
                 raise ValueError(f"negative counter for {dc!r}: {n}")
-        self._entries: Tuple[Tuple[str, int], ...] = tuple(sorted(cleaned.items()))
+        canonical = tuple(sorted(cleaned.items()))
+        if cls is VersionVector:
+            return _from_entries(canonical)
+        inst = object.__new__(cls)
+        inst._entries = canonical
+        inst._stamp = None
+        return inst
+
+    def __reduce__(self):
+        # Without this, unpickling a slotted interned class would call
+        # ``cls.__new__(cls)`` — returning the shared ZERO — and then
+        # write ``_entries`` onto it, corrupting the pooled instance
+        # for every other holder.  Rebuild through the pool instead.
+        return (_rebuild_vv, (self._entries,))
 
     # ------------------------------------------------------------------
     # accessors
@@ -64,7 +185,7 @@ class VersionVector:
     def increment(self, dc: str) -> "VersionVector":
         updated = dict(self._entries)
         updated[dc] = updated.get(dc, 0) + 1
-        return VersionVector(updated)
+        return _from_entries(tuple(sorted(updated.items())))
 
     def merge(self, other: "VersionVector") -> "VersionVector":
         """Pointwise maximum — the least upper bound under causality.
@@ -92,10 +213,22 @@ class VersionVector:
             merged[dc] == n for dc, n in other._entries
         ):
             return other
-        return VersionVector(merged)
+        return _from_entries(tuple(sorted(merged.items())))
 
     @staticmethod
     def join(vectors: Iterable["VersionVector"]) -> "VersionVector":
+        """Least upper bound of many vectors.
+
+        Sized 0- and 1-element inputs allocate nothing: the empty join
+        is the canonical ``ZERO`` and a singleton join *is* its operand
+        (``merge`` already returns operands verbatim, so this matches
+        the loop result bit-for-bit — only the iteration is skipped).
+        """
+        if isinstance(vectors, (tuple, list)):
+            if not vectors:
+                return ZERO
+            if len(vectors) == 1:
+                return vectors[0]
         out = ZERO
         for vv in vectors:
             out = out.merge(vv)
@@ -122,8 +255,19 @@ class VersionVector:
         sorting by ``(total, entries)`` never inverts a causal pair; the
         lexicographic entry tuple breaks ties among concurrent vectors
         identically at every replica — this is the LWW arbitration rule.
+
+        Interned vectors memoize the key: every replica storing a record
+        of the same version then pins the *same* stamp tuple instead of
+        one per record. Unpooled vectors (interning off, or pool
+        overflow) recompute it, matching the pre-interning layout.
         """
-        return (self.total(), self._entries)
+        cached = self._stamp
+        if cached is not None:
+            return cached
+        key = (self.total(), self._entries)
+        if _INTERN_ENABLED:
+            self._stamp = key
+        return key
 
     # ------------------------------------------------------------------
     # plumbing

@@ -170,6 +170,7 @@ class WorkloadRunner:
         record_history: bool = True,
         preload_value: str = "initial",
         driver_factory: Optional[Any] = None,
+        reservoir_capacity: int = 50_000,
     ):
         self.store = store
         self.spec = spec
@@ -179,6 +180,9 @@ class WorkloadRunner:
         self.drain = drain
         self.record_history = record_history
         self.preload_value = preload_value
+        #: latency/metadata reservoir size; memory-sensitive harnesses
+        #: (the scale bench) shrink it so samples don't drown the store
+        self.reservoir_capacity = reservoir_capacity
         #: constructs one driver per client (keyword args of SessionDriver);
         #: the fault-campaign engine swaps in its accounting driver here
         self.driver_factory = driver_factory or SessionDriver
@@ -194,12 +198,12 @@ class WorkloadRunner:
             duration=self.duration,
             ops_completed=0,
             throughput=0.0,
-            get_latency=LatencyReservoir(seed=2),
-            put_latency=LatencyReservoir(seed=3),
+            get_latency=LatencyReservoir(self.reservoir_capacity, seed=2),
+            put_latency=LatencyReservoir(self.reservoir_capacity, seed=3),
             timeline=ThroughputTimeline(bucket_width=0.1),
             history=History(),
             errors=0,
-            metadata_bytes=LatencyReservoir(seed=4),
+            metadata_bytes=LatencyReservoir(self.reservoir_capacity, seed=4),
             store=self.store,
         )
 

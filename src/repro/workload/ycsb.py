@@ -21,6 +21,7 @@ import random
 from typing import Dict
 
 from repro.errors import ConfigError
+from repro.storage.version import intern_str
 from repro.workload.distributions import (
     KeyChooser,
     LatestKeys,
@@ -67,7 +68,10 @@ class WorkloadSpec:
             raise ConfigError("value_size must be >= 1")
 
     def key(self, index: int) -> str:
-        return f"{self.key_prefix}{index:08d}"
+        # Interned: every op used to build a fresh key string, and those
+        # strings end up retained in records, dep tables, and stability
+        # trackers on every replica — one shared object per key instead.
+        return intern_str(f"{self.key_prefix}{index:08d}")
 
     def make_chooser(self, n: int) -> KeyChooser:
         return _DISTRIBUTIONS[self.distribution](n)

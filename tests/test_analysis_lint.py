@@ -17,6 +17,7 @@ from repro.analysis.lint import (
 from repro.analysis.typing_gate import check_annotations
 
 SIM_PATH = "src/repro/sim/fixture.py"  # path inside an event-ordering dir
+STORAGE_PATH = "src/repro/storage/fixture.py"  # event-ordering AND slots dir
 
 
 def rules_of(violations):
@@ -211,6 +212,7 @@ class TestSetIteration:
         # still catch it.
         src = (
             "class A:\n"
+            "    __slots__ = ('_timers',)\n\n"
             "    def drain(self) -> None:\n"
             "        for t in self._timers:\n"
             "            t.cancel()\n\n"
@@ -230,6 +232,83 @@ class TestSetIteration:
         assert lint_source(src, "src/repro/metrics/fixture.py") == []
         # Paths outside the repro tree (e.g. test fixtures) keep all rules.
         assert rules_of(lint_source(src, "fixture.py")) == ["set-iteration"]
+
+
+class TestSlots:
+    SRC = (
+        "class Hot:\n"
+        "    def __init__(self, key):\n"
+        "        self.key = key\n"
+        "        self.count = 0\n"
+    )
+
+    def test_instance_attrs_without_slots_flagged(self):
+        violations = lint_source(self.SRC, STORAGE_PATH)
+        assert rules_of(violations) == ["slots"]
+        # Anchored to the class statement so a class-line pragma works.
+        assert violations[0].line == 1
+        assert "Hot" in violations[0].message
+
+    def test_slotted_class_clean(self):
+        src = (
+            "class Hot:\n"
+            "    __slots__ = ('key', 'count')\n\n"
+            "    def __init__(self, key):\n"
+            "        self.key = key\n"
+            "        self.count = 0\n"
+        )
+        assert lint_source(src, STORAGE_PATH) == []
+
+    def test_annotated_slots_declaration_counts(self):
+        src = (
+            "class Hot:\n"
+            "    __slots__: tuple = ('key',)\n\n"
+            "    def __init__(self, key):\n"
+            "        self.key = key\n"
+        )
+        assert lint_source(src, STORAGE_PATH) == []
+
+    def test_augmented_assignment_counts_as_instance_attr(self):
+        src = (
+            "class Hot:\n"
+            "    def bump(self):\n"
+            "        self.count += 1\n"
+        )
+        assert rules_of(lint_source(src, STORAGE_PATH)) == ["slots"]
+
+    def test_class_without_instance_attrs_clean(self):
+        src = (
+            "class Stateless:\n"
+            "    def compute(self, x):\n"
+            "        return x + 1\n"
+        )
+        assert lint_source(src, STORAGE_PATH) == []
+
+    def test_dataclass_exempt(self):
+        src = (
+            "import dataclasses\n\n"
+            "@dataclasses.dataclass\n"
+            "class Record:\n"
+            "    key: str = ''\n\n"
+            "    def clear(self):\n"
+            "        self.key = ''\n"
+        )
+        assert lint_source(src, STORAGE_PATH) == []
+
+    def test_rule_scoped_to_hot_path_dirs(self):
+        # metrics/ classes are built a handful of times per run; their
+        # __dict__ cost is irrelevant.
+        assert lint_source(self.SRC, "src/repro/metrics/fixture.py") == []
+        # Top-level repro modules (cli, errors, api) are out of scope too.
+        assert lint_source(self.SRC, "src/repro/errors.py") == []
+
+    def test_class_line_pragma_suppresses(self):
+        src = (
+            "class Hot:  # repro: lint-ok(slots) — monkeypatched per instance\n"
+            "    def __init__(self, key):\n"
+            "        self.key = key\n"
+        )
+        assert lint_source(src, STORAGE_PATH) == []
 
 
 class TestPragmas:
