@@ -22,7 +22,11 @@ What it does:
    exceeds 110% of the figure committed in BENCH_PR5.json, scaled to
    the smoke profile via the in-run legacy arm — or if the layout ever
    costs more memory than the legacy one;
-6. rewrites the BENCH JSON with the fresh numbers on success.
+6. runs the shrunk sharded scale tier at workers 1 and 2 and fails if
+   the trace digests differ (the engine's determinism contract,
+   enforced on any host) or — on hosts scheduling >= 2 CPUs — if the
+   workers=2 wall rate is below 1.25x the workers=1 rate;
+7. rewrites the BENCH JSON with the fresh numbers on success.
 
 CHANGES.md convention: a PR that moves any number here by >10% should
 say so in its CHANGES.md line and ship the regenerated BENCH file.
@@ -63,6 +67,20 @@ SCALE_SMOKE = {
     "rate_repeats": 1,
 }
 
+#: Fail when the workers=2 wall rate falls below this multiple of the
+#: workers=1 rate — enforced only on hosts that schedule >= 2 CPUs.
+PARALLEL_SPEEDUP_FLOOR = 1.25
+
+#: Shrunk sharded scale tier (``perf --scale --workers``) for the
+#: determinism + speedup smoke gate.
+PARALLEL_SMOKE = {
+    "record_count": 2_000,
+    "n_clients": 32,
+    "duration": 0.2,
+    "warmup": 0.05,
+    "drain": 0.2,
+}
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -76,6 +94,10 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--skip-scale", action="store_true",
         help="skip the memory-model bytes/key gate",
+    )
+    parser.add_argument(
+        "--skip-parallel", action="store_true",
+        help="skip the sharded-engine determinism + speedup gate",
     )
     parser.add_argument(
         "--bench-pr5", default="BENCH_PR5.json", metavar="PATH",
@@ -176,6 +198,38 @@ def main(argv=None) -> int:
                         f"{BYTES_PER_KEY_CEILING:.0%} of the committed "
                         f"{committed_ratio:.0%} ({args.bench_pr5})"
                     )
+
+    if not args.skip_parallel:
+        from repro.perf import bench_parallel_scale
+
+        parallel = bench_parallel_scale(
+            workers_list=(1, 2), overrides=dict(PARALLEL_SMOKE)
+        )
+        runs = {run["workers_requested"]: run for run in parallel["runs"]}
+        speedup = runs[2]["speedup_vs_first"]
+        cpus = parallel["sched_cpus"] or parallel["host_cpus"] or 1
+        print(
+            f"  sharded ops/wall-s 1w / 2w         "
+            f"{runs[1]['ops_per_wall_sec']:,.0f} / "
+            f"{runs[2]['ops_per_wall_sec']:,.0f} ({speedup:.2f}x, {cpus} cpu(s))"
+        )
+        print(
+            f"  sharded trace digests match        {parallel['digests_match']}"
+        )
+        if not parallel["digests_match"]:
+            failures.append(
+                "sharded engine trace digests differ between workers=1 and "
+                "workers=2 — determinism contract broken"
+            )
+        if cpus >= 2 and speedup < PARALLEL_SPEEDUP_FLOOR:
+            failures.append(
+                f"workers=2 wall rate is {speedup:.2f}x workers=1 "
+                f"(floor {PARALLEL_SPEEDUP_FLOOR}x on a {cpus}-cpu host)"
+            )
+        elif cpus < 2:
+            print(
+                "  (speedup floor not enforced: host schedules a single cpu)"
+            )
 
     if failures:
         for failure in failures:

@@ -32,6 +32,14 @@ failure mode in a discrete-event reproduction:
   simulation scale those dicts dominate the heap. Classes that need a
   ``__dict__`` (dataclasses are exempt automatically; per-instance
   monkeypatch targets carry a pragma) opt out explicitly.
+- ``module-mutable-state`` — a module-level mutable container in
+  ``sim``/``net``/``storage`` is per-*process* state: under the sharded
+  engine (:mod:`repro.sim.shard`) each worker imports its own copy, so
+  anything accumulated there silently diverges between workers and
+  between worker counts. Caches that are *correct* per-process (intern
+  pools, freelists, size memos — rebuilt identically from the same
+  inputs) carry a pragma saying so; anything else must live on an
+  instance that a single shard owns.
 
 Suppression: append ``# repro: lint-ok(<rule>[, <rule>...])`` to the
 offending line, or put ``# repro: lint-ok-file(<rule>)`` in the first
@@ -52,6 +60,7 @@ __all__ = [
     "ALL_RULES",
     "DEFAULT_WALL_CLOCK_EXEMPT",
     "EVENT_ORDERING_DIRS",
+    "MODULE_STATE_DIRS",
     "SLOTS_DIRS",
     "LintConfig",
     "LintViolation",
@@ -73,6 +82,7 @@ RULE_FROZEN_MESSAGE = "frozen-message"
 RULE_NO_MUTABLE_DEFAULT = "no-mutable-default"
 RULE_SET_ITERATION = "set-iteration"
 RULE_SLOTS = "slots"
+RULE_MODULE_STATE = "module-mutable-state"
 
 ALL_RULES: Tuple[str, ...] = (
     RULE_NO_WALL_CLOCK,
@@ -83,6 +93,7 @@ ALL_RULES: Tuple[str, ...] = (
     RULE_NO_MUTABLE_DEFAULT,
     RULE_SET_ITERATION,
     RULE_SLOTS,
+    RULE_MODULE_STATE,
 )
 
 #: Files (paths relative to ``src/repro``) allowed to read the wall
@@ -94,6 +105,7 @@ DEFAULT_WALL_CLOCK_EXEMPT: Tuple[str, ...] = (
     "perf/legacy.py",
     "perf/protocol.py",
     "perf/scale.py",
+    "perf/parallel.py",
 )
 
 #: Directories (relative to ``src/repro``) whose code runs inside the
@@ -116,6 +128,27 @@ SLOTS_DIRS: Tuple[str, ...] = (
     "storage",
     "core",
 )
+
+#: Directories (relative to ``src/repro``) whose modules are imported
+#: independently by every shard worker process: module-level mutable
+#: containers there are per-process state that diverges across workers.
+MODULE_STATE_DIRS: Tuple[str, ...] = (
+    "sim",
+    "net",
+    "storage",
+)
+
+#: Constructors whose call produces a mutable container.
+_MUTABLE_CONSTRUCTORS: Set[str] = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "defaultdict",
+    "deque",
+    "Counter",
+    "OrderedDict",
+}
 
 #: Wall-clock functions per module.
 _WALL_CLOCK_FUNCS: Dict[str, Set[str]] = {
@@ -185,13 +218,16 @@ class LintConfig:
     matched against the linted file; ``event_ordering_dirs`` scopes the
     ``set-iteration`` rule to code that runs inside the event loop;
     ``slots_dirs`` scopes the ``slots`` rule to the hot-path packages
-    whose instances exist in per-key / per-event quantities.
+    whose instances exist in per-key / per-event quantities;
+    ``module_state_dirs`` scopes the ``module-mutable-state`` rule to
+    the packages every shard worker imports independently.
     """
 
     rules: Tuple[str, ...] = ALL_RULES
     wall_clock_exempt: Tuple[str, ...] = DEFAULT_WALL_CLOCK_EXEMPT
     event_ordering_dirs: Tuple[str, ...] = EVENT_ORDERING_DIRS
     slots_dirs: Tuple[str, ...] = SLOTS_DIRS
+    module_state_dirs: Tuple[str, ...] = MODULE_STATE_DIRS
 
     def rules_for(self, path: Path) -> Set[str]:
         """The subset of rules that applies to ``path``."""
@@ -211,6 +247,11 @@ class LintConfig:
             top = rel.split("/", 1)[0]
             if "/" not in rel or top not in self.slots_dirs:
                 active.discard(RULE_SLOTS)
+        if RULE_MODULE_STATE in active and "/repro/" in posix:
+            rel = posix.split("/repro/", 1)[1]
+            top = rel.split("/", 1)[0]
+            if "/" not in rel or top not in self.module_state_dirs:
+                active.discard(RULE_MODULE_STATE)
         return active
 
 
@@ -653,6 +694,85 @@ class _Linter(ast.NodeVisitor):
                 "event-ordering code; iterate sorted(...) or an ordered container",
             )
 
+    # -- module-level mutable state ---------------------------------------
+    def check_module_state(self, tree: ast.Module) -> None:
+        """Flag top-level bindings of mutable containers.
+
+        Walks module-scope statements only (descending through ``if`` /
+        ``try`` / ``with`` blocks but never into function or class
+        bodies): the rule is about state shared by *everything in the
+        process*, which under the sharded engine means state that
+        diverges between worker processes.
+        """
+        if RULE_MODULE_STATE not in self.active:
+            return
+        self._walk_module_scope(tree.body)
+
+    def _walk_module_scope(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            pairs: List[Tuple[ast.expr, ast.expr]] = []
+            if isinstance(stmt, ast.Assign):
+                pairs = [(target, stmt.value) for target in stmt.targets]
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                pairs = [(stmt.target, stmt.value)]
+            for target, value in pairs:
+                self._check_module_state_binding(stmt, target, value)
+            # Descend through module-level control flow — a pool built
+            # inside ``try: ... except ImportError`` is still module state.
+            for attr in ("body", "orelse", "finalbody", "handlers"):
+                blocks = getattr(stmt, attr, None)
+                if not blocks:
+                    continue
+                if attr == "handlers":
+                    for handler in blocks:
+                        self._walk_module_scope(handler.body)
+                else:
+                    self._walk_module_scope(blocks)
+
+    def _check_module_state_binding(
+        self, stmt: ast.stmt, target: ast.expr, value: ast.expr
+    ) -> None:
+        if not isinstance(target, ast.Name):
+            return
+        name = target.id
+        if name.startswith("__") and name.endswith("__"):
+            # Dunders (__all__ et al.) are interpreter/module conventions,
+            # not shared protocol state.
+            return
+        if not self._is_mutable_container_expr(value):
+            return
+        self._add(
+            stmt,
+            RULE_MODULE_STATE,
+            f"module-level mutable container {name!r}: each shard worker "
+            "process gets its own copy, so contents silently diverge across "
+            "workers; move it onto a shard-owned instance, or add a "
+            "'# repro: lint-ok(module-mutable-state)' pragma if it is a "
+            "per-process cache rebuilt identically from the same inputs",
+        )
+
+    def _is_mutable_container_expr(self, value: ast.expr) -> bool:
+        if isinstance(
+            value,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+        ):
+            return True
+        if isinstance(value, ast.Call):
+            func = value.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else None
+            )
+            return name in _MUTABLE_CONSTRUCTORS
+        return False
+
 
 # ----------------------------------------------------------------------
 # pragma handling + entry points
@@ -736,6 +856,7 @@ def lint_source(
     set_names, set_attrs = _collect_set_bindings(tree)
     linter = _Linter(path, active - whole_file, set_names, set_attrs)
     linter.visit(tree)
+    linter.check_module_state(tree)
     seen: Set[LintViolation] = set()
     out: List[LintViolation] = []
     for violation in sorted(

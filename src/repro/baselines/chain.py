@@ -16,7 +16,7 @@ dependency: the protocol machinery reduces exactly to chain replication.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.core.config import ChainReactionConfig
 from repro.core.datastore import ChainReactionStore
@@ -45,5 +45,11 @@ class ChainReplicationStore(ChainReactionStore):
         config: Optional[ChainReactionConfig] = None,
         sim: Optional[Simulator] = None,
         network: Optional[Network] = None,
+        local_sites: Optional[Sequence[str]] = None,
     ) -> None:
-        super().__init__(chain_replication_config(config), sim=sim, network=network)
+        super().__init__(
+            chain_replication_config(config),
+            sim=sim,
+            network=network,
+            local_sites=local_sites,
+        )

@@ -38,12 +38,16 @@ def build_store(
     write_quorum: Optional[int] = None,
     read_quorum: Optional[int] = None,
     overrides: Optional[Dict[str, object]] = None,
+    local_sites: Optional[Tuple[str, ...]] = None,
 ) -> Datastore:
     """Instantiate a deployment of ``protocol`` with shared sizing.
 
     ``overrides`` passes through protocol-specific config fields (e.g.
     ``allow_prefix_reads`` for the ChainReaction ablations) and is
-    applied last.
+    applied last. ``local_sites`` builds only a shard of the deployment
+    (the parallel engine's per-worker view); only the chain-family
+    protocols shard — their cross-site traffic flows exclusively
+    between geo-proxies, which is the boundary the engine traps.
     """
     overrides = dict(overrides or {})
     if protocol in ("chainreaction", "chain"):
@@ -59,8 +63,13 @@ def build_store(
         if overrides:
             config = config.with_updates(**overrides)
         if protocol == "chain":
-            return ChainReplicationStore(config)
-        return ChainReactionStore(config)
+            return ChainReplicationStore(config, local_sites=local_sites)
+        return ChainReactionStore(config, local_sites=local_sites)
+    if local_sites is not None:
+        raise ConfigError(
+            f"protocol {protocol!r} does not support sharded builds "
+            "(local_sites); only chainreaction/chain do"
+        )
 
     config = BaselineConfig(
         sites=tuple(sites),

@@ -54,6 +54,26 @@ def _map_points(
         return None
 
 
+def _run_points(
+    fn: Callable[[Tuple], Any],
+    points: Sequence[Tuple],
+    parallel: bool,
+    max_workers: Optional[int],
+) -> List[Any]:
+    """Evaluate every point, in order — the one result-assembly path.
+
+    ``parallel=True`` tries the process pool first (honouring the
+    caller's ``max_workers``, plumbed down from the CLI); pool failure
+    or a single point falls back to the serial loop. Rows are identical
+    either way, so callers never branch on the mode again.
+    """
+    if parallel and len(points) > 1:
+        rows = _map_points(fn, points, max_workers)
+        if rows is not None:
+            return rows
+    return [fn(point) for point in points]
+
+
 def run_ycsb(
     protocol: str,
     workload_name: str,
@@ -120,11 +140,7 @@ def throughput_sweep(
         for protocol in protocols
         for n_clients in (client_counts or scale.client_counts)
     ]
-    if parallel and len(points) > 1:
-        rows = _map_points(_sweep_point, points, max_workers)
-        if rows is not None:
-            return rows
-    return [_sweep_point(point) for point in points]
+    return _run_points(_sweep_point, points, parallel, max_workers)
 
 
 def _latency_point(point: Tuple) -> Tuple[str, RunResult]:
@@ -151,15 +167,8 @@ def latency_run(
     process boundary); latency/throughput/history fields are identical
     to a serial run.
     """
-    if parallel and len(protocols) > 1:
-        points = [(protocol, workload_name, scale, tuple(sites)) for protocol in protocols]
-        results = _map_points(_latency_point, points, max_workers)
-        if results is not None:
-            return dict(results)
-    return {
-        protocol: run_ycsb(protocol, workload_name, scale.latency_clients, scale, sites=sites)
-        for protocol in protocols
-    }
+    points = [(protocol, workload_name, scale, tuple(sites)) for protocol in protocols]
+    return dict(_run_points(_latency_point, points, parallel, max_workers))
 
 
 def _consistency_point(point: Tuple) -> Dict[str, object]:
@@ -206,8 +215,4 @@ def consistency_table(
     eventual-flavoured configurations the paper argues against.
     """
     points = [(protocol, scale, tuple(sites)) for protocol in protocols]
-    if parallel and len(points) > 1:
-        rows = _map_points(_consistency_point, points, max_workers)
-        if rows is not None:
-            return rows
-    return [_consistency_point(point) for point in points]
+    return _run_points(_consistency_point, points, parallel, max_workers)

@@ -151,6 +151,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="also time an E1-style sweep serial vs parallel (slower)",
     )
     perf.add_argument(
+        "--sweep-workers", type=int, default=None, metavar="N",
+        help="process-pool size for the --sweep parallel arm (default: one per point, capped at cpu count)",
+    )
+    perf.add_argument(
         "--profile", action="store_true",
         help="print the hottest functions of the end-to-end run (cProfile)",
     )
@@ -161,6 +165,27 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument(
         "--scale", action="store_true",
         help="run the large-keyspace memory benchmark instead (current vs legacy layout)",
+    )
+    perf.add_argument(
+        "--workers", nargs="+", type=int, default=None, metavar="N",
+        help="with --scale: run the sharded parallel tier (one shard per DC) "
+        "at each worker count; the first count is the digest/speedup baseline",
+    )
+    perf.add_argument(
+        "--scale-records", type=int, default=None, metavar="KEYS",
+        help="override the parallel tier's preloaded keyspace size",
+    )
+    perf.add_argument(
+        "--scale-clients", type=int, default=None, metavar="N",
+        help="override the parallel tier's closed-loop client count",
+    )
+    perf.add_argument(
+        "--scale-duration", type=float, default=None, metavar="SECONDS",
+        help="override the parallel tier's measured virtual duration",
+    )
+    perf.add_argument(
+        "--scale-sites", nargs="+", default=None, metavar="SITE",
+        help="override the parallel tier's datacenter list (one shard each)",
     )
 
     faults = sub.add_parser(
@@ -388,10 +413,64 @@ def _cmd_consistency(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_perf_parallel(args: argparse.Namespace, out) -> int:
+    from repro.perf import bench_parallel_scale, write_report
+
+    overrides = {}
+    if args.scale_records is not None:
+        overrides["record_count"] = args.scale_records
+    if args.scale_clients is not None:
+        overrides["n_clients"] = args.scale_clients
+    if args.scale_duration is not None:
+        overrides["duration"] = args.scale_duration
+    if args.scale_sites is not None:
+        overrides["sites"] = tuple(args.scale_sites)
+    print(
+        f"running sharded scale tier at workers={args.workers} "
+        "(one shard per DC, conservative lookahead) ...",
+        file=out,
+    )
+    report = bench_parallel_scale(workers_list=args.workers, overrides=overrides)
+    rows = [
+        ("shards (DCs)", str(report["shards"])),
+        ("lookahead", f"{report['lookahead_s'] * 1000:.2f} ms"),
+        ("host cpus", str(report["host_cpus"])),
+        ("trace digests match", str(report["digests_match"])),
+        ("trace digest", report["trace_digest"][:16] + "…"),
+    ]
+    for run in report["runs"]:
+        w = run["workers_used"]
+        rows.append(
+            (
+                f"workers={w}",
+                f"{run['ops_per_wall_sec']:,.0f} ops/wall-s "
+                f"({run['wall_seconds']:.1f}s wall, "
+                f"{run['speedup_vs_first']:.2f}x, {run['rounds']} rounds)",
+            )
+        )
+    report_path = args.out or "BENCH_PR6.json"
+    write_report(report, report_path)
+    text = "\n\n".join(
+        [
+            render_table(["metric", "value"], rows, title="perf --scale --workers"),
+            f"report written to {report_path}",
+        ]
+    )
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True, default=str), file=out)
+    else:
+        print(text, file=out)
+    # Digest equality is the engine's contract; make its violation a
+    # non-zero exit so CI trips without parsing the report.
+    return 0 if report["digests_match"] else 1
+
+
 def _cmd_perf_scale(args: argparse.Namespace, out) -> int:
     from repro.perf import write_report
     from repro.perf.scale import bench_scale
 
+    if args.workers:
+        return _cmd_perf_parallel(args, out)
     print("running large-keyspace memory benchmark (two arms, traced + untraced) ...", file=out)
     report = bench_scale()
     opt, leg = report["optimized"], report["legacy"]
@@ -443,6 +522,7 @@ def _cmd_perf(args: argparse.Namespace, out) -> int:
         include_end_to_end=not args.skip_e2e,
         include_sweep=args.sweep,
         include_protocol=args.protocol,
+        sweep_max_workers=args.sweep_workers,
     )
     kernel = report["event_kernel"]
     sections = [

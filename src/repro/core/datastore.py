@@ -9,7 +9,7 @@ benchmarks run against.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
 from repro.api import (
     CAP_DEGRADED_READS,
@@ -56,8 +56,21 @@ class ChainReactionStore(Datastore):  # repro: lint-ok(slots) — one per deploy
         sim: Optional[Simulator] = None,
         network: Optional[Network] = None,
         resolver: Optional[ConflictResolver] = None,
+        local_sites: Optional[Sequence[str]] = None,
     ) -> None:
         self.config = config or ChainReactionConfig()
+        # A shard of a parallel run builds actors only for the sites it
+        # owns; config.sites keeps the full topology so geo-proxies
+        # still know their (remote) peers. Default: own everything.
+        if local_sites is None:
+            self.local_sites = tuple(self.config.sites)
+        else:
+            unknown = [s for s in local_sites if s not in self.config.sites]
+            if unknown:
+                raise ConfigError(
+                    f"local_sites {unknown} not in topology {self.config.sites}"
+                )
+            self.local_sites = tuple(local_sites)
         caps = {CAP_SNAPSHOT_READS, CAP_STABILITY, CAP_TRACING}
         if self.config.degraded_reads:
             caps.add(CAP_DEGRADED_READS)
@@ -79,7 +92,7 @@ class ChainReactionStore(Datastore):  # repro: lint-ok(slots) — one per deploy
         self._session_seq = 0
         self._resolver = resolver
 
-        for site in self.config.sites:
+        for site in self.local_sites:
             server_names = [f"s{i}" for i in range(self.config.servers_per_site)]
             manager = ClusterManager(
                 self.sim,

@@ -1,7 +1,12 @@
 """Measurement utilities: latency reservoirs, throughput timelines, rendering."""
 
 from repro.metrics.memory import TracedPeak, census_totals, memory_census, traced_call
-from repro.metrics.protocol import batching_stats, coalescer_stats, metadata_footprint
+from repro.metrics.protocol import (
+    batching_stats,
+    coalescer_stats,
+    link_floor_profile,
+    metadata_footprint,
+)
 from repro.metrics.reservoir import LatencyReservoir
 from repro.metrics.series import ThroughputTimeline
 from repro.metrics.summary import format_number, render_series, render_table
@@ -14,6 +19,7 @@ __all__ = [
     "format_number",
     "batching_stats",
     "coalescer_stats",
+    "link_floor_profile",
     "metadata_footprint",
     "TracedPeak",
     "traced_call",

@@ -26,6 +26,7 @@ __all__ = [
     "SHIPPING_MESSAGE_TYPES",
     "coalescer_stats",
     "batching_stats",
+    "link_floor_profile",
     "metadata_footprint",
 ]
 
@@ -64,6 +65,30 @@ def batching_stats(nodes: Iterable[Any], proxies: Iterable[Any]) -> Dict[str, An
         "stability": coalescer_stats(n._stable_coalescer for n in nodes),
         "shipping": coalescer_stats(p._update_coalescer for p in proxy_list),
         "global": coalescer_stats(p._global_coalescer for p in proxy_list),
+    }
+
+
+def link_floor_profile(network: Any) -> Dict[str, float]:
+    """Latency floors of a deployment's links, in seconds.
+
+    ``LatencyModel.min_latency()`` bounds every future sample of a model
+    from below; the smallest *cross-site* floor is exactly the
+    conservative lookahead the sharded engine (:mod:`repro.sim.shard`)
+    runs under, so a report carrying protocol counters can also record
+    the horizon those numbers were obtained with. Link overrides
+    (``Network.set_link``) participate: an experiment that tightens one
+    WAN link tightens the reported lookahead too.
+    """
+    lan_floor = network._lan.min_latency()
+    wan_floor = network._wan.min_latency()
+    cross_floors = [wan_floor]
+    for sites, model in network._site_links.items():
+        if len(sites) == 2:
+            cross_floors.append(model.min_latency())
+    return {
+        "lan_floor_s": lan_floor,
+        "wan_floor_s": wan_floor,
+        "cross_site_lookahead_s": min(cross_floors),
     }
 
 

@@ -1,11 +1,14 @@
 """Simulated network substrate: messages, latency models, fabric, actors."""
 
 from repro.net.actor import Actor, RpcRequest, RpcResponse
+from repro.net.boundary import Envelope, ShardBoundary
 from repro.net.latency import (
+    WAN_LATENCY_FLOOR,
     FixedLatency,
     LatencyModel,
     LogNormalLatency,
     NormalLatency,
+    ScaledLatency,
     UniformLatency,
     lan_latency,
     wan_latency,
@@ -27,6 +30,10 @@ __all__ = [
     "UniformLatency",
     "NormalLatency",
     "LogNormalLatency",
+    "ScaledLatency",
+    "WAN_LATENCY_FLOOR",
     "lan_latency",
     "wan_latency",
+    "Envelope",
+    "ShardBoundary",
 ]

@@ -23,7 +23,16 @@ __all__ = [
     "ScaledLatency",
     "lan_latency",
     "wan_latency",
+    "WAN_LATENCY_FLOOR",
 ]
+
+#: How many sigmas below the median a log-normal sample may fall before
+#: it is clamped. At 8 sigmas the clamp triggers with probability
+#: ~6e-16 per draw — unobservable in any run this repository performs —
+#: but it gives the distribution a hard floor, which the parallel
+#: engine needs: conservative lookahead is only sound if ``sample()``
+#: can never undercut ``min_latency()``.
+_LOGNORMAL_FLOOR_SIGMAS = 8.0
 
 
 class LatencyModel:
@@ -35,6 +44,18 @@ class LatencyModel:
     def mean(self) -> float:
         """Expected delay; used for sanity checks and documentation."""
         raise NotImplementedError
+
+    def min_latency(self) -> float:
+        """Hard lower bound on ``sample()``: no draw is ever below this.
+
+        The conservative parallel engine uses the smallest cross-site
+        ``min_latency()`` as its lookahead — a message sent now cannot
+        arrive at another shard sooner than this, so each shard may
+        safely simulate that far past the horizon its peers promised.
+        Models without a sharper bound inherit the trivial ``0.0``
+        (which disables sharding rather than corrupting it).
+        """
+        return 0.0
 
 
 class FixedLatency(LatencyModel):
@@ -49,6 +70,9 @@ class FixedLatency(LatencyModel):
         return self.delay
 
     def mean(self) -> float:
+        return self.delay
+
+    def min_latency(self) -> float:
         return self.delay
 
     def __repr__(self) -> str:
@@ -70,6 +94,9 @@ class UniformLatency(LatencyModel):
     def mean(self) -> float:
         return (self.low + self.high) / 2.0
 
+    def min_latency(self) -> float:
+        return self.low
+
     def __repr__(self) -> str:
         return f"UniformLatency({self.low}, {self.high})"
 
@@ -90,6 +117,9 @@ class NormalLatency(LatencyModel):
     def mean(self) -> float:
         return self.mu
 
+    def min_latency(self) -> float:
+        return self.floor
+
     def __repr__(self) -> str:
         return f"NormalLatency(mu={self.mu}, sigma={self.sigma})"
 
@@ -107,12 +137,19 @@ class LogNormalLatency(LatencyModel):
         self.median = median
         self.sigma = sigma
         self._mu = math.log(median)
+        # A log-normal has no mathematical floor; clamp the far left tail
+        # (P ~ 6e-16 per draw) so min_latency() is a true bound.
+        self._floor = median * math.exp(-_LOGNORMAL_FLOOR_SIGMAS * sigma)
 
     def sample(self, rng: random.Random) -> float:
-        return rng.lognormvariate(self._mu, self.sigma)
+        draw = rng.lognormvariate(self._mu, self.sigma)
+        return draw if draw >= self._floor else self._floor
 
     def mean(self) -> float:
         return math.exp(self._mu + self.sigma**2 / 2.0)
+
+    def min_latency(self) -> float:
+        return self._floor
 
     def __repr__(self) -> str:
         return f"LogNormalLatency(median={self.median}, sigma={self.sigma})"
@@ -139,6 +176,9 @@ class ScaledLatency(LatencyModel):
     def mean(self) -> float:
         return self.base.mean() * self.factor
 
+    def min_latency(self) -> float:
+        return self.base.min_latency() * self.factor
+
     def __repr__(self) -> str:
         return f"ScaledLatency({self.base!r}, x{self.factor})"
 
@@ -151,3 +191,9 @@ def lan_latency(median: float = 0.0003) -> LatencyModel:
 def wan_latency(median: float = 0.040) -> LatencyModel:
     """Default inter-datacenter link: ~40 ms median, heavier tail."""
     return LogNormalLatency(median=median, sigma=0.1)
+
+
+#: ``wan_latency().min_latency()`` as a constant (~18 ms): the default
+#: conservative lookahead for per-DC sharding, and the WAN delay floor
+#: quoted by the protocol-plane metrics report.
+WAN_LATENCY_FLOOR = 0.040 * math.exp(-_LOGNORMAL_FLOOR_SIGMAS * 0.1)

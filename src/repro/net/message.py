@@ -19,7 +19,7 @@ __all__ = ["Message", "estimate_size", "WIRE_HEADER_BYTES"]
 #: and length prefix — roughly what a compact binary framing would use.
 WIRE_HEADER_BYTES = 24
 
-_SCALAR_SIZES = {
+_SCALAR_SIZES = {  # repro: lint-ok(module-mutable-state) — constant lookup table, never mutated
     bool: 1,
     int: 8,
     float: 8,
@@ -29,7 +29,7 @@ _SCALAR_SIZES = {
 #: Per-class cache of dataclass field names; ``dataclasses.fields()``
 #: rebuilds a tuple of Field objects on every call, which shows up hot
 #: when every message hop is sized. Keyed by class, filled lazily.
-_FIELD_NAMES: Dict[type, Tuple[str, ...]] = {}
+_FIELD_NAMES: Dict[type, Tuple[str, ...]] = {}  # repro: lint-ok(module-mutable-state) — per-process memo rebuilt identically from class definitions
 
 
 def _field_names(cls: type) -> Tuple[str, ...]:

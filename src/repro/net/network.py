@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import dataclasses
 from collections import defaultdict
-from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple, Union
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
 from repro.errors import AddressUnknownError, NetworkError
 from repro.net.latency import LatencyModel, lan_latency, wan_latency
@@ -86,6 +86,19 @@ class NetworkStats:
             self.cross_site_messages += 1
             self.cross_site_bytes += size
 
+    def merge_from(self, other: "NetworkStats") -> None:
+        """Accumulate another fabric's counters (the parallel engine
+        merges one ``NetworkStats`` per shard, in site order)."""
+        self.messages_sent += other.messages_sent
+        self.bytes_sent += other.bytes_sent
+        self.messages_dropped += other.messages_dropped
+        for name, n in other.by_type.items():
+            self.by_type[name] += n
+        for name, n in other.bytes_by_type.items():
+            self.bytes_by_type[name] += n
+        self.cross_site_messages += other.cross_site_messages
+        self.cross_site_bytes += other.cross_site_bytes
+
     def count_of(self, *type_names: str) -> int:
         """Messages sent whose type is any of ``type_names``.
 
@@ -124,6 +137,10 @@ class Network:
         #: on a warm link skip the frozenset build in latency_model().
         self._link_cache: Dict[Tuple[Address, Address], Tuple[LatencyModel, bool]] = {}
         self._sends_since_sweep = 0
+        #: cross-shard trap (see repro.net.boundary); None on unsharded
+        #: deployments, so the common case costs one attribute load on
+        #: the unknown-address branch only.
+        self._boundary = None
         self.stats = NetworkStats()
 
     # ------------------------------------------------------------------
@@ -152,6 +169,11 @@ class Network:
     # ------------------------------------------------------------------
     # registration
     # ------------------------------------------------------------------
+    def attach_boundary(self, boundary: Any) -> None:
+        """Route sends to unregistered addresses in the boundary's remote
+        sites through it (the sharded engine's cross-shard trap)."""
+        self._boundary = boundary
+
     def register(self, address: Address, handler: Handler) -> None:
         if address in self._handlers:
             raise NetworkError(f"address {address} already registered")
@@ -217,6 +239,10 @@ class Network:
         the sender cannot tell a slow peer from a dead one.
         """
         if dst not in self._handlers:
+            boundary = self._boundary
+            if boundary is not None and dst.site in boundary.remote_sites:
+                boundary.send(src, dst, msg)
+                return
             raise AddressUnknownError(f"no actor registered at {dst}")
         # Fast path: with no crashes, partitions, or filters active (the
         # overwhelmingly common case) the drop checks are a single truth

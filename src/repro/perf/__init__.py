@@ -16,8 +16,9 @@ from repro.perf.micro import (
 )
 from repro.perf.profile import format_profile_rows, profile_call
 from repro.perf.protocol import BATCHED_OVERRIDES, bench_protocol_plane
+from repro.perf.parallel import PARALLEL_SCALE_PROFILE, bench_parallel_scale
 from repro.perf.report import collect_report, summary_lines, write_report
-from repro.perf.scale import SCALE_PROFILE, bench_scale
+from repro.perf.scale import SCALE_PROFILE, bench_scale, resolve_profile
 
 __all__ = [
     "LegacySimulator",
@@ -34,4 +35,7 @@ __all__ = [
     "summary_lines",
     "bench_scale",
     "SCALE_PROFILE",
+    "resolve_profile",
+    "bench_parallel_scale",
+    "PARALLEL_SCALE_PROFILE",
 ]

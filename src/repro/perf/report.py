@@ -37,6 +37,7 @@ def collect_report(
     include_end_to_end: bool = True,
     include_sweep: bool = False,
     include_protocol: bool = False,
+    sweep_max_workers: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Run the microbenchmark suite and return the report dict."""
     import os
@@ -65,7 +66,7 @@ def collect_report(
     if include_end_to_end:
         report["end_to_end"] = bench_end_to_end()
     if include_sweep:
-        report["parallel_sweep"] = _bench_parallel_sweep()
+        report["parallel_sweep"] = _bench_parallel_sweep(max_workers=sweep_max_workers)
     if include_protocol:
         from repro.perf.protocol import bench_protocol_plane
 
@@ -73,7 +74,7 @@ def collect_report(
     return report
 
 
-def _bench_parallel_sweep() -> Dict[str, Any]:
+def _bench_parallel_sweep(max_workers: Optional[int] = None) -> Dict[str, Any]:
     """Serial vs parallel wall time for an E1-style sweep (tiny scale)."""
     import dataclasses
 
@@ -87,13 +88,16 @@ def _bench_parallel_sweep() -> Dict[str, Any]:
     serial_rows = throughput_sweep(protocols, "B", scale)
     serial_s = time.perf_counter() - t0
     t0 = time.perf_counter()
-    parallel_rows = throughput_sweep(protocols, "B", scale, parallel=True)
+    parallel_rows = throughput_sweep(
+        protocols, "B", scale, parallel=True, max_workers=max_workers
+    )
     parallel_s = time.perf_counter() - t0
     import os
 
     return {
         "points": len(serial_rows),
         "cpu_count": os.cpu_count(),
+        "max_workers": max_workers,
         "serial_wall_s": serial_s,
         "parallel_wall_s": parallel_s,
         "speedup": serial_s / parallel_s if parallel_s else 0.0,

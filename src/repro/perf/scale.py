@@ -33,7 +33,7 @@ from repro.metrics.memory import TracedPeak, census_totals, memory_census
 from repro.perf.legacy_mem import legacy_memory_model
 from repro.storage.version import clear_intern_pool
 
-__all__ = ["SCALE_PROFILE", "bench_scale"]
+__all__ = ["SCALE_PROFILE", "bench_scale", "resolve_profile"]
 
 #: Default ``perf --scale`` profile: 2 geo sites × 4 servers (R=3, k=2),
 #: 16 closed-loop clients over an insert-heavy "latest" mix that keeps
@@ -54,6 +54,26 @@ SCALE_PROFILE: Dict[str, Any] = {
     "insert_proportion": 0.30,
     "rate_repeats": 3,
 }
+
+
+def resolve_profile(
+    base: Dict[str, Any], overrides: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """A copy of ``base`` with ``overrides`` applied, unknown keys rejected.
+
+    Shared by this bench and the parallel scale tier
+    (:mod:`repro.perf.parallel`): CI smoke gates shrink the default
+    profiles this way, and a typo'd key must fail loudly rather than
+    silently benchmark the full-size tier.
+    """
+    profile = dict(base)
+    for key, value in (overrides or {}).items():
+        if key not in profile:
+            raise KeyError(
+                f"unknown profile key {key!r}; valid keys: {sorted(profile)}"
+            )
+        profile[key] = value
+    return profile
 
 
 def _build_and_run(profile: Dict[str, Any]) -> Dict[str, Any]:
@@ -178,9 +198,7 @@ def bench_scale(overrides: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     - ``bytes_per_key_reduction`` — 1 − optimized/legacy bytes-per-key
     - ``ops_per_wall_sec_ratio`` — optimized / legacy wall rate
     """
-    profile = dict(SCALE_PROFILE)
-    if overrides:
-        profile.update(overrides)
+    profile = resolve_profile(SCALE_PROFILE, overrides)
 
     legacy = _run_arm(profile, legacy=True)
     optimized = _run_arm(profile, legacy=False)

@@ -270,6 +270,66 @@ class Simulator:
         else:
             entry[2](*entry[3])
 
+    def next_event_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or None if the heap is empty.
+
+        Peeks past lazily-cancelled entries (popping and recycling them
+        as a side effect, which only helps the next caller). This is the
+        "earliest output" a shard reports to the parallel coordinator,
+        so it must see through cancellation debris — a heap full of
+        cancelled timers must not hold the global window back.
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if len(entry) == 3 and entry[2].cancelled:
+                _heappop(heap)
+                self._cancelled_in_heap -= 1
+                self._recycle(entry[2])
+                continue
+            return entry[0]
+        return None
+
+    def run_window(self, bound: float) -> int:
+        """Execute every event with timestamp **strictly below** ``bound``.
+
+        The conservative parallel engine's inner step: a shard that has
+        been promised no external input before ``bound`` may run exactly
+        this far. The clock is *not* advanced to ``bound`` on return —
+        it rests at the last executed event — so cross-shard envelopes
+        landing at ``bound`` or later can still be injected via
+        :meth:`post_at` before the next window.
+
+        The bound is strict so that an envelope timestamped exactly at a
+        window edge is never racing local events at the same instant:
+        everything the shard executed is ``< bound``, everything
+        injected is ``>= bound``, and the merged order is decided by the
+        heap's (time, seq) key alone. Returns the number of events run.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant: run_window() called from a callback")
+        self._running = True
+        executed = 0
+        heap = self._heap
+        pop = _heappop
+        try:
+            while heap:
+                entry = heap[0]
+                if len(entry) == 3 and entry[2].cancelled:
+                    ev = entry[2]
+                    pop(heap)
+                    self._cancelled_in_heap -= 1
+                    self._recycle(ev)
+                    continue
+                if entry[0] >= bound:
+                    break
+                pop(heap)
+                self._fire(entry)
+                executed += 1
+            return executed
+        finally:
+            self._running = False
+
     def step(self) -> bool:
         """Execute the next event. Returns False if the heap is empty."""
         heap = self._heap

@@ -37,8 +37,8 @@ _EntriesTuple = Tuple[Tuple[str, int], ...]
 # value: pooling only collapses identity, never equality or hashing.
 _INTERN_MAX = 8192
 _INTERN_ENABLED = True
-_POOL: Dict[_EntriesTuple, "VersionVector"] = {}
-_STR_POOL: Dict[str, str] = {}
+_POOL: Dict[_EntriesTuple, "VersionVector"] = {}  # repro: lint-ok(module-mutable-state) — per-process intern pool; collapses identity only, rebuilt from pickled values on each worker
+_STR_POOL: Dict[str, str] = {}  # repro: lint-ok(module-mutable-state) — per-process string intern pool, identity-only
 _HITS = 0
 _MISSES = 0
 

@@ -15,7 +15,7 @@ the x-axis of the paper's throughput figures.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.api import ClientSession, Datastore
 from repro.checker.history import GET, PUT, History
@@ -171,6 +171,7 @@ class WorkloadRunner:
         preload_value: str = "initial",
         driver_factory: Optional[Any] = None,
         reservoir_capacity: int = 50_000,
+        client_slots: Optional[Sequence[Tuple[int, str]]] = None,
     ):
         self.store = store
         self.spec = spec
@@ -180,6 +181,13 @@ class WorkloadRunner:
         self.drain = drain
         self.record_history = record_history
         self.preload_value = preload_value
+        #: which (global client index, site) pairs THIS runner drives.
+        #: None = all of them, assigned round-robin over the store's
+        #: sites — the classic single-process experiment. A shard of a
+        #: parallel run passes only the slots whose site it owns, with
+        #: the *global* index preserved so rng streams and session ids
+        #: match the single-process assignment exactly.
+        self.client_slots = client_slots
         #: latency/metadata reservoir size; memory-sensitive harnesses
         #: (the scale bench) shrink it so samples don't drown the store
         self.reservoir_capacity = reservoir_capacity
@@ -187,8 +195,14 @@ class WorkloadRunner:
         #: the fault-campaign engine swaps in its accounting driver here
         self.driver_factory = driver_factory or SessionDriver
         self.drivers: List[SessionDriver] = []
+        self.stop_at = 0.0
+        self._result: Optional[RunResult] = None
 
-    def run(self) -> RunResult:
+    def setup(self) -> RunResult:
+        """Preload the keyspace and start every driver; returns the
+        (still-empty) result. Split from :meth:`run` so the parallel
+        engine can start a shard's drivers and then advance the
+        simulator itself, window by window."""
         sim = self.store.sim  # every deployment exposes its simulator
         start = sim.now
         result = RunResult(
@@ -206,6 +220,7 @@ class WorkloadRunner:
             metadata_bytes=LatencyReservoir(self.reservoir_capacity, seed=4),
             store=self.store,
         )
+        self._result = result
 
         pad = "y" * self.spec.value_size
         self.store.preload(
@@ -213,24 +228,36 @@ class WorkloadRunner:
         )
 
         sites = self.store.sites
-        stop_at = start + self.warmup + self.duration
+        self.stop_at = start + self.warmup + self.duration
         measure_from = start + self.warmup
-        processes = []
-        for i in range(self.n_clients):
-            session = self.store.session(site=sites[i % len(sites)])
+        if self.client_slots is None:
+            slots = [(i, sites[i % len(sites)], None) for i in range(self.n_clients)]
+        else:
+            # Name sessions by their global index so a shard's sessions
+            # are indistinguishable from the same clients in a
+            # single-process run (session ids seed client rng streams
+            # and label histories).
+            slots = [(i, site, f"client{i + 1}") for i, site in self.client_slots]
+            result.n_clients = len(slots)
+        for i, site, session_id in slots:
+            session = self.store.session(site=site, session_id=session_id)
             driver = self.driver_factory(
                 session=session,
                 spec=self.spec,
                 rng=self.store.rng.stream(f"driver:{i}"),
-                stop_at=stop_at,
+                stop_at=self.stop_at,
                 measure_from=measure_from,
                 result=result,
                 record_history=self.record_history,
             )
             self.drivers.append(driver)
-            processes.append(driver.start(sim))
+            driver.start(sim)
+        return result
 
-        sim.run(until=stop_at + self.drain)
+    def finalize(self) -> RunResult:
+        """Close sessions and fill derived fields once the simulator has
+        been advanced past ``stop_at`` plus the drain."""
+        result = self._result
         result.throughput = result.ops_completed / self.duration
         # Drivers are done: release their sessions so late replies are
         # dropped rather than delivered to finished clients. (After the
@@ -238,3 +265,8 @@ class WorkloadRunner:
         for driver in self.drivers:
             driver.session.close()
         return result
+
+    def run(self) -> RunResult:
+        self.setup()
+        self.store.sim.run(until=self.stop_at + self.drain)
+        return self.finalize()

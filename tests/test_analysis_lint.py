@@ -204,7 +204,12 @@ class TestSetIteration:
         assert rules_of(lint_source(src, SIM_PATH)) == ["set-iteration"]
 
     def test_iterating_set_valued_name_flagged(self):
-        src = "pending = set()\nfor x in pending:\n    print(x)\n"
+        src = (
+            "def drain():  # repro: lint-ok(typing)\n"
+            "    pending = set()\n"
+            "    for x in pending:\n"
+            "        print(x)\n"
+        )
         assert rules_of(lint_source(src, SIM_PATH)) == ["set-iteration"]
 
     def test_iterating_set_attr_bound_later_flagged(self):
@@ -222,11 +227,21 @@ class TestSetIteration:
         assert rules_of(lint_source(src, SIM_PATH)) == ["set-iteration"]
 
     def test_sorted_iteration_clean(self):
-        src = "pending = set()\nfor x in sorted(pending):\n    print(x)\n"
+        src = (
+            "def drain():  # repro: lint-ok(typing)\n"
+            "    pending = set()\n"
+            "    for x in sorted(pending):\n"
+            "        print(x)\n"
+        )
         assert lint_source(src, SIM_PATH) == []
 
     def test_rule_scoped_to_event_ordering_dirs(self):
-        src = "pending = set()\nfor x in pending:\n    print(x)\n"
+        src = (
+            "def drain():  # repro: lint-ok(typing)\n"
+            "    pending = set()\n"
+            "    for x in pending:\n"
+            "        print(x)\n"
+        )
         # metrics/ is not event-ordering code: aggregation order there
         # cannot reorder sends.
         assert lint_source(src, "src/repro/metrics/fixture.py") == []
@@ -309,6 +324,75 @@ class TestSlots:
             "        self.key = key\n"
         )
         assert lint_source(src, STORAGE_PATH) == []
+
+
+class TestModuleState:
+    NET_PATH = "src/repro/net/fixture.py"
+
+    def test_module_level_dict_flagged(self):
+        src = "CACHE = {}\n"
+        assert rules_of(lint_source(src, self.NET_PATH)) == ["module-mutable-state"]
+
+    def test_module_level_list_and_constructor_flagged(self):
+        src = "registry = list()\npending = []\n"
+        assert rules_of(lint_source(src, self.NET_PATH)) == [
+            "module-mutable-state",
+            "module-mutable-state",
+        ]
+
+    def test_collections_constructors_flagged(self):
+        src = (
+            "import collections\n"
+            "queue = collections.deque()\n"
+            "counts = collections.defaultdict(int)\n"
+        )
+        assert rules_of(lint_source(src, self.NET_PATH)) == [
+            "module-mutable-state",
+            "module-mutable-state",
+        ]
+
+    def test_immutable_module_constants_clean(self):
+        src = "LIMITS = (1, 2, 3)\nNAME = 'x'\nEPS = 1e-9\n"
+        assert lint_source(src, self.NET_PATH) == []
+
+    def test_function_and_class_scope_clean(self):
+        src = (
+            "def build():  # repro: lint-ok(typing)\n"
+            "    cache = {}\n"
+            "    return cache\n\n"
+            "class Table:  # repro: lint-ok(slots)\n"
+            "    defaults = {'a': 1}\n"
+        )
+        assert lint_source(src, self.NET_PATH) == []
+
+    def test_dunder_names_exempt(self):
+        src = "__all__ = ['a', 'b']\n"
+        assert lint_source(src, self.NET_PATH) == []
+
+    def test_try_except_block_is_module_scope(self):
+        src = (
+            "try:\n"
+            "    import fast\n"
+            "    POOL = {}\n"
+            "except ImportError:\n"
+            "    POOL = dict()\n"
+        )
+        assert rules_of(lint_source(src, self.NET_PATH)) == [
+            "module-mutable-state",
+            "module-mutable-state",
+        ]
+
+    def test_pragma_suppresses(self):
+        src = "_POOL = {}  # repro: lint-ok(module-mutable-state) — per-process intern pool\n"
+        assert lint_source(src, self.NET_PATH) == []
+
+    def test_rule_scoped_to_worker_imported_dirs(self):
+        src = "CACHE = {}\n"
+        assert rules_of(lint_source(src, SIM_PATH)) == ["module-mutable-state"]
+        assert rules_of(lint_source(src, STORAGE_PATH)) == ["module-mutable-state"]
+        # metrics/ and top-level modules run in the coordinator only.
+        assert lint_source(src, "src/repro/metrics/fixture.py") == []
+        assert lint_source(src, "src/repro/errors.py") == []
 
 
 class TestPragmas:

@@ -147,3 +147,26 @@ class TestRendering:
         out = render_series([(0.0, 1.0), (1.0, 2.0)], "t", "rate")
         assert "t" in out and "rate" in out
         assert "2.00" in out
+
+
+class TestLinkFloorProfile:
+    def test_default_network_floors(self):
+        from repro.metrics import link_floor_profile
+        from repro.net import WAN_LATENCY_FLOOR, Network
+        from repro.sim import Simulator
+
+        net = Network(Simulator())
+        profile = link_floor_profile(net)
+        assert profile["cross_site_lookahead_s"] == pytest.approx(WAN_LATENCY_FLOOR)
+        assert profile["wan_floor_s"] == pytest.approx(WAN_LATENCY_FLOOR)
+        assert 0 < profile["lan_floor_s"] < profile["wan_floor_s"]
+
+    def test_link_override_tightens_lookahead(self):
+        from repro.metrics import link_floor_profile
+        from repro.net import FixedLatency, Network
+        from repro.sim import Simulator
+
+        net = Network(Simulator())
+        net.set_link("dc0", "dc1", FixedLatency(0.002))
+        profile = link_floor_profile(net)
+        assert profile["cross_site_lookahead_s"] == pytest.approx(0.002)

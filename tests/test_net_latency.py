@@ -5,9 +5,11 @@ import random
 import pytest
 
 from repro.net import (
+    WAN_LATENCY_FLOOR,
     FixedLatency,
     LogNormalLatency,
     NormalLatency,
+    ScaledLatency,
     UniformLatency,
     lan_latency,
     wan_latency,
@@ -75,6 +77,45 @@ class TestLogNormalLatency:
     def test_rejects_bad_params(self):
         with pytest.raises(ValueError):
             LogNormalLatency(median=0)
+
+
+class TestMinLatency:
+    """``min_latency()`` must be a true lower bound on every sample —
+    the sharded engine's conservative lookahead is only sound if no
+    draw can ever undercut it."""
+
+    def test_fixed_floor_is_delay(self):
+        assert FixedLatency(0.005).min_latency() == 0.005
+
+    def test_uniform_floor_is_low(self):
+        assert UniformLatency(0.001, 0.002).min_latency() == 0.001
+
+    def test_normal_floor_is_truncation_floor(self):
+        assert NormalLatency(0.001, 0.01).min_latency() == 0.0001
+        assert NormalLatency(0.001, 0.01, floor=0.0005).min_latency() == 0.0005
+
+    def test_lognormal_floor_bounds_samples(self, rng):
+        model = LogNormalLatency(median=0.040, sigma=0.1)
+        floor = model.min_latency()
+        assert 0 < floor < 0.040
+        assert all(model.sample(rng) >= floor for _ in range(5000))
+
+    def test_lognormal_floor_scales_with_median(self):
+        assert LogNormalLatency(0.080, sigma=0.1).min_latency() == pytest.approx(
+            2 * LogNormalLatency(0.040, sigma=0.1).min_latency()
+        )
+
+    def test_scaled_floor_scales_base(self):
+        base = UniformLatency(0.001, 0.002)
+        assert ScaledLatency(base, 3.0).min_latency() == pytest.approx(0.003)
+
+    def test_wan_floor_constant_matches_default_model(self):
+        assert WAN_LATENCY_FLOOR == pytest.approx(wan_latency().min_latency())
+        assert 0 < WAN_LATENCY_FLOOR < wan_latency().mean()
+
+    def test_default_wan_samples_respect_constant(self, rng):
+        model = wan_latency()
+        assert all(model.sample(rng) >= WAN_LATENCY_FLOOR for _ in range(5000))
 
 
 class TestDefaults:
