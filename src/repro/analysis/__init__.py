@@ -10,25 +10,48 @@ properties that ordinary tests cannot fully guard:
   DC-stability monotonicity, and the causal cut served to every client
   session must hold on every run, not just on the runs a reviewer eyeballed.
 
-This package provides three enforcement layers:
+This package provides four enforcement layers:
 
 1. :mod:`repro.analysis.lint` — a custom AST linter (``python -m repro
    lint``) whose rules ban the constructs that break seed-stability:
    wall-clock reads, module-level ``random`` draws, unseeded RNGs,
    builtin ``hash()`` in seed derivation, mutable default arguments,
-   unfrozen protocol messages, and iteration over bare ``set``s in
-   event-ordering code.
+   unfrozen protocol messages, iteration over bare ``set``s in
+   event-ordering code, and tie-prone sorts on delivery paths.
 2. :mod:`repro.analysis.sanitize` — a runtime sanitizer (``python -m
    repro sanitize``) that runs an experiment twice under one seed,
    diffs the message traces, and localizes the first divergent event;
-   plus opt-in invariant hooks (:mod:`repro.analysis.invariants`).
+   ``--workers N`` runs the same check through the multi-core sharded
+   engine; plus opt-in invariant hooks
+   (:mod:`repro.analysis.invariants`).
 3. :mod:`repro.analysis.typing_gate` — an annotation-coverage gate for
    the protocol-critical packages, backed by the strict-leaning mypy
    configuration in ``pyproject.toml`` when mypy is installed.
+4. :mod:`repro.analysis.explore` — a bounded schedule explorer
+   (``python -m repro explore``) that drives the deterministic kernel
+   through every message-delivery interleaving and crash placement a
+   small scope admits (partial-order reduced), checks the invariant
+   monitors and the causal checker at every terminal state, and
+   minimizes any violation to a replayable counterexample schedule. A
+   proving ground of seeded protocol mutations keeps the explorer
+   honest: each mutation must be caught, and the unmutated tree must
+   pass clean.
 
 See ``docs/ANALYSIS.md`` for the rule reference and pragma syntax.
 """
 
+from repro.analysis.explore import (
+    ExploreReport,
+    ExploreScope,
+    Schedule,
+    Violation,
+    explore_scope,
+    minimize_counterexample,
+    replay_schedule,
+    save_counterexample,
+    scenario,
+    scenario_names,
+)
 from repro.analysis.invariants import (
     ChainInvariantMonitor,
     InvariantReport,
@@ -45,9 +68,11 @@ from repro.analysis.sanitize import (
     Divergence,
     MessageTap,
     SanitizeReport,
+    ShardedSanitizeReport,
     capture_run,
     locate_divergence,
     sanitize_run,
+    sanitize_sharded,
 )
 from repro.analysis.typing_gate import (
     AnnotationViolation,
@@ -67,9 +92,21 @@ __all__ = [
     "Divergence",
     "MessageTap",
     "SanitizeReport",
+    "ShardedSanitizeReport",
     "capture_run",
     "locate_divergence",
     "sanitize_run",
+    "sanitize_sharded",
+    "ExploreReport",
+    "ExploreScope",
+    "Schedule",
+    "Violation",
+    "explore_scope",
+    "minimize_counterexample",
+    "replay_schedule",
+    "save_counterexample",
+    "scenario",
+    "scenario_names",
     "AnnotationViolation",
     "check_annotations",
     "run_mypy",

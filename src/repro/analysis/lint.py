@@ -40,6 +40,20 @@ failure mode in a discrete-event reproduction:
   pools, freelists, size memos — rebuilt identically from the same
   inputs) carry a pragma saying so; anything else must live on an
   instance that a single shard owns.
+- ``sort-tie-identity`` — a ``sorted()`` / ``heappush`` on a delivery
+  path (``sim``/``net``) whose sort key can tie leaves the tie to
+  whatever Python compares next: the following tuple element (often an
+  object with no ``__lt__`` — a crash waiting for the first tie) or,
+  for objects with inherited ordering, something derived from memory
+  layout. Either way two runs with the same seed can deliver in
+  different orders, which is exactly what the deterministic kernel
+  exists to prevent, and what the schedule explorer
+  (:mod:`repro.analysis.explore`) relies on to replay counterexamples
+  bit-for-bit. Every such site must carry an explicit total-order
+  tie-breaker — a ``(time, seq)``-style tuple with a sequence
+  component, or a ``key=...sort_key`` function that provides one — or
+  a pragma stating why ties are impossible (e.g. sorting distinct
+  strings).
 
 Suppression: append ``# repro: lint-ok(<rule>[, <rule>...])`` to the
 offending line, or put ``# repro: lint-ok-file(<rule>)`` in the first
@@ -62,6 +76,7 @@ __all__ = [
     "EVENT_ORDERING_DIRS",
     "MODULE_STATE_DIRS",
     "SLOTS_DIRS",
+    "SORT_TIE_DIRS",
     "LintConfig",
     "LintViolation",
     "lint_file",
@@ -83,6 +98,7 @@ RULE_NO_MUTABLE_DEFAULT = "no-mutable-default"
 RULE_SET_ITERATION = "set-iteration"
 RULE_SLOTS = "slots"
 RULE_MODULE_STATE = "module-mutable-state"
+RULE_SORT_TIE = "sort-tie-identity"
 
 ALL_RULES: Tuple[str, ...] = (
     RULE_NO_WALL_CLOCK,
@@ -94,6 +110,7 @@ ALL_RULES: Tuple[str, ...] = (
     RULE_SET_ITERATION,
     RULE_SLOTS,
     RULE_MODULE_STATE,
+    RULE_SORT_TIE,
 )
 
 #: Files (paths relative to ``src/repro``) allowed to read the wall
@@ -136,6 +153,14 @@ MODULE_STATE_DIRS: Tuple[str, ...] = (
     "sim",
     "net",
     "storage",
+)
+
+#: Directories (relative to ``src/repro``) on the message-delivery path:
+#: any sort there decides delivery order, so tied sort keys make the
+#: order fall through to object identity / memory layout.
+SORT_TIE_DIRS: Tuple[str, ...] = (
+    "sim",
+    "net",
 )
 
 #: Constructors whose call produces a mutable container.
@@ -220,7 +245,9 @@ class LintConfig:
     ``slots_dirs`` scopes the ``slots`` rule to the hot-path packages
     whose instances exist in per-key / per-event quantities;
     ``module_state_dirs`` scopes the ``module-mutable-state`` rule to
-    the packages every shard worker imports independently.
+    the packages every shard worker imports independently;
+    ``sort_tie_dirs`` scopes the ``sort-tie-identity`` rule to the
+    packages whose sorts decide message-delivery order.
     """
 
     rules: Tuple[str, ...] = ALL_RULES
@@ -228,6 +255,7 @@ class LintConfig:
     event_ordering_dirs: Tuple[str, ...] = EVENT_ORDERING_DIRS
     slots_dirs: Tuple[str, ...] = SLOTS_DIRS
     module_state_dirs: Tuple[str, ...] = MODULE_STATE_DIRS
+    sort_tie_dirs: Tuple[str, ...] = SORT_TIE_DIRS
 
     def rules_for(self, path: Path) -> Set[str]:
         """The subset of rules that applies to ``path``."""
@@ -252,6 +280,11 @@ class LintConfig:
             top = rel.split("/", 1)[0]
             if "/" not in rel or top not in self.module_state_dirs:
                 active.discard(RULE_MODULE_STATE)
+        if RULE_SORT_TIE in active and "/repro/" in posix:
+            rel = posix.split("/repro/", 1)[1]
+            top = rel.split("/", 1)[0]
+            if "/" not in rel or top not in self.sort_tie_dirs:
+                active.discard(RULE_SORT_TIE)
         return active
 
 
@@ -373,6 +406,7 @@ class _Linter(ast.NodeVisitor):
             self._check_hash_seed_call(node, module, attr)
         elif isinstance(node.func, ast.Name) and node.func.id == "derive_seed":
             self._check_hash_in_args(node, "derive_seed")
+        self._check_sort_tie(node)
         self.generic_visit(node)
 
     def _check_wall_clock(self, node: ast.Call, module: str, attr: str) -> None:
@@ -693,6 +727,103 @@ class _Linter(ast.NodeVisitor):
                 f"iteration over set-valued attribute self.{iter_node.attr} in "
                 "event-ordering code; iterate sorted(...) or an ordered container",
             )
+
+    # -- sort ties on delivery paths --------------------------------------
+    def _check_sort_tie(self, node: ast.Call) -> None:
+        """Flag ``sorted()`` / ``heappush`` whose key can tie.
+
+        A tie in the leading key components makes Python compare whatever
+        comes next — another tuple element (TypeError on the first tie if
+        it lacks ``__lt__``) or an object ordering derived from memory
+        layout. Both break seed-stable delivery order. A site is
+        considered safe when the ordered value visibly carries a sequence
+        tie-breaker (a tuple with a ``seq``-named component) or uses a
+        designated ``...sort_key`` function; everything else needs a
+        pragma arguing why ties are impossible.
+        """
+        if RULE_SORT_TIE not in self.active:
+            return
+        func = node.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else None
+        )
+        if name is None:
+            return
+        if name.lstrip("_") == "heappush":
+            if len(node.args) >= 2 and not self._has_seq_tiebreak(node.args[1]):
+                self._add(
+                    node,
+                    RULE_SORT_TIE,
+                    "heappush entry on a delivery path has no visible "
+                    "(time, seq) tie-breaker: tied priorities fall through "
+                    "to comparing the next element; push a tuple with a "
+                    "monotonic seq component or add a "
+                    "'# repro: lint-ok(sort-tie-identity)' pragma stating "
+                    "why ties are impossible",
+                )
+        elif name == "sorted" and isinstance(func, ast.Name):
+            key = next(
+                (kw.value for kw in node.keywords if kw.arg == "key"), None
+            )
+            if key is None:
+                self._add(
+                    node,
+                    RULE_SORT_TIE,
+                    "sorted() on a delivery path without an explicit "
+                    "tie-breaking key: elements whose ordering can tie "
+                    "fall back to identity/insertion order; sort by an "
+                    "explicit (time, seq)-style key or add a "
+                    "'# repro: lint-ok(sort-tie-identity)' pragma stating "
+                    "why ties are impossible",
+                )
+            elif not self._is_total_order_key(key):
+                self._add(
+                    node,
+                    RULE_SORT_TIE,
+                    "sorted() key on a delivery path can tie without a "
+                    "(time, seq) tie-breaker: return a tuple ending in a "
+                    "monotonic seq component, use a designated ...sort_key "
+                    "function, or add a "
+                    "'# repro: lint-ok(sort-tie-identity)' pragma stating "
+                    "why ties are impossible",
+                )
+
+    def _has_seq_tiebreak(self, item: ast.expr) -> bool:
+        if not isinstance(item, ast.Tuple):
+            return False
+        return any(self._is_seq_like(el) for el in item.elts)
+
+    def _is_seq_like(self, expr: ast.expr) -> bool:
+        name = (
+            expr.id
+            if isinstance(expr, ast.Name)
+            else expr.attr
+            if isinstance(expr, ast.Attribute)
+            else None
+        )
+        return name is not None and "seq" in name.lower()
+
+    def _is_total_order_key(self, key: ast.expr) -> bool:
+        name = (
+            key.id
+            if isinstance(key, ast.Name)
+            else key.attr
+            if isinstance(key, ast.Attribute)
+            else None
+        )
+        if name is not None and "sort_key" in name:
+            return True
+        if isinstance(key, ast.Lambda):
+            body = key.body
+            if isinstance(body, ast.Tuple) and any(
+                self._is_seq_like(el) for el in body.elts
+            ):
+                return True
+        return False
 
     # -- module-level mutable state ---------------------------------------
     def check_module_state(self, tree: ast.Module) -> None:

@@ -33,10 +33,12 @@ __all__ = [
     "MessageTap",
     "RunCapture",
     "SanitizeReport",
+    "ShardedSanitizeReport",
     "TraceEntry",
     "capture_run",
     "locate_divergence",
     "sanitize_run",
+    "sanitize_sharded",
 ]
 
 #: One recorded send: (virtual time, src, dst, message type, wire bytes).
@@ -289,4 +291,137 @@ def sanitize_run(
         divergence=locate_divergence(first.trace, second.trace),
         events_processed=(first.events_processed, second.events_processed),
         invariant_report=first.invariant_report,
+    )
+
+
+# ----------------------------------------------------------------------
+# sharded-engine sanitizer (``repro sanitize --workers N``)
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class ShardedSanitizeReport:
+    """Outcome of the sharded-engine determinism check.
+
+    Three digests are compared: two runs on ``workers`` processes (the
+    twice-run check — a mismatch means nondeterminism *inside* a run)
+    and one serial reference run on a single process (a mismatch there
+    means the conservative engine's behaviour depends on the worker
+    count, which :mod:`repro.sim.shard` promises it never does). The
+    digest is the per-site sha256 over every ``Network.send``, so
+    matching digests mean the full message traces matched.
+    """
+
+    protocol: str
+    seed: int
+    workers: int
+    sites: Tuple[str, ...]
+    rounds: int
+    digests: Tuple[str, str]
+    serial_digest: Optional[str]
+    events_processed: Tuple[int, int]
+    ops_completed: Tuple[int, int]
+
+    @property
+    def twice_run_clean(self) -> bool:
+        return (
+            self.digests[0] == self.digests[1]
+            and self.events_processed[0] == self.events_processed[1]
+        )
+
+    @property
+    def worker_count_clean(self) -> bool:
+        return self.serial_digest is None or self.serial_digest == self.digests[0]
+
+    @property
+    def clean(self) -> bool:
+        return self.twice_run_clean and self.worker_count_clean
+
+    def format(self) -> str:
+        lines = [
+            f"sanitize[sharded]: protocol={self.protocol} seed={self.seed} "
+            f"workers={self.workers} sites={len(self.sites)} "
+            f"rounds={self.rounds} "
+            f"events={self.events_processed[0]}/{self.events_processed[1]}",
+        ]
+        if self.twice_run_clean:
+            lines.append(
+                f"twice-run: no divergence (digest {self.digests[0][:16]}...)"
+            )
+        else:
+            lines.append(
+                "twice-run: DIVERGED — "
+                f"digest {self.digests[0][:16]}... vs {self.digests[1][:16]}..."
+            )
+        if self.serial_digest is None:
+            lines.append("worker-count: not checked")
+        elif self.worker_count_clean:
+            lines.append(
+                f"worker-count: workers={self.workers} matches workers=1"
+            )
+        else:
+            lines.append(
+                "worker-count: DIVERGED — "
+                f"workers=1 digest {self.serial_digest[:16]}... vs "
+                f"workers={self.workers} digest {self.digests[0][:16]}..."
+            )
+        return "\n".join(lines)
+
+
+def sanitize_sharded(
+    protocol: str = "chainreaction",
+    *,
+    seed: int = 42,
+    workload_name: str = "B",
+    clients: int = 4,
+    duration: float = 0.4,
+    warmup: float = 0.1,
+    sites: Tuple[str, ...] = ("dc0", "dc1"),
+    servers_per_site: int = 4,
+    chain_length: int = 3,
+    records: int = 25,
+    workers: int = 2,
+    compare_serial: bool = True,
+    overrides: Optional[Dict[str, object]] = None,
+) -> ShardedSanitizeReport:
+    """Twice-run the multi-process sharded engine and diff trace digests.
+
+    The single-process sanitizer (:func:`sanitize_run`) cannot see
+    nondeterminism that only exists on the multi-core path — pickling
+    envelopes over worker pipes, per-process module state, round
+    scheduling. This variant runs the :class:`repro.sim.shard`
+    ``ShardedSimulator`` twice on ``workers`` processes and, when
+    ``compare_serial`` is set, once more inline (workers=1) to check the
+    engine's worker-count-invariance promise.
+    """
+    from repro.sim.shard import ExperimentSpec, ShardedSimulator
+
+    spec = ExperimentSpec(
+        workload=workload(workload_name, record_count=records),
+        protocol=protocol,
+        sites=tuple(sites),
+        servers_per_site=servers_per_site,
+        chain_length=chain_length,
+        seed=seed,
+        n_clients=clients,
+        duration=duration,
+        warmup=warmup,
+        drain=0.5,
+        overrides=tuple(sorted((overrides or {}).items())),
+    )
+    first = ShardedSimulator(spec, workers=workers).run()
+    second = ShardedSimulator(spec, workers=workers).run()
+    serial = (
+        ShardedSimulator(spec, workers=1).run() if compare_serial else None
+    )
+    return ShardedSanitizeReport(
+        protocol=protocol,
+        seed=seed,
+        workers=first.workers,
+        sites=spec.sites,
+        rounds=first.rounds,
+        digests=(first.trace_digest, second.trace_digest),
+        serial_digest=serial.trace_digest if serial is not None else None,
+        events_processed=(first.events_processed, second.events_processed),
+        ops_completed=(first.ops_completed, second.ops_completed),
     )

@@ -1,6 +1,6 @@
 """Command-line interface: run workloads and consistency checks from a shell.
 
-Seven subcommands, mirroring how the paper's evaluation is exercised:
+Eight subcommands, mirroring how the paper's evaluation is exercised:
 
 - ``repro run`` — drive a YCSB workload against any protocol and print
   the throughput/latency summary (optionally with a consistency audit
@@ -19,7 +19,15 @@ Seven subcommands, mirroring how the paper's evaluation is exercised:
   ``docs/ANALYSIS.md``;
 - ``repro sanitize`` — run one experiment twice under the same seed and
   diff the message traces (the simulation race detector), optionally
-  with the chain-invariant monitors attached;
+  with the chain-invariant monitors attached; ``--workers N`` runs the
+  same check through the multi-core sharded engine and additionally
+  verifies the worker-count-invariance promise;
+- ``repro explore`` — the bounded schedule explorer: enumerate every
+  message-delivery interleaving and crash/recover placement a small
+  named scope admits (partial-order reduced), check the chain-invariant
+  monitors and the causal checker at every terminal state, and minimize
+  any violation to a replayable counterexample schedule file; see
+  ``docs/ANALYSIS.md`` for the proving-ground scenarios;
 - ``repro info`` — show the protocols, workloads, and default deployment
   parameters available.
 
@@ -40,6 +48,11 @@ Examples::
     python -m repro lint --typing
     python -m repro sanitize --protocol chainreaction --invariants --format json
     python -m repro sanitize --batch --invariants
+    python -m repro sanitize --workers 2
+    python -m repro explore --scope smallest --budget 5000
+    python -m repro explore --scope split_brain_mint --expect-violation --save bug.json
+    python -m repro explore --replay bug.json
+    python -m repro explore --replay bug.json --clean-tree
 """
 
 from __future__ import annotations
@@ -251,6 +264,66 @@ def build_parser() -> argparse.ArgumentParser:
     sanitize.add_argument(
         "--batch", action="store_true",
         help="sanitize with protocol batching + metadata GC enabled",
+    )
+    sanitize.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="run the check through the multi-core sharded engine on N "
+        "worker processes (twice-run digest diff plus a workers=1 "
+        "reference run); needs a multi-site deployment",
+    )
+
+    explore = sub.add_parser(
+        "explore", parents=[output],
+        help="bounded schedule explorer: enumerate delivery/fault interleavings "
+        "of a small scope and check invariants at every terminal state",
+    )
+    explore.add_argument(
+        "--scope", default="smallest", metavar="NAME",
+        help="scenario to explore (see --list; default: %(default)s)",
+    )
+    explore.add_argument(
+        "--list", action="store_true",
+        help="list the built-in scenarios and exit",
+    )
+    explore.add_argument(
+        "--clean", action="store_true",
+        help="strip the scenario's seeded protocol mutation and explore the "
+        "unmutated tree (must pass clean)",
+    )
+    explore.add_argument(
+        "--budget", type=int, default=20000,
+        help="cap on executed schedules + pruned prefixes (default: %(default)s)",
+    )
+    explore.add_argument(
+        "--naive", action="store_true",
+        help="full enumeration without partial-order reduction",
+    )
+    explore.add_argument(
+        "--compare-naive", action="store_true",
+        help="after the DPOR pass, re-enumerate naively under the same budget "
+        "and report the pruning ratio",
+    )
+    explore.add_argument(
+        "--save", metavar="FILE", default=None,
+        help="on violation, minimize and save the counterexample schedule to FILE",
+    )
+    explore.add_argument(
+        "--no-minimize", action="store_true",
+        help="with --save: persist the counterexample as found, skipping "
+        "delta-debugging minimization",
+    )
+    explore.add_argument(
+        "--replay", metavar="FILE", default=None,
+        help="replay a saved counterexample schedule instead of exploring",
+    )
+    explore.add_argument(
+        "--clean-tree", action="store_true",
+        help="with --replay: strip the schedule's mutations first and verify "
+        "the violation no longer reproduces on the fixed tree",
+    )
+    explore.add_argument(
+        "--expect-violation", action="store_true",
+        help="proving-ground mode: exit 0 iff a violation IS found",
     )
 
     sub.add_parser("info", parents=[output], help="list protocols, workloads, and defaults")
@@ -622,19 +695,72 @@ def _cmd_lint(args: argparse.Namespace, out) -> int:
     return 1 if failed else 0
 
 
+def _cmd_sanitize_sharded(args: argparse.Namespace, out, overrides) -> int:
+    from repro.analysis import sanitize_sharded
+
+    sites = tuple(args.sites)
+    if len(sites) < 2:
+        # One shard per site; a single site degenerates to the serial
+        # path, which the plain sanitizer already covers better.
+        sites = ("dc0", "dc1")
+    print(
+        f"sanitizing {args.protocol} on the sharded engine "
+        f"(workers={args.workers}, sites={len(sites)}): two runs under "
+        f"seed {args.seed}, plus a workers=1 reference ...",
+        file=out,
+    )
+    report = sanitize_sharded(
+        args.protocol,
+        seed=args.seed,
+        workload_name=args.workload,
+        clients=args.clients,
+        duration=args.duration,
+        warmup=args.warmup,
+        sites=sites,
+        servers_per_site=args.servers,
+        chain_length=args.chain_length,
+        records=args.records,
+        workers=args.workers,
+        overrides=overrides,
+    )
+    payload = {
+        "protocol": report.protocol,
+        "seed": report.seed,
+        "workers": report.workers,
+        "sites": list(report.sites),
+        "rounds": report.rounds,
+        "digests": list(report.digests),
+        "serial_digest": report.serial_digest,
+        "events_processed": list(report.events_processed),
+        "twice_run_clean": report.twice_run_clean,
+        "worker_count_clean": report.worker_count_clean,
+        "clean": report.clean,
+    }
+    _emit(args, out, report.format(), payload)
+    return 0 if report.clean else 1
+
+
 def _cmd_sanitize(args: argparse.Namespace, out) -> int:
     from repro.analysis import sanitize_run
 
-    print(
-        f"sanitizing {args.protocol} / workload {args.workload}: "
-        f"two runs under seed {args.seed} ...",
-        file=out,
-    )
     overrides = None
     if args.batch:
         from repro.perf.protocol import BATCHED_OVERRIDES
 
         overrides = dict(BATCHED_OVERRIDES)
+    if args.workers is not None:
+        if args.workers < 1:
+            print("sanitize: --workers must be >= 1", file=out)
+            return 2
+        if args.protocol not in ("chainreaction", "chain"):
+            print("--workers applies to chainreaction/chain only", file=out)
+            return 2
+        return _cmd_sanitize_sharded(args, out, overrides)
+    print(
+        f"sanitizing {args.protocol} / workload {args.workload}: "
+        f"two runs under seed {args.seed} ...",
+        file=out,
+    )
     report = sanitize_run(
         args.protocol,
         seed=args.seed,
@@ -658,6 +784,151 @@ def _cmd_sanitize(args: argparse.Namespace, out) -> int:
         "clean": report.clean,
     }
     _emit(args, out, report.format(), payload)
+    return 0 if report.clean else 1
+
+
+def _cmd_explore_replay(args: argparse.Namespace, out) -> int:
+    from repro.analysis.explore import load_schedule, replay_schedule
+
+    schedule = load_schedule(args.replay)
+    mode = "clean tree (mutations stripped, guided)" if args.clean_tree else "strict"
+    print(
+        f"replaying {args.replay}: scope {schedule.scope.name!r}, "
+        f"{len(schedule.trace)} decisions, {mode} ...",
+        file=out,
+    )
+    result = replay_schedule(
+        schedule, strict=not args.clean_tree, on_clean_tree=args.clean_tree
+    )
+    lines = []
+    if args.clean_tree:
+        # On the fixed tree the recorded violation must NOT recur.
+        ok = not result.violations and not result.reproduced
+        lines.append(
+            "clean-tree replay: "
+            + ("no violation (bug is fixed)" if ok else "VIOLATION STILL PRESENT")
+        )
+    else:
+        ok = result.reproduced
+        lines.append(
+            "strict replay: "
+            + (
+                "violation reproduced bit-for-bit"
+                if ok
+                else "DID NOT REPRODUCE (signature mismatch)"
+            )
+        )
+    for violation in result.violations:
+        lines.append(f"  {violation}")
+    payload = {
+        "file": args.replay,
+        "scope": schedule.scope.name,
+        "decisions": len(schedule.trace),
+        "clean_tree": args.clean_tree,
+        "reproduced": result.reproduced,
+        "violations": [list(v.as_tuple()) for v in result.violations],
+        "ok": ok,
+    }
+    _emit(args, out, "\n".join(lines), payload)
+    return 0 if ok else 1
+
+
+def _cmd_explore(args: argparse.Namespace, out) -> int:
+    import dataclasses as _dc
+
+    from repro.analysis.explore import (
+        explore_scope,
+        save_counterexample,
+        scenario,
+        scenario_names,
+    )
+
+    if args.list:
+        rows = []
+        for name in scenario_names():
+            scope = scenario(name)
+            rows.append(
+                (
+                    name,
+                    ",".join(scope.mutations) or "(none — clean scope)",
+                    f"{len(scope.ops)} ops",
+                )
+            )
+        text = render_table(
+            ["scenario", "seeded mutation", "workload"], rows, title="explore scenarios"
+        )
+        payload = {
+            "scenarios": [
+                {"name": n, "mutations": m, "ops": o} for n, m, o in rows
+            ]
+        }
+        _emit(args, out, text, payload)
+        return 0
+    if args.replay:
+        return _cmd_explore_replay(args, out)
+
+    scope = scenario(args.scope)
+    if args.clean:
+        scope = scope.without_mutations()
+    mode = "naive" if args.naive else "dpor"
+    print(
+        f"exploring scope {scope.name!r} "
+        f"(mutations={list(scope.mutations) or 'none'}, mode={mode}, "
+        f"budget={args.budget}) ...",
+        file=out,
+    )
+    report = explore_scope(scope, budget=args.budget, mode=mode)
+    if args.compare_naive and not args.naive:
+        print("re-enumerating naively for the pruning ratio ...", file=out)
+        naive = explore_scope(scope, budget=args.budget, mode="naive")
+        report = _dc.replace(
+            report,
+            naive_schedules=naive.schedules + naive.pruned,
+            naive_complete=naive.complete,
+        )
+
+    saved_to = None
+    saved_decisions = None
+    if args.save and report.counterexample is not None:
+        schedule = save_counterexample(
+            args.save, report, minimize=not args.no_minimize
+        )
+        saved_to = args.save
+        saved_decisions = len(schedule.trace)
+
+    text = report.summary()
+    if saved_to:
+        text += (
+            f"\n  counterexample saved to {saved_to} "
+            f"({saved_decisions} decisions"
+            + (", minimized)" if not args.no_minimize else ")")
+        )
+    payload: Dict[str, Any] = {
+        "scope": scope.name,
+        "mutations": list(scope.mutations),
+        "mode": report.mode,
+        "budget": args.budget,
+        "schedules": report.schedules,
+        "pruned_prefixes": report.pruned,
+        "decisions": report.decisions,
+        "max_depth": report.max_depth,
+        "complete": report.complete,
+        "elapsed_s": report.elapsed,
+        "clean": report.clean,
+        "naive_schedules": report.naive_schedules,
+        "naive_complete": report.naive_complete,
+        "pruning_ratio": report.pruning_ratio,
+        "violations": [
+            list(v.as_tuple()) for v in report.counterexample.violations
+        ]
+        if report.counterexample
+        else [],
+        "saved": saved_to,
+        "saved_decisions": saved_decisions,
+    }
+    _emit(args, out, text, payload)
+    if args.expect_violation:
+        return 0 if not report.clean else 1
     return 0 if report.clean else 1
 
 
@@ -699,6 +970,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_lint(args, out)
     if args.command == "sanitize":
         return _cmd_sanitize(args, out)
+    if args.command == "explore":
+        return _cmd_explore(args, out)
     return _cmd_info(args, out)
 
 

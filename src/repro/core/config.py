@@ -12,7 +12,33 @@ from typing import Tuple
 
 from repro.errors import ConfigError
 
-__all__ = ["ChainReactionConfig"]
+__all__ = ["PROTOCOL_MUTATIONS", "ChainReactionConfig"]
+
+#: Seeded protocol bugs the schedule explorer's proving ground can
+#: re-inject (test-only; see docs/ANALYSIS.md §4 and
+#: repro.analysis.explore). Each name gates exactly one wrong branch in
+#: core/node.py or core/geo.py; the default configuration enables none,
+#: so production runs and the golden trace are unaffected.
+PROTOCOL_MUTATIONS: Tuple[str, ...] = (
+    # PR 3's split-brain bug: a deposed head skips the apply-time
+    # admission re-check and mints a duplicate (key, version).
+    "split_brain_mint",
+    # on_chain_stable drops the upstream cascade hop: stability never
+    # reaches positions above the tail's predecessor.
+    "drop_stable_cascade",
+    # metadata_gc sealing reports the *next* (unwritten) version as the
+    # per-key stable floor — an off-by-one that over-promises stability.
+    "gc_floor_off_by_one",
+    # RemoteUpdateBatch entries are applied in reverse buffering order,
+    # reordering causally-related writes across a flush window.
+    "batch_reorder",
+    # the k-th (non-tail) chain position records DC-stability at ack
+    # time, before the tail has even applied the write.
+    "ack_implies_stable",
+    # the head treats unresolved causal dependencies as already stable
+    # and admits the write without waiting.
+    "skip_dep_wait",
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -92,6 +118,9 @@ class ChainReactionConfig:
             metadata memory on long runs; off by default (no effect on
             protocol messages, but the sweep alters timer event counts).
         gc_interval: how often a server runs the sealing sweep (seconds).
+        mutations: test-only seeded protocol bugs (names from
+            :data:`PROTOCOL_MUTATIONS`) for the schedule explorer's
+            proving ground. Empty in every production configuration.
         seed: root seed for every random stream in the deployment.
     """
 
@@ -126,6 +155,7 @@ class ChainReactionConfig:
     batch_max_entries: int = 128
     metadata_gc: bool = False
     gc_interval: float = 0.25
+    mutations: Tuple[str, ...] = ()
     seed: int = 42
 
     def __post_init__(self) -> None:
@@ -167,6 +197,12 @@ class ChainReactionConfig:
             raise ConfigError("batch_max_entries must be >= 1")
         if self.gc_interval <= 0:
             raise ConfigError("gc_interval must be positive")
+        unknown = [m for m in self.mutations if m not in PROTOCOL_MUTATIONS]
+        if unknown:
+            raise ConfigError(
+                f"unknown protocol mutation(s) {unknown}; "
+                f"choose from {PROTOCOL_MUTATIONS}"
+            )
 
     @property
     def is_geo(self) -> bool:

@@ -271,7 +271,15 @@ class GeoProxy(Actor):  # repro: lint-ok(slots) — unslotted Actor base keeps t
 
     def on_remote_update_batch(self, msg: RemoteUpdateBatch, src: Address) -> None:
         """Unpack a coalesced shipment; in-batch order is arrival order."""
-        for update in msg.updates:
+        updates = msg.updates
+        if "batch_reorder" in self.config.mutations:
+            # MUTATION (proving ground): unpack the flush window in
+            # reverse. Two causally-ordered same-key writes coalesced
+            # into one batch then enter the per-key gate chain
+            # newer-first, making the remote DC apply (and serve) the
+            # newer write while skipping its predecessor.
+            updates = tuple(reversed(updates))
+        for update in updates:
             self.on_remote_update(update, src)
 
     def _apply_remote(

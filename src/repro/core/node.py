@@ -180,6 +180,12 @@ class ChainNode(RingServer):  # repro: lint-ok(slots) — unslotted Actor base k
             if dep_key != msg.key
             and not self.stability.is_stable(dep_key, entry.version)
         ]
+        if "skip_dep_wait" in self.config.mutations:
+            # MUTATION (proving ground): admit the write as if its causal
+            # dependencies were already DC-stable. A reader at the tail
+            # can then observe this write before its dependency is
+            # visible anywhere — a causal-cut violation.
+            unresolved = []
         if unresolved:
             self.dep_waits += 1
             self.trace("put", "dep-wait", msg.key, waiting_on=len(unresolved))
@@ -194,7 +200,13 @@ class ChainNode(RingServer):  # repro: lint-ok(slots) — unslotted Actor base k
         # process), and a no-longer-head that assigned a version here
         # would mint the same number as the new head — a split-brain
         # write under a stale epoch.
-        error = self._put_admission_error(msg.key)
+        if "split_brain_mint" in self.config.mutations:
+            # MUTATION (proving ground): PR 3's bug, re-injected — skip
+            # the apply-time re-check, so a deposed head mints the same
+            # version number as the new head under a stale epoch.
+            error = None
+        else:
+            error = self._put_admission_error(msg.key)
         if error is not None:
             self.rejected_ops += 1
             self.trace("put", "apply-rejected", msg.key, error=error)
@@ -300,6 +312,13 @@ class ChainNode(RingServer):  # repro: lint-ok(slots) — unslotted Actor base k
         tail_pos = len(chain) - 1
         if ack_index >= 0 and pos == min(ack_index, tail_pos) and reply_to is not None:
             self.trace("put", "ack-client", key, position=pos)
+            if pos != tail_pos and "ack_implies_stable" in self.config.mutations:
+                # MUTATION (proving ground): conflate k-acknowledgement
+                # with DC-stability. Only the tail may declare stability;
+                # recording it here lets readers treat a mid-chain write
+                # as stable and drop the dependency that still guards it.
+                self.stability.record(key, version)
+                self._refresh_stable_record(key)
             self.send(
                 reply_to,
                 PutReply(
@@ -446,6 +465,12 @@ class ChainNode(RingServer):  # repro: lint-ok(slots) — unslotted Actor base k
         chain = self.chain_for(msg.key)
         pos = chain_positions(chain, self.name)
         if pos is not None and pos > 0:
+            if "drop_stable_cascade" in self.config.mutations:
+                # MUTATION (proving ground): drop the upstream cascade
+                # hop. On chains of length >= 3 the head never learns
+                # DC-stability, so completed writes never converge to
+                # stable at every replica.
+                return
             self.send(
                 self.view.address_of(chain[pos - 1]),
                 ChainStable(key=msg.key, version=msg.version, position=pos - 1),
@@ -691,6 +716,11 @@ class ChainNode(RingServer):  # repro: lint-ok(slots) — unslotted Actor base k
         entry = self._stable_records.get(key)
         if entry is None:
             return VersionVector()
+        if "gc_floor_off_by_one" in self.config.mutations:
+            # MUTATION (proving ground): off-by-one floor — claim the
+            # *next* (unwritten) version of the key is already stable,
+            # so a sealed key answers stability queries a write early.
+            return entry[0].version.increment(self.site)
         return entry[0].version
 
     def _global_stable_floor(self, key: str) -> VersionVector:

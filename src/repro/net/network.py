@@ -30,7 +30,13 @@ from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
 from repro.storage.version import intern_str
 
-__all__ = ["Address", "Network", "NetworkStats"]
+__all__ = [
+    "Address",
+    "Network",
+    "NetworkStats",
+    "commutativity_fingerprint",
+    "message_keys",
+]
 
 #: Minimum spacing enforced between FIFO deliveries on one link (seconds).
 _FIFO_EPSILON = 1e-9
@@ -41,6 +47,41 @@ _FIFO_EPSILON = 1e-9
 _HORIZON_SWEEP_INTERVAL = 4096
 
 Handler = Callable[[Message, "Address"], None]
+
+
+def message_keys(msg: Message) -> Tuple[str, ...]:
+    """The datastore keys a message touches, in carried order.
+
+    Single-key protocol messages expose ``key``; the coalesced batch
+    messages carry ``entries`` ((key, version) pairs) or ``updates``
+    (whole RemoteUpdates). Control-plane messages (heartbeats, view
+    changes) touch no keys and return ``()``.
+    """
+    key = getattr(msg, "key", "")
+    if key:
+        return (key,)
+    entries = getattr(msg, "entries", ())
+    if entries:
+        return tuple(k for k, _version in entries)
+    updates = getattr(msg, "updates", ())
+    if updates:
+        return tuple(u.key for u in updates)
+    return ()
+
+
+def commutativity_fingerprint(
+    src: "Address", dst: "Address", msg: Message
+) -> Tuple[str, str, Tuple[str, ...]]:
+    """DPOR independence fingerprint: ``(destination, type, keys)``.
+
+    Delivering a message runs exactly one actor's handler, which mutates
+    only that actor's state (plus fresh sends appended to per-link FIFO
+    queues) — so two pending deliveries to *different* destinations
+    commute: executing them in either order reaches the same state. The
+    explorer's independence relation leans on the destination component;
+    type and keys are carried for schedule reporting and refinement.
+    """
+    return (str(dst), msg.type_name, message_keys(msg))
 
 
 @dataclasses.dataclass(frozen=True, order=True)
@@ -141,6 +182,11 @@ class Network:
         #: deployments, so the common case costs one attribute load on
         #: the unknown-address branch only.
         self._boundary = None
+        #: explore-mode diversion (see repro.analysis.explore): a
+        #: predicate-and-capture hook consulted after the drop checks;
+        #: returning True means the hook queued the message itself and
+        #: the latency model is bypassed for it. None in ordinary runs.
+        self._divert: Optional[Callable[[Address, Address, Message], bool]] = None
         self.stats = NetworkStats()
 
     # ------------------------------------------------------------------
@@ -169,6 +215,27 @@ class Network:
     # ------------------------------------------------------------------
     # registration
     # ------------------------------------------------------------------
+    def set_divert(
+        self, fn: Optional[Callable[[Address, Address, Message], bool]]
+    ) -> None:
+        """Install (or clear, with None) the explore-mode diversion hook.
+
+        The hook sees every message that survived the drop checks. If it
+        returns True it has taken ownership — no delivery is scheduled
+        here; the owner later releases it through :meth:`inject_now`.
+        """
+        self._divert = fn
+
+    def inject_now(self, src: Address, dst: Address, msg: Message) -> None:
+        """Deliver a previously-diverted message at the current instant.
+
+        Posts through the kernel so the delivery runs as an ordinary
+        event; :meth:`_deliver` re-checks crash/partition state, so a
+        message chosen for delivery after its destination crashed is
+        still dropped.
+        """
+        self.sim.post_at(self.sim.now, self._deliver, src, dst, msg)
+
     def attach_boundary(self, boundary: Any) -> None:
         """Route sends to unregistered addresses in the boundary's remote
         sites through it (the sharded engine's cross-shard trap)."""
@@ -266,6 +333,11 @@ class Network:
         model, cross_site = cached
         self.stats.record(msg, size, cross_site)
 
+        if self._divert is not None and self._divert(src, dst, msg):
+            # Explore mode owns this message's delivery order; the
+            # latency model is deliberately bypassed (schedules quotient
+            # out timing — only the order of deliveries matters).
+            return
         delay = model.sample(self._rng)
         deliver_at = self.sim.now + delay
         horizon = self._fifo_horizon.get(link, 0.0) + _FIFO_EPSILON

@@ -35,7 +35,7 @@ from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
-__all__ = ["Simulator", "ScheduledEvent"]
+__all__ = ["DeliveryChooser", "Simulator", "ScheduledEvent"]
 
 _heappush = heapq.heappush
 _heappop = heapq.heappop
@@ -92,6 +92,33 @@ class ScheduledEvent:
         return f"<ScheduledEvent t={self.time:.6f} seq={self.seq} {state}>"
 
 
+class DeliveryChooser:
+    """Hook deciding *which* pending delivery runs next (schedule control).
+
+    The heap fixes event order by ``(time, seq)``; a systematic explorer
+    (:mod:`repro.analysis.explore`) instead wants to *choose* the next
+    message delivery among all concurrently-pending ones. A chooser
+    attached via :meth:`Simulator.set_delivery_chooser` is consulted by
+    :meth:`Simulator.run_window` exactly when virtual time would
+    otherwise advance (or the heap is empty): if the chooser has a
+    pending delivery to release, it posts it at the *current* instant
+    (``sim.post_at(sim.now, ...)``) and returns True, and the loop picks
+    it up before any later-timestamped event fires. Timers therefore
+    only fire once the chooser has drained everything it wants delivered
+    at the current instant.
+
+    ``run()``'s fast path never consults the chooser — the golden-trace
+    configuration (no chooser attached) is byte-identical with this seam
+    in place.
+    """
+
+    __slots__ = ()
+
+    def release(self, sim: "Simulator") -> bool:
+        """Post one chosen delivery at ``sim.now``; True if one was posted."""
+        raise NotImplementedError
+
+
 class Simulator:
     """A single-threaded discrete-event simulator with virtual time.
 
@@ -115,6 +142,7 @@ class Simulator:
         "_cancelled_in_heap",
         "_freelist",
         "_events_reused",
+        "_chooser",
     )
 
     def __init__(self) -> None:
@@ -127,6 +155,7 @@ class Simulator:
         self._cancelled_in_heap: int = 0
         self._freelist: List[ScheduledEvent] = []
         self._events_reused: int = 0
+        self._chooser: Optional[DeliveryChooser] = None
 
     # ------------------------------------------------------------------
     # time
@@ -144,6 +173,14 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of not-yet-fired, not-cancelled events. O(1)."""
         return self._pending
+
+    def set_delivery_chooser(self, chooser: Optional[DeliveryChooser]) -> None:
+        """Attach (or detach, with None) a :class:`DeliveryChooser`.
+
+        Only :meth:`run_window` consults it; ``run()``'s fast path is
+        untouched, so ordinary seeded runs are unaffected by the seam.
+        """
+        self._chooser = chooser
 
     # ------------------------------------------------------------------
     # scheduling
@@ -305,6 +342,11 @@ class Simulator:
         everything the shard executed is ``< bound``, everything
         injected is ``>= bound``, and the merged order is decided by the
         heap's (time, seq) key alone. Returns the number of events run.
+
+        When a :class:`DeliveryChooser` is attached it is consulted
+        whenever virtual time would advance past the current instant (or
+        the heap is empty): pending chosen deliveries posted at ``now``
+        run before any later-timestamped event.
         """
         if self._running:
             raise SimulationError("simulator is not reentrant: run_window() called from a callback")
@@ -313,15 +355,25 @@ class Simulator:
         heap = self._heap
         pop = _heappop
         try:
-            while heap:
-                entry = heap[0]
-                if len(entry) == 3 and entry[2].cancelled:
-                    ev = entry[2]
-                    pop(heap)
-                    self._cancelled_in_heap -= 1
-                    self._recycle(ev)
-                    continue
-                if entry[0] >= bound:
+            while True:
+                entry = None
+                while heap:
+                    head = heap[0]
+                    if len(head) == 3 and head[2].cancelled:
+                        ev = head[2]
+                        pop(heap)
+                        self._cancelled_in_heap -= 1
+                        self._recycle(ev)
+                        continue
+                    entry = head
+                    break
+                chooser = self._chooser
+                if chooser is not None and self._now < bound:
+                    # Time would advance (or the heap drained): give the
+                    # chooser a chance to inject a delivery at `now` first.
+                    if (entry is None or entry[0] > self._now) and chooser.release(self):
+                        continue
+                if entry is None or entry[0] >= bound:
                     break
                 pop(heap)
                 self._fire(entry)

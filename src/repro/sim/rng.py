@@ -49,4 +49,5 @@ class RngRegistry:
         return RngRegistry(derive_seed(self.root_seed, f"fork:{label}"))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"RngRegistry(root_seed={self.root_seed}, streams={sorted(self._streams)})"
+        # Sorts distinct stream-name strings (total order, repr only).
+        return f"RngRegistry(root_seed={self.root_seed}, streams={sorted(self._streams)})"  # repro: lint-ok(sort-tie-identity)

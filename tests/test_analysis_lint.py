@@ -227,10 +227,12 @@ class TestSetIteration:
         assert rules_of(lint_source(src, SIM_PATH)) == ["set-iteration"]
 
     def test_sorted_iteration_clean(self):
+        # sorted() satisfies set-iteration; the tie-breaking key
+        # satisfies sort-tie-identity (SIM_PATH is a delivery-path dir).
         src = (
             "def drain():  # repro: lint-ok(typing)\n"
             "    pending = set()\n"
-            "    for x in sorted(pending):\n"
+            "    for x in sorted(pending, key=lambda e: (e.time, e.seq)):\n"
             "        print(x)\n"
         )
         assert lint_source(src, SIM_PATH) == []
@@ -247,6 +249,77 @@ class TestSetIteration:
         assert lint_source(src, "src/repro/metrics/fixture.py") == []
         # Paths outside the repro tree (e.g. test fixtures) keep all rules.
         assert rules_of(lint_source(src, "fixture.py")) == ["set-iteration"]
+
+
+class TestSortTieIdentity:
+    NET_PATH = "src/repro/net/fixture.py"
+
+    def test_heappush_without_seq_flagged(self):
+        src = (
+            "import heapq\n"
+            "def enqueue(heap, time, ev):  # repro: lint-ok(typing)\n"
+            "    heapq.heappush(heap, (time, ev))\n"
+        )
+        assert rules_of(lint_source(src, SIM_PATH)) == ["sort-tie-identity"]
+
+    def test_heappush_with_seq_tiebreak_clean(self):
+        src = (
+            "import heapq\n"
+            "def enqueue(heap, time, seq, ev):  # repro: lint-ok(typing)\n"
+            "    heapq.heappush(heap, (time, seq, ev))\n"
+        )
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_aliased_heappush_checked(self):
+        # The kernel binds _heappush = heapq.heappush; the alias is still
+        # a delivery-order decision.
+        src = (
+            "import heapq\n"
+            "_heappush = heapq.heappush\n"
+            "def enqueue(heap, time, ev):  # repro: lint-ok(typing)\n"
+            "    _heappush(heap, (time, ev))\n"
+        )
+        assert rules_of(lint_source(src, SIM_PATH)) == ["sort-tie-identity"]
+
+    def test_sorted_without_key_flagged(self):
+        src = "def order(msgs):  # repro: lint-ok(typing)\n    return sorted(msgs)\n"
+        assert rules_of(lint_source(src, self.NET_PATH)) == ["sort-tie-identity"]
+
+    def test_sorted_with_tie_prone_key_flagged(self):
+        src = (
+            "def order(msgs):  # repro: lint-ok(typing)\n"
+            "    return sorted(msgs, key=lambda m: m.time)\n"
+        )
+        assert rules_of(lint_source(src, self.NET_PATH)) == ["sort-tie-identity"]
+
+    def test_sorted_with_seq_lambda_clean(self):
+        src = (
+            "def order(msgs):  # repro: lint-ok(typing)\n"
+            "    return sorted(msgs, key=lambda m: (m.time, m.seq))\n"
+        )
+        assert lint_source(src, self.NET_PATH) == []
+
+    def test_sorted_with_designated_sort_key_clean(self):
+        src = (
+            "from repro.net.boundary import Envelope\n"
+            "def order(envs):  # repro: lint-ok(typing)\n"
+            "    return sorted(envs, key=Envelope.sort_key)\n"
+        )
+        assert lint_source(src, self.NET_PATH) == []
+
+    def test_pragma_suppresses(self):
+        src = (
+            "def order(names):  # repro: lint-ok(typing)\n"
+            "    return sorted(names)  # repro: lint-ok(sort-tie-identity)\n"
+        )
+        assert lint_source(src, self.NET_PATH) == []
+
+    def test_rule_scoped_to_delivery_dirs(self):
+        # core/ sorts are event-ordering but not delivery-order decisions;
+        # the (time, seq) discipline is a sim/net contract.
+        src = "def order(msgs):  # repro: lint-ok(typing)\n    return sorted(msgs)\n"
+        assert lint_source(src, "src/repro/core/fixture.py") == []
+        assert lint_source(src, "src/repro/metrics/fixture.py") == []
 
 
 class TestSlots:

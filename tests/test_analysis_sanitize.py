@@ -118,6 +118,81 @@ class TestSanitizeRun:
         assert "invariants:" in report.format()
 
 
+class TestSanitizeSharded:
+    def test_sharded_twice_run_is_clean(self):
+        from repro.analysis import sanitize_sharded
+
+        report = sanitize_sharded(
+            "chainreaction",
+            seed=42,
+            clients=2,
+            duration=0.2,
+            warmup=0.05,
+            records=10,
+            servers_per_site=3,
+            workers=2,
+        )
+        assert report.workers == 2
+        assert report.twice_run_clean
+        assert report.worker_count_clean
+        assert report.clean
+        assert report.digests[0] == report.digests[1] == report.serial_digest
+        assert "no divergence" in report.format()
+
+    def test_serial_reference_is_optional(self):
+        from repro.analysis import sanitize_sharded
+
+        report = sanitize_sharded(
+            "chainreaction",
+            seed=7,
+            clients=2,
+            duration=0.2,
+            warmup=0.05,
+            records=10,
+            servers_per_site=3,
+            workers=2,
+            compare_serial=False,
+        )
+        assert report.serial_digest is None
+        assert report.worker_count_clean  # vacuously
+        assert report.clean == report.twice_run_clean
+
+    def test_cli_sanitize_workers(self):
+        import io
+
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(
+            [
+                "sanitize",
+                "--workers", "2",
+                "--clients", "2",
+                "--duration", "0.2",
+                "--warmup", "0.05",
+                "--records", "10",
+                "--servers", "3",
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "sharded engine" in text
+        assert "no divergence" in text
+        assert "matches workers=1" in text
+
+    def test_cli_sanitize_workers_rejects_unshardable_protocol(self):
+        import io
+
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(
+            ["sanitize", "--workers", "2", "--protocol", "eventual"], out=out
+        )
+        assert code == 2
+
+
 class TestCliSanitize:
     def test_cli_sanitize_exits_zero_on_clean_run(self):
         import io
