@@ -1,0 +1,104 @@
+"""PR8 — Stabilization-plane A/B: notices (± batching) vs clock.
+
+The clock plane replaces every per-write stability notification with an
+HLC stamp plus one periodic stability vector per DC. Three claims back
+this PR, measured on one write-heavy geo workload (2 sites, R=3, k=2):
+
+1. **Stability bytes** — the clock plane must cut the bytes spent on
+   stabilization control traffic (per-write notices + global notices +
+   acks on the notices plane; floor reports + ticks + vectors on the
+   clock plane) by at least 5x against the seed notices plane.
+2. **Wall rate** — simulated ops per wall second on the clock plane
+   must reach at least 90% of the notices plane (fewer wire messages
+   means fewer simulator events per op, so it normally *wins*).
+3. **Bounded stamp map** — the clock plane's live per-key stamp map
+   must not scale with the op count: stamps are pruned as the global
+   cut passes them, so the end-of-run footprint stays a small multiple
+   of (keyspace x replicas), unlike the notices plane's stable maps.
+
+Visibility latency is reported for both planes (the clock plane trades
+a vector interval of extra remote-visibility latency for its byte
+savings) but is informational, not gated.
+
+Run as a script to (re)generate ``BENCH_PR8.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_pr8_stability.py
+
+or as part of the benchmark suite::
+
+    pytest benchmarks/bench_pr8_stability.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Any, Dict
+
+from repro.perf.stability import bench_stability_plane
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR8.json"
+
+#: acceptance floors for the clock arm
+MIN_STABILITY_BYTES_REDUCTION = 5.0
+MIN_OPS_WALL_RATIO = 0.90
+
+
+def collect(repeats: int = 3) -> Dict[str, Any]:
+    report = bench_stability_plane(repeats=repeats)
+    report["python"] = platform.python_version()
+    report["platform"] = platform.platform()
+    return report
+
+
+def check(report: Dict[str, Any]) -> list:
+    failures = []
+    if report["stability_bytes_reduction"] < MIN_STABILITY_BYTES_REDUCTION:
+        failures.append(
+            f"stability-byte reduction {report['stability_bytes_reduction']:.2f}x "
+            f"< {MIN_STABILITY_BYTES_REDUCTION}x"
+        )
+    if report["ops_per_wall_sec_ratio"] < MIN_OPS_WALL_RATIO:
+        failures.append(
+            f"clock wall rate {report['ops_per_wall_sec_ratio']:.2f}x of notices "
+            f"< {MIN_OPS_WALL_RATIO}x"
+        )
+    if not report["clock_stable_map_bounded"]:
+        failures.append(
+            f"clock stamp map not bounded: {report['clock_stable_map_entries']} "
+            "live entries at end of run"
+        )
+    return failures
+
+
+def test_stability_plane_ab() -> None:
+    report = collect(repeats=1)
+    failures = check(report)
+    assert not failures, "; ".join(failures)
+
+
+def main() -> int:
+    report = collect()
+    REPORT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True, default=str) + "\n")
+    for arm in report["arms"]:
+        print(
+            f"{arm['plane']:>14}: {arm['ops_per_wall_sec']:>8,.0f} ops/wall-s  "
+            f"{arm['stability_bytes']:>10,} stability B  "
+            f"vis p50 {arm['visibility_p50_ms']:6.1f} ms  "
+            f"map {arm['stable_map_entries'] + arm['hlc_entries']}"
+        )
+    print(
+        f"clock vs notices: {report['stability_bytes_reduction']:.1f}x fewer "
+        f"stability bytes, {report['ops_per_wall_sec_ratio']:.2f}x wall rate"
+    )
+    print(f"report written to {REPORT_PATH}")
+    failures = check(report)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,7 +26,11 @@ What it does:
    the trace digests differ (the engine's determinism contract,
    enforced on any host) or — on hosts scheduling >= 2 CPUs — if the
    workers=2 wall rate is below 1.25x the workers=1 rate;
-7. rewrites the BENCH JSON with the fresh numbers on success.
+7. runs a single-repeat stabilization-plane A/B (notices vs clock) and
+   fails if the clock plane's wall rate drops below 90% of the notices
+   plane, if it stops cutting stability-control bytes by at least 5x,
+   or if its per-key stamp map stops being bounded;
+8. rewrites the BENCH JSON with the fresh numbers on success.
 
 CHANGES.md convention: a PR that moves any number here by >10% should
 say so in its CHANGES.md line and ship the regenerated BENCH file.
@@ -71,6 +75,17 @@ SCALE_SMOKE = {
 #: workers=1 rate — enforced only on hosts that schedule >= 2 CPUs.
 PARALLEL_SPEEDUP_FLOOR = 1.25
 
+#: Fail when the clock plane's wall rate drops below this fraction of
+#: the notices plane's.
+CLOCK_FLOOR = 0.90
+
+#: Fail when the clock plane stops cutting stability-control bytes by
+#: at least this factor vs the notices plane. The A/B runs at the full
+#: BENCH_PR8 scale (duration 1.0): the clock plane's fixed-rate control
+#: traffic dominates short runs, so a shrunk profile would undersell
+#: the reduction and trip the gate spuriously.
+CLOCK_BYTES_REDUCTION_FLOOR = 5.0
+
 #: Shrunk sharded scale tier (``perf --scale --workers``) for the
 #: determinism + speedup smoke gate.
 PARALLEL_SMOKE = {
@@ -98,6 +113,10 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--skip-parallel", action="store_true",
         help="skip the sharded-engine determinism + speedup gate",
+    )
+    parser.add_argument(
+        "--skip-clock", action="store_true",
+        help="skip the stabilization-plane (notices vs clock) gate",
     )
     parser.add_argument(
         "--bench-pr5", default="BENCH_PR5.json", metavar="PATH",
@@ -229,6 +248,32 @@ def main(argv=None) -> int:
         elif cpus < 2:
             print(
                 "  (speedup floor not enforced: host schedules a single cpu)"
+            )
+
+    if not args.skip_clock:
+        from repro.perf import bench_stability_plane
+
+        plane = bench_stability_plane(repeats=1)
+        ratio = plane["ops_per_wall_sec_ratio"]
+        reduction = plane["stability_bytes_reduction"]
+        print(
+            f"  clock / notices ops per wall-s     {ratio:.2f}x "
+            f"(stability bytes cut {reduction:.1f}x)"
+        )
+        if ratio < CLOCK_FLOOR:
+            failures.append(
+                f"clock plane runs at {ratio:.0%} of the notices wall rate "
+                f"(floor {CLOCK_FLOOR:.0%})"
+            )
+        if reduction < CLOCK_BYTES_REDUCTION_FLOOR:
+            failures.append(
+                f"clock plane cuts stability bytes only {reduction:.1f}x "
+                f"(floor {CLOCK_BYTES_REDUCTION_FLOOR}x)"
+            )
+        if not plane["clock_stable_map_bounded"]:
+            failures.append(
+                f"clock plane stamp map unbounded "
+                f"({plane['clock_stable_map_entries']} live entries)"
             )
 
     if failures:

@@ -129,6 +129,10 @@ SCHEDULE_FORMAT = 1
 #: message types that stay on the ordinary timer-driven path — the
 #: failure detector is infrastructure, not explored protocol behaviour
 #: (scenarios disable the detector via a huge failure_timeout anyway).
+#: The clock plane's periodic traffic is diverted like everything else:
+#: the per-link FIFO queues preserve the ship-before-vector same-link
+#: ordering its correctness argument leans on, while letting schedules
+#: interleave the (cross-link) injections, ticks, and reads.
 _UNDIVERTED = frozenset({"heartbeat"})
 
 #: virtual seconds granted to pre-scenario repair traffic (view changes
@@ -1469,6 +1473,46 @@ def _batch_reorder_scope() -> ExploreScope:
     )
 
 
+def _stale_vector_scope() -> ExploreScope:
+    """Clock plane: the mutated injection gate trusts the origin's ship
+    vector (``dep_ts <= dc_ship[origin]``) instead of the local visible
+    horizon. Two causally-chained writes on disjoint dc1 chains arrive
+    in one ``ClockShip``, whose ``lst`` already covers both stamps — so
+    the mutated gate admits the dependent write while its dependency's
+    injection is still queued for a *different* chain head. The reader's
+    pause is two vector intervals, landing on the very tick instant the
+    ship fires (interval accumulation is exact float doubling), so both
+    reads join the same drain phase as the racing injections: the
+    explorer can apply the dependent write, serve both reads, and only
+    then deliver the dependency — a causal-cut violation. The clean
+    gate caps ``visible`` at ``just_below(oldest pending)``, holding the
+    dependent write until its dependency tail-applies, whatever the
+    schedule."""
+    interval = 0.002
+    chains = _chain_map(["s0", "s1"], 1)
+    key_x = sorted(chains)[0]
+    x_chain = set(chains[key_x])
+    key_y = _pick(chains, lambda k, c: not x_chain.intersection(c))
+    return ExploreScope(
+        name="stale_stability_vector",
+        sites=("dc0", "dc1"),
+        servers_per_site=2,
+        chain_length=1,
+        ack_k=1,
+        ops=(
+            ExploreOp("A", "dc0", "put", key_x, 1),
+            ExploreOp("A", "dc0", "put", key_y, 2),
+            ExploreOp("B", "dc1", "pause", "", None, 2 * interval),
+            ExploreOp("B", "dc1", "get", key_y),
+            ExploreOp("B", "dc1", "get", key_x),
+        ),
+        overrides=(("stability", "clock"), ("stability_interval", interval)),
+        mutations=("stale_stability_vector",),
+        check_stability_convergence=False,
+        check_convergence=False,
+    )
+
+
 #: scenario name -> factory. The mutation scenarios carry their mutation
 #: in ``scope.mutations``; ``scope.without_mutations()`` is the clean
 #: twin the unmutated tree must pass.
@@ -1480,6 +1524,7 @@ SCENARIOS: Dict[str, Callable[[], ExploreScope]] = {
     "ack_implies_stable": _ack_implies_stable_scope,
     "skip_dep_wait": _skip_dep_wait_scope,
     "batch_reorder": _batch_reorder_scope,
+    "stale_stability_vector": _stale_vector_scope,
 }
 
 # every seeded mutation must have a proving-ground scenario

@@ -123,6 +123,7 @@ DEFAULT_WALL_CLOCK_EXEMPT: Tuple[str, ...] = (
     "perf/protocol.py",
     "perf/scale.py",
     "perf/parallel.py",
+    "perf/stability.py",
 )
 
 #: Directories (relative to ``src/repro``) whose code runs inside the

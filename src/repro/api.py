@@ -43,6 +43,7 @@ __all__ = [
     "CAP_TRACING",
     "CAP_STABILITY",
     "CAP_DURABLE_STORAGE",
+    "CAP_CLOCK_STABILITY",
     "GetResult",
     "PutResult",
     "SnapshotResult",
@@ -62,6 +63,9 @@ CAP_TRACING = "tracing"
 CAP_STABILITY = "stability"
 #: Servers can be backed by the append-only durable log store.
 CAP_DURABLE_STORAGE = "durable-storage"
+#: Stability is driven by the clock plane (HLC stamps + periodic
+#: stability vectors) instead of per-write notification streams.
+CAP_CLOCK_STABILITY = "clock-stability"
 
 
 @dataclasses.dataclass(frozen=True)

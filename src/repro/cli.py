@@ -43,11 +43,13 @@ Examples::
     python -m repro consistency --protocols chainreaction eventual
     python -m repro perf --out BENCH_PR1.json
     python -m repro perf --protocol --out BENCH_PR4.json
+    python -m repro perf --stability clock --out BENCH_PR8.json
     python -m repro faults --campaign crash-head --seed 7
-    python -m repro faults --campaign crash-head --check-determinism --batch
+    python -m repro faults --campaign crash-head --check-determinism --stability clock
     python -m repro lint --typing
     python -m repro sanitize --protocol chainreaction --invariants --format json
-    python -m repro sanitize --batch --invariants
+    python -m repro sanitize --stability notices+batch --invariants
+    python -m repro sanitize --stability clock --workers 2
     python -m repro sanitize --workers 2
     python -m repro explore --scope smallest --budget 5000
     python -m repro explore --scope split_brain_mint --expect-violation --save bug.json
@@ -76,6 +78,39 @@ from repro.workload import (
 )
 
 __all__ = ["main", "build_parser"]
+
+#: stabilization-plane selector values shared by run/faults/sanitize/perf
+_PLANE_CHOICES = ("notices", "notices+batch", "clock")
+
+#: one deprecation warning per process for the --batch alias
+_batch_alias_warned = False
+
+
+def _resolve_plane(args: argparse.Namespace, out) -> str:
+    """Fold the deprecated ``--batch`` boolean into ``--stability``."""
+    global _batch_alias_warned
+    plane = getattr(args, "stability", None)
+    if getattr(args, "batch", False):
+        if not _batch_alias_warned:
+            print(
+                "warning: --batch is deprecated; use --stability notices+batch",
+                file=out,
+            )
+            _batch_alias_warned = True
+        if plane is None:
+            plane = "notices+batch"
+    return plane or "notices"
+
+
+def _plane_overrides(plane: str) -> Dict[str, Any]:
+    """Config overrides selecting a stabilization plane."""
+    if plane == "notices+batch":
+        from repro.perf.protocol import BATCHED_OVERRIDES
+
+        return dict(BATCHED_OVERRIDES)
+    if plane == "clock":
+        return {"stability": "clock"}
+    return {}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -130,9 +165,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="back servers with the FAWN-KV-style append-only log store",
     )
     run.add_argument(
+        "--stability", choices=_PLANE_CHOICES, default=None, metavar="PLANE",
+        help="stabilization plane: notices (default), notices+batch "
+        "(PR 4 coalescers + metadata GC), or clock (HLC + stability "
+        "vectors); chainreaction/chain only",
+    )
+    run.add_argument(
         "--batch",
         action="store_true",
-        help="enable protocol batching + metadata GC (chainreaction/chain only)",
+        help="deprecated alias for --stability notices+batch",
     )
 
     probe = sub.add_parser(
@@ -174,6 +215,12 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument(
         "--protocol", action="store_true",
         help="also run the protocol-plane benchmark (batching + metadata GC on vs off)",
+    )
+    perf.add_argument(
+        "--stability", choices=_PLANE_CHOICES, default=None, metavar="PLANE",
+        help="run the stabilization-plane benchmark (notices vs clock A/B) "
+        "and write BENCH_PR8.json; PLANE selects the arm the summary "
+        "leads with",
     )
     perf.add_argument(
         "--scale", action="store_true",
@@ -227,8 +274,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the campaign twice under one seed and diff the message traces",
     )
     faults.add_argument(
+        "--stability", choices=_PLANE_CHOICES, default=None, metavar="PLANE",
+        help="run the campaign on a stabilization plane: notices (default), "
+        "notices+batch, or clock",
+    )
+    faults.add_argument(
         "--batch", action="store_true",
-        help="run the campaign with protocol batching + metadata GC enabled",
+        help="deprecated alias for --stability notices+batch",
     )
 
     lint = sub.add_parser(
@@ -262,8 +314,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach the chain prefix/stability/causal-cut monitors",
     )
     sanitize.add_argument(
+        "--stability", choices=_PLANE_CHOICES, default=None, metavar="PLANE",
+        help="sanitize on a stabilization plane: notices (default), "
+        "notices+batch, or clock",
+    )
+    sanitize.add_argument(
         "--batch", action="store_true",
-        help="sanitize with protocol batching + metadata GC enabled",
+        help="deprecated alias for --stability notices+batch",
     )
     sanitize.add_argument(
         "--workers", type=int, default=None, metavar="N",
@@ -351,13 +408,12 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
             print("--durable applies to chainreaction/chain only", file=out)
             return 2
         overrides["durable_storage"] = True
-    if args.batch:
+    plane = _resolve_plane(args, out)
+    if plane != "notices":
         if args.protocol not in ("chainreaction", "chain"):
-            print("--batch applies to chainreaction/chain only", file=out)
+            print("--stability applies to chainreaction/chain only", file=out)
             return 2
-        from repro.perf.protocol import BATCHED_OVERRIDES
-
-        overrides.update(BATCHED_OVERRIDES)
+        overrides.update(_plane_overrides(plane))
     store = build_store(
         args.protocol,
         sites=tuple(args.sites),
@@ -573,7 +629,52 @@ def _cmd_perf_scale(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_perf_stability(args: argparse.Namespace, out) -> int:
+    from repro.perf import write_report
+    from repro.perf.stability import bench_stability_plane
+
+    print(
+        "running stabilization-plane benchmark (notices vs clock, "
+        f"{args.repeats} repeats) ...",
+        file=out,
+    )
+    report = bench_stability_plane(repeats=args.repeats)
+    lead = args.stability
+    rows = [("lead plane", lead)]
+    for arm in report["arms"]:
+        rows.append(
+            (
+                arm["plane"],
+                f"{arm['ops_per_wall_sec']:,.0f} ops/wall-s, "
+                f"{arm['stability_bytes']:,} stability B, "
+                f"vis p50 {arm['visibility_p50_ms']:.1f} ms",
+            )
+        )
+    rows.append(
+        ("stability-byte reduction (clock vs notices)",
+         f"{report['stability_bytes_reduction']:.1f}x"),
+    )
+    rows.append(
+        ("stable-map bound (clock)", str(report["clock_stable_map_bounded"])),
+    )
+    report_path = args.out or "BENCH_PR8.json"
+    write_report(report, report_path)
+    text = "\n\n".join(
+        [
+            render_table(["metric", "value"], rows, title="perf --stability"),
+            f"report written to {report_path}",
+        ]
+    )
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True, default=str), file=out)
+    else:
+        print(text, file=out)
+    return 0
+
+
 def _cmd_perf(args: argparse.Namespace, out) -> int:
+    if args.stability:
+        return _cmd_perf_stability(args, out)
     if args.scale:
         return _cmd_perf_scale(args, out)
     from repro.perf import (
@@ -639,10 +740,9 @@ def _cmd_faults(args: argparse.Namespace, out) -> int:
         updates["clients"] = args.clients
     if args.workload is not None:
         updates["workload_name"] = args.workload
-    if args.batch:
-        from repro.perf.protocol import BATCHED_OVERRIDES
-
-        updates["overrides"] = {**(spec.overrides or {}), **BATCHED_OVERRIDES}
+    plane = _resolve_plane(args, out)
+    if plane != "notices":
+        updates["overrides"] = {**(spec.overrides or {}), **_plane_overrides(plane)}
     if updates:
         spec = spec.with_updates(**updates)
 
@@ -743,11 +843,11 @@ def _cmd_sanitize_sharded(args: argparse.Namespace, out, overrides) -> int:
 def _cmd_sanitize(args: argparse.Namespace, out) -> int:
     from repro.analysis import sanitize_run
 
-    overrides = None
-    if args.batch:
-        from repro.perf.protocol import BATCHED_OVERRIDES
-
-        overrides = dict(BATCHED_OVERRIDES)
+    plane = _resolve_plane(args, out)
+    if plane != "notices" and args.protocol not in ("chainreaction", "chain"):
+        print("--stability applies to chainreaction/chain only", file=out)
+        return 2
+    overrides = _plane_overrides(plane) or None
     if args.workers is not None:
         if args.workers < 1:
             print("sanitize: --workers must be >= 1", file=out)

@@ -38,6 +38,7 @@ from repro.cluster.client_base import RetryingSession
 from repro.core.deptable import make_dep_table
 from repro.core.messages import DepEntry, PutReply, PutRequest
 from repro.errors import ReproError, RequestTimeout, TransientError
+from repro.sim.hlc import hlc_or_none
 from repro.sim.process import Future, all_of, spawn, with_timeout
 from repro.storage.version import intern_str
 
@@ -171,6 +172,9 @@ class ChainClientSession(RetryingSession):  # repro: lint-ok(slots) — unslotte
 
     def _note_observed(self, key: str, reply: Dict[str, Any]) -> None:
         version = reply["version"]
+        # Clock plane: carry the write's HLC stamp into the dep table so
+        # future puts ship it; None on the notices plane (zero bytes).
+        hlc = reply.get("hlc")
         if reply.get("global", reply["stable"]):
             # Globally stable (== DC-stable in a single-DC deployment):
             # every replica everywhere serves it, so it constrains nothing.
@@ -181,7 +185,7 @@ class ChainClientSession(RetryingSession):  # repro: lint-ok(slots) — unslotte
                 # keeping it only inflates the table the GC is bounding.
                 self._deps.pop(key, None)
             else:
-                self._deps.set(key, version, reply["index"])
+                self._deps.set(key, version, reply["index"], hlc)
             return
         if reply["stable"]:
             # DC-stable but not yet globally: any *local* replica may
@@ -196,7 +200,7 @@ class ChainClientSession(RetryingSession):  # repro: lint-ok(slots) — unslotte
                 index = reply["index"] if known is None else max(known, reply["index"])
             else:
                 index = reply["index"]
-        self._deps.set(key, version, index)
+        self._deps.set(key, version, index, hlc)
 
     # ------------------------------------------------------------------
     # snapshot reads (multi_get)
@@ -322,6 +326,7 @@ class ChainClientSession(RetryingSession):  # repro: lint-ok(slots) — unslotte
         raise self._give_up("delete" if is_delete else "put", key)
 
     def _record_put(self, key: str, reply: PutReply, stable: bool) -> None:
+        hlc = hlc_or_none(reply.hlc)
         if self.config.collapse_deps_on_put:
             # The new write causally covers everything this session did
             # before it — the table collapses to a single entry (or none,
@@ -332,10 +337,10 @@ class ChainClientSession(RetryingSession):  # repro: lint-ok(slots) — unslotte
             self._deps.clear()
             if not stable or self.config.is_geo:
                 index = len(self.view.chain_for(key)) - 1 if stable else reply.index
-                self._deps.set(key, reply.version, index)
+                self._deps.set(key, reply.version, index, hlc)
         else:
             # Ablation mode: accumulate forever (measured in E8).
-            self._deps.set(key, reply.version, reply.index)
+            self._deps.set(key, reply.version, reply.index, hlc)
 
     def on_put_reply(self, msg: PutReply, src: Any) -> None:
         fut = self._pending_puts.pop(msg.request_id, None)

@@ -1,0 +1,764 @@
+"""The clock stability plane: HLC stamps + periodic stability vectors.
+
+``ChainReactionConfig.stability == "clock"`` replaces every per-write
+stability notification with clock arithmetic (the Okapi / deferred-
+update-stabilization design from the related work):
+
+- The chain **head** stamps each locally admitted put with a
+  :class:`~repro.sim.hlc.HybridClock` value and keeps the stamp in an
+  in-flight set until the **tail** reports back one tiny
+  ``TailApplied`` (the only remaining per-write control message, and it
+  is chain-local).
+- Every server reports a **low-stamp floor** to its site's clock agent
+  once per ``stability_interval``: no write it heads will ever be
+  stamped at or below the floor.  ``min`` over the floors is the site's
+  *local stability timestamp* (LST): every local write stamped ≤ LST is
+  tail-applied in this DC.
+- The **geo-proxy** hosts the agent in multi-site deployments.  It
+  ships DC-stable local writes in stamp-ordered ``ClockShip`` batches
+  bounded by the LST, and broadcasts one ``StabilityVector`` per peer
+  per interval carrying ``(ship_lst, visible)``.  ``visible`` is the
+  site's applied horizon: ``min(local LST, just-below the oldest
+  received-but-not-yet-applied remote update, min over peers'
+  ship_lst)`` — the last term covers writes that exist remotely but
+  have not arrived here.  Because the ship batch is flushed before the
+  vector on the same FIFO link, a peer that trusts a vector has already
+  received every update the vector covers.
+- The **global-stabilization cut** is ``min`` over every site's
+  ``visible``.  A write is globally stable — prunable from dependency
+  tables — exactly when the cut passes its stamp.  ``ClockTick``
+  messages push ``(visible, cut)`` to the local servers, waking parked
+  dependency waits and answering read-stability queries; no tracker
+  entries, cascades, acks or notices exist on this plane.
+
+Remote updates are injected strictly in stamp order once the site's
+``visible`` horizon passes their dependencies' stamps (dependencies
+always carry smaller stamps than their dependents, so ordered injection
+cannot deadlock).  Liveness under crashes is timeout-based: in-flight
+head entries and pending-injection entries are dropped after
+``2 * sync_timeout`` (chain repair re-stabilises stranded writes), and
+floors from servers silent for ``2 * failure_timeout`` are ignored.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING, Any, Deque, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.cluster.membership import RingView
+from repro.core.config import ChainReactionConfig
+from repro.core.messages import (
+    ClockReport,
+    ClockShip,
+    ClockTick,
+    Deps,
+    PutRequest,
+    RemoteUpdate,
+    StabilityVector,
+    TailApplied,
+    TailStable,
+)
+from repro.core.stability_plane import StabilityPlane
+from repro.errors import RequestTimeout
+from repro.net.actor import Actor
+from repro.net.network import Address, Network
+from repro.sim.hlc import HLC_ZERO, NO_HLC, HLCStamp, HybridClock, just_below
+from repro.sim.kernel import Simulator
+from repro.sim.process import Future, spawn, with_timeout
+from repro.storage.version import VersionVector
+
+if TYPE_CHECKING:
+    from repro.core.geo import GeoProxy
+    from repro.core.node import ChainNode
+
+__all__ = ["ClockNodePlane", "ClockAgent", "GeoClockCore", "FloorTable"]
+
+_GEOPROXY = "geoproxy"
+_CLOCKAGENT = "clockagent"
+
+#: stamp key tuple — unique total order (see repro.sim.hlc)
+_Key = Tuple[int, int, str]
+
+
+class FloorTable:
+    """Per-site table of server low-stamp floors.
+
+    ``local_lst`` is ``min`` over the *current view's* servers; a server
+    that has never reported pins the LST at zero (conservative), and one
+    silent past ``stale_after`` is presumed crashed and skipped (chain
+    repair re-homes its writes).
+    """
+
+    __slots__ = ("_floors", "stale_after")
+
+    def __init__(self, stale_after: float) -> None:
+        self._floors: Dict[str, Tuple[HLCStamp, float]] = {}
+        self.stale_after = stale_after
+
+    def update(self, server: str, floor: HLCStamp, now: float) -> None:
+        cur = self._floors.get(server)
+        if cur is None or floor > cur[0]:
+            self._floors[server] = (floor, now)
+        else:
+            self._floors[server] = (cur[0], now)
+
+    def local_lst(self, servers: Tuple[str, ...], now: float) -> HLCStamp:
+        lst: Optional[HLCStamp] = None
+        for server in servers:
+            got = self._floors.get(server)
+            if got is None:
+                return HLC_ZERO
+            floor, heard = got
+            if now - heard > self.stale_after:
+                continue
+            if lst is None or floor < lst:
+                lst = floor
+        return lst if lst is not None else HLC_ZERO
+
+
+class ClockNodePlane(StabilityPlane):
+    """Node-side clock plane: stamping, floors, parked waits, answers."""
+
+    __slots__ = (
+        "clock",
+        "lst",
+        "cut",
+        "_inflight",
+        "_inflight_heap",
+        "_waiters",
+        "_wait_seq",
+        "_apply_waiters",
+        "_hlc_of",
+        "_deps_fifo",
+        "_interval",
+        "_agent",
+        "_inflight_timeout",
+        "_prune_deps",
+    )
+
+    name = "clock"
+
+    def __init__(self, node: "ChainNode") -> None:
+        super().__init__(node)
+        config = node.config
+        self.clock = HybridClock(node.sim, f"{node.site}:{node.name}")
+        #: the site's applied horizon (from ClockTick); monotone
+        self.lst = HLC_ZERO
+        #: the global-stabilization cut (from ClockTick); monotone
+        self.cut = HLC_ZERO
+        #: stamp-key → (stamp, key, minted_at): local puts this head
+        #: stamped whose TailApplied has not come back yet
+        self._inflight: Dict[_Key, Tuple[HLCStamp, str, float]] = {}
+        self._inflight_heap: List[_Key] = []
+        #: parked dependency waits: (stamp-key, seq, future)
+        self._waiters: List[Tuple[_Key, int, Future]] = []
+        self._wait_seq = 0
+        #: wait_stable callers parked until the version arrives here
+        self._apply_waiters: Dict[str, List[Tuple[VersionVector, Future]]] = {}
+        #: newest applied stamp per key — the record-stability answer
+        self._hlc_of: Dict[str, HLCStamp] = {}
+        #: (stamp, key) in apply order, pruned as the cut passes —
+        #: bounds ``_record_deps`` like metadata_gc sealing does
+        self._deps_fifo: Deque[Tuple[HLCStamp, str]] = deque()
+        self._interval = config.stability_interval
+        self._agent = Address(
+            node.site, _GEOPROXY if config.is_geo else _CLOCKAGENT
+        )
+        self._inflight_timeout = 2.0 * config.sync_timeout
+        # Dropping a globally-stable record's dependency list leans on
+        # the causal-delivery gate (same argument as sealing, DESIGN
+        # §7.8) — disabled under the E10 ablation.
+        self._prune_deps = (not config.is_geo) or config.geo_causal_delivery
+        node.set_timer(self._interval, self._report_tick)
+
+    # -- dependency waits ----------------------------------------------
+    def unresolved_deps(self, msg: PutRequest) -> List[Tuple[str, Any]]:
+        lst = self.lst
+        return [
+            (dep_key, entry)
+            for dep_key, entry in msg.deps.items()
+            # Same-key deps are ordered by the chain itself; deps with
+            # no stamp predate the clock plane and cannot be waited on.
+            if dep_key != msg.key
+            and entry.hlc is not None
+            and entry.hlc > lst
+        ]
+
+    def spawn_dep_wait(self, dep_key: str, entry: Any) -> Future:
+        # Same RPC loop as the notices plane: ask the dependency's tail.
+        # The tail answers from clock state (apply == DC-stable at the
+        # tail) instead of the stability tracker, so the wait resolves a
+        # LAN hop after the chain commits — not a vector interval later.
+        node = self.node
+        return spawn(
+            node.sim, node._wait_dep(dep_key, entry.version), name=f"dep:{dep_key}"
+        )
+
+    def wait_stable(self, key: str, version: VersionVector) -> Future:
+        node = self.node
+        fut = Future(node.sim)
+        record = node.store.get_record(key)
+        if record is not None and record.version.dominates(version):
+            ts = self._hlc_of.get(key)
+            if ts is None or ts <= self.lst or self._is_tail(key):
+                fut.try_set_result(True)
+            else:
+                self._park(ts, fut)
+            return fut
+        # Not applied here yet: note_applied re-evaluates on arrival.
+        self._apply_waiters.setdefault(key, []).append((version, fut))
+        return fut
+
+    def _is_tail(self, key: str) -> bool:
+        return self.node.chain_for(key)[-1] == self.node.name
+
+    def _park(self, ts: HLCStamp, fut: Future) -> None:
+        self._wait_seq += 1
+        heappush(self._waiters, (ts.key(), self._wait_seq, fut))
+
+    # -- write metadata ------------------------------------------------
+    def stamp_put(self, msg: PutRequest) -> Any:
+        clock = self.clock
+        for entry in msg.deps.values():
+            if entry.hlc is not None:
+                clock.observe(entry.hlc)
+        ts = clock.stamp()
+        self._inflight[ts.key()] = (ts, msg.key, self.node.sim.now)
+        heappush(self._inflight_heap, ts.key())
+        return ts
+
+    def observe(self, hlc: Any) -> None:
+        self.clock.observe(hlc)
+
+    def note_applied(self, key: str, hlc: Any) -> None:
+        if isinstance(hlc, HLCStamp):
+            self.clock.observe(hlc)
+            cur = self._hlc_of.get(key)
+            if cur is None or hlc > cur:
+                self._hlc_of[key] = hlc
+                if self._prune_deps:
+                    self._deps_fifo.append((hlc, key))
+        if self._apply_waiters:
+            self._wake_apply_waiters(key)
+
+    def _wake_apply_waiters(self, key: str) -> None:
+        waiters = self._apply_waiters.pop(key, None)
+        if not waiters:
+            return
+        record = self.node.store.get_record(key)
+        applied = record.version if record is not None else None
+        still: List[Tuple[VersionVector, Future]] = []
+        for version, fut in waiters:
+            if applied is not None and applied.dominates(version):
+                ts = self._hlc_of.get(key)
+                if ts is None or ts <= self.lst or self._is_tail(key):
+                    fut.try_set_result(True)
+                else:
+                    self._park(ts, fut)
+            else:
+                still.append((version, fut))
+        if still:
+            self._apply_waiters[key] = still
+
+    def retire(self, ts: HLCStamp) -> None:
+        # Unknown stamps are ignored: repair can route a TailApplied to
+        # a head that never stamped the write (or already timed it out).
+        self._inflight.pop(ts.key(), None)
+
+    # -- visibility questions ------------------------------------------
+    def record_is_stable(self, key: str, version: VersionVector) -> bool:
+        ts = self._hlc_of.get(key)
+        if ts is None:
+            # No clock-stamped write ever landed here: preloaded or
+            # repair-transferred legacy state, stable by construction.
+            return True
+        if ts <= self.lst:
+            return True
+        # The tail applying a write *is* DC-stability on this plane.
+        # (chain_for, not is_tail: the latter raises for keys whose
+        # chain a view change moved away while the record lingers here.)
+        return self.node.chain_for(key)[-1] == self.node.name
+
+    def record_is_global(
+        self, key: str, version: VersionVector, dc_stable: bool
+    ) -> bool:
+        ts = self._hlc_of.get(key)
+        if ts is None:
+            return True
+        return ts <= self.cut
+
+    def annotate_read(self, reply: dict, key: str) -> None:
+        # Clients thread the stamp into their dependency metadata so a
+        # dependent put can name the exact stamp to wait on.
+        reply["hlc"] = self._hlc_of.get(key)
+
+    # -- tail completion -----------------------------------------------
+    def tail_stabilise(
+        self,
+        key: str,
+        value: Any,
+        version: VersionVector,
+        deps: Deps,
+        origin_site: str,
+        origin_put_at: float,
+        chain: List[str],
+        stamp: Any,
+        hlc: Any,
+    ) -> None:
+        node = self.node
+        node._refresh_stable_record(key)
+        node.trace("stability", "dc-stable", key, version=str(version))
+        ts = hlc if isinstance(hlc, HLCStamp) else None
+        if ts is not None:
+            self.clock.observe(ts)
+            if origin_site == node.site:
+                if chain[0] == node.name:
+                    self.retire(ts)
+                else:
+                    node.send(
+                        node.view.address_of(chain[0]),
+                        TailApplied(key=key, hlc=ts),
+                    )
+        if node.config.is_geo:
+            node.send(
+                Address(node.site, _GEOPROXY),
+                TailStable(
+                    key=key,
+                    value=value,
+                    version=version,
+                    stamp=stamp,
+                    deps=deps,
+                    origin_site=origin_site,
+                    origin_put_at=origin_put_at,
+                    hlc=ts if ts is not None else NO_HLC,
+                ),
+            )
+
+    # -- chain repair --------------------------------------------------
+    def needs_restabilise(self, key: str, version: VersionVector) -> bool:
+        ts = self._hlc_of.get(key)
+        return ts is not None and ts > self.cut
+
+    def transfer_record(self, record: Any, stable_version: VersionVector) -> Tuple:
+        ts = self._hlc_of.get(record.key)
+        return (
+            record.key,
+            record.value,
+            record.version,
+            stable_version,
+            record.stamp,
+            ts if ts is not None else NO_HLC,
+        )
+
+    def transfer_hlc(self, key: str) -> Any:
+        ts = self._hlc_of.get(key)
+        return ts if ts is not None else NO_HLC
+
+    # -- control loop --------------------------------------------------
+    def on_clock_tick(self, msg: ClockTick) -> None:
+        if isinstance(msg.dc_lst, HLCStamp) and msg.dc_lst > self.lst:
+            self.lst = msg.dc_lst
+        if isinstance(msg.cut, HLCStamp) and msg.cut > self.cut:
+            self.cut = msg.cut
+        lst_key = self.lst.key()
+        waiters = self._waiters
+        while waiters and waiters[0][0] <= lst_key:
+            _, _, fut = heappop(waiters)
+            fut.try_set_result(True)
+        if self._prune_deps:
+            fifo = self._deps_fifo
+            cut = self.cut
+            record_deps = self.node._record_deps
+            while fifo and fifo[0][0] <= cut:
+                ts, key = fifo.popleft()
+                # Only prune if no newer write superseded this one —
+                # the newer write's own fifo entry covers the key.
+                if self._hlc_of.get(key) == ts:
+                    record_deps.pop(key, None)
+                    # A stamp at or below the cut is globally stable:
+                    # stamp-less records answer "stable" everywhere, so
+                    # the per-key map stays bounded by in-flight writes.
+                    del self._hlc_of[key]
+
+    def on_tail_applied(self, msg: TailApplied) -> None:
+        if isinstance(msg.hlc, HLCStamp):
+            self.clock.observe(msg.hlc)
+            self.retire(msg.hlc)
+
+    def _floor(self) -> HLCStamp:
+        heap = self._inflight_heap
+        inflight = self._inflight
+        while heap and heap[0] not in inflight:
+            heappop(heap)
+        if heap:
+            return just_below(inflight[heap[0]][0])
+        return self.clock.peek()
+
+    def _report_tick(self) -> None:
+        node = self.node
+        now = node.sim.now
+        if self._inflight:
+            # A crashed tail (or a deposed head) can orphan an entry;
+            # repair re-stabilises the write, so drop it after the
+            # repair window rather than pinning the floor forever.
+            cutoff = now - self._inflight_timeout
+            stale = [k for k, rec in self._inflight.items() if rec[2] < cutoff]
+            for k in stale:
+                del self._inflight[k]
+        node.send(self._agent, ClockReport(server=node.name, floor=self._floor()))
+        node.set_timer(self._interval, self._report_tick)
+
+    def on_recover(self) -> None:
+        # The crash cancelled the report timer; floors resume from the
+        # retained clock state (monotone, so peers saw nothing newer).
+        self.node.set_timer(self._interval, self._report_tick)
+
+    def hlc_entry_count(self) -> int:
+        return len(self._hlc_of)
+
+    def max_skew(self) -> int:
+        return self.clock.max_skew
+
+    def pending_dep_entries(self) -> int:
+        return len(self._deps_fifo)
+
+
+class ClockAgent(Actor):  # repro: lint-ok(slots) — unslotted Actor base keeps the __dict__; one instance per site
+    """Single-site clock agent: aggregates floors, drives ClockTicks.
+
+    In geo deployments the :class:`~repro.core.geo.GeoProxy` hosts this
+    role instead (via :class:`GeoClockCore`) so floor aggregation and
+    WAN shipping share one actor without extra LAN chatter.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        site: str,
+        initial_view: RingView,
+        config: ChainReactionConfig,
+    ) -> None:
+        super().__init__(sim, network, Address(site, _CLOCKAGENT))
+        self.site = site
+        self.config = config
+        self.view = initial_view
+        self._floors = FloorTable(2.0 * config.failure_timeout)
+        self._lst = HLC_ZERO
+        self.ticks_sent = 0
+        self.set_timer(config.stability_interval, self._tick)
+
+    def set_view(self, view: RingView) -> None:
+        if view.epoch > self.view.epoch:
+            self.view = view
+
+    def on_clock_report(self, msg: ClockReport, src: Address) -> None:
+        if isinstance(msg.floor, HLCStamp):
+            self._floors.update(msg.server, msg.floor, self.sim.now)
+
+    @property
+    def lst(self) -> HLCStamp:
+        return self._lst
+
+    @property
+    def cut(self) -> HLCStamp:
+        # One site: local stability is global stability.
+        return self._lst
+
+    def cut_lag(self) -> float:
+        """Seconds between now and the cut's physical component."""
+        return max(0.0, self.sim.now - self._lst.physical / 1_000_000)
+
+    def _tick(self) -> None:
+        lst = self._floors.local_lst(self.view.servers, self.sim.now)
+        if lst > self._lst:
+            self._lst = lst
+        tick = ClockTick(dc_lst=self._lst, cut=self._lst)
+        for server in self.view.servers:
+            self.send(self.view.address_of(server), tick)
+            self.ticks_sent += 1
+            # Per-server copies share one frozen instance; the network
+            # sizes it once per send (fixed-width fields, cheap).
+            tick = ClockTick(dc_lst=self._lst, cut=self._lst)
+        self.set_timer(self.config.stability_interval, self._tick)
+
+    def on_recover(self) -> None:
+        self.set_timer(self.config.stability_interval, self._tick)
+        super().on_recover()
+
+
+class GeoClockCore:
+    """Clock-plane brain hosted by each site's :class:`GeoProxy`.
+
+    Owns floor aggregation, the stamp-ordered ship buffer, the pending
+    (received-but-not-applied) set, peer horizons, the cut, and the
+    strictly stamp-ordered remote-injection queue.  The proxy delegates
+    all clock-plane message handling here.
+    """
+
+    __slots__ = (
+        "proxy",
+        "interval",
+        "_floors",
+        "dc_ship",
+        "dc_visible",
+        "cut",
+        "node_lst",
+        "_ship_buf",
+        "_ship_seq",
+        "_shipped",
+        "_pending_in",
+        "_inject_heap",
+        "_global_fifo",
+        "_pending_timeout",
+        "vectors_sent",
+        "ships_sent",
+        "ticks_sent",
+    )
+
+    def __init__(self, proxy: "GeoProxy") -> None:
+        self.proxy = proxy
+        config = proxy.config
+        self.interval = config.stability_interval
+        self._floors = FloorTable(2.0 * config.failure_timeout)
+        #: per-peer ship horizon: everything a peer stamped ≤ this has arrived
+        self.dc_ship: Dict[str, HLCStamp] = {p.site: HLC_ZERO for p in proxy._peers}
+        #: per-peer visible horizon (their StabilityVector.visible)
+        self.dc_visible: Dict[str, HLCStamp] = {
+            p.site: HLC_ZERO for p in proxy._peers
+        }
+        #: the global-stabilization cut (monotone)
+        self.cut = HLC_ZERO
+        #: last visible horizon pushed to local servers (monotone)
+        self.node_lst = HLC_ZERO
+        #: DC-stable local writes not yet covered by the ship horizon
+        self._ship_buf: List[Tuple[_Key, RemoteUpdate]] = []
+        self._ship_seq = 0
+        #: duplicate-ship suppression (repair re-announcements)
+        self._shipped: Set[_Key] = set()
+        #: stamp-key → (stamp, received_at): remote updates received but
+        #: not yet tail-applied locally — they cap ``visible``
+        self._pending_in: Dict[_Key, Tuple[HLCStamp, float]] = {}
+        #: received remote updates awaiting the admission gate
+        self._inject_heap: List[Tuple[_Key, RemoteUpdate]] = []
+        #: (stamp, origin_put_at) of shipped local writes, stamp order —
+        #: drained as the cut passes for global-stability latency samples
+        self._global_fifo: Deque[Tuple[HLCStamp, float]] = deque()
+        self._pending_timeout = 2.0 * config.sync_timeout
+        self.vectors_sent = 0
+        self.ships_sent = 0
+        self.ticks_sent = 0
+        proxy.set_timer(self.interval, self._tick)
+
+    # -- inbound control -----------------------------------------------
+    def on_clock_report(self, msg: ClockReport) -> None:
+        if isinstance(msg.floor, HLCStamp):
+            self._floors.update(msg.server, msg.floor, self.proxy.sim.now)
+
+    def on_stability_vector(self, msg: StabilityVector) -> None:
+        if isinstance(msg.ship_lst, HLCStamp):
+            cur = self.dc_ship.get(msg.site, HLC_ZERO)
+            if msg.ship_lst > cur:
+                self.dc_ship[msg.site] = msg.ship_lst
+        if isinstance(msg.visible, HLCStamp):
+            cur = self.dc_visible.get(msg.site, HLC_ZERO)
+            if msg.visible > cur:
+                self.dc_visible[msg.site] = msg.visible
+        self._reeval_injections()
+
+    def on_clock_ship(self, msg: ClockShip) -> None:
+        now = self.proxy.sim.now
+        if isinstance(msg.lst, HLCStamp):
+            cur = self.dc_ship.get(msg.origin_site, HLC_ZERO)
+            if msg.lst > cur:
+                self.dc_ship[msg.origin_site] = msg.lst
+        for update in msg.updates:
+            ts = update.hlc
+            if not isinstance(ts, HLCStamp):
+                continue
+            key = ts.key()
+            self._pending_in[key] = (ts, now)
+            heappush(self._inject_heap, (key, update))
+        self._reeval_injections()
+
+    def on_tail_stable(self, msg: TailStable) -> None:
+        proxy = self.proxy
+        ts = msg.hlc if isinstance(msg.hlc, HLCStamp) else None
+        if msg.origin_site != proxy.site:
+            # A remote update finished the local chain: it no longer
+            # caps our visible horizon (no GlobalAck on this plane —
+            # the cut replaces the ack round).
+            if ts is not None:
+                self._pending_in.pop(ts.key(), None)
+            self._reeval_injections()
+            return
+        if ts is None:
+            return
+        key = ts.key()
+        if key in self._shipped:
+            # Repair re-stabilisation can re-announce a version.
+            proxy.duplicate_ships += 1
+            return
+        self._shipped.add(key)
+        proxy.trace("geo", "ship", msg.key, version=str(msg.version))
+        update = RemoteUpdate(
+            key=msg.key,
+            value=msg.value,
+            version=msg.version,
+            stamp=msg.stamp,
+            deps=msg.deps,
+            origin_site=proxy.site,
+            origin_put_at=msg.origin_put_at,
+            hlc=ts,
+        )
+        heappush(self._ship_buf, (key, update))
+        self._global_fifo.append((ts, msg.origin_put_at))
+
+    # -- horizons ------------------------------------------------------
+    def _local_lst(self, now: float) -> HLCStamp:
+        return self._floors.local_lst(self.proxy.view.servers, now)
+
+    def _visible(self, now: float) -> HLCStamp:
+        """Every write *anywhere* stamped ≤ visible is tail-applied here.
+
+        Three caps: local floors (local writes), the oldest pending
+        remote injection (received, mid-chain), and the peers' ship
+        horizons (writes that have not even arrived yet).
+        """
+        visible = self._local_lst(now)
+        if self._pending_in:
+            oldest: Optional[HLCStamp] = None
+            for ts, _at in self._pending_in.values():
+                if oldest is None or ts < oldest:
+                    oldest = ts
+            assert oldest is not None
+            below = just_below(oldest)
+            if below < visible:
+                visible = below
+        for horizon in self.dc_ship.values():
+            if horizon < visible:
+                visible = horizon
+        return visible
+
+    # -- remote injection ----------------------------------------------
+    def _max_dep_ts(self, update: RemoteUpdate) -> Optional[HLCStamp]:
+        worst: Optional[HLCStamp] = None
+        for dep_key, entry in update.deps.items():
+            # Same-key order is enforced by stamp-ordered issuance plus
+            # the proxy's per-key gate chain.
+            if dep_key == update.key or entry.hlc is None:
+                continue
+            if worst is None or entry.hlc > worst:
+                worst = entry.hlc
+        return worst
+
+    def _admissible(self, update: RemoteUpdate, visible: HLCStamp) -> bool:
+        dep_ts = self._max_dep_ts(update)
+        if dep_ts is None:
+            return True
+        if "stale_stability_vector" in self.proxy.config.mutations:
+            # MUTATION (proving ground): trust the origin's stability
+            # vector over local application state. The origin's ship
+            # horizon proves the dependency was stable *at the origin*
+            # and has *arrived* here — not that it has finished
+            # propagating down the local chain. A dependent write can
+            # then become readable at its tail while its dependency is
+            # still mid-chain: a causal-cut violation.
+            return dep_ts <= self.dc_ship.get(update.origin_site, HLC_ZERO)
+        return dep_ts <= visible
+
+    def _reeval_injections(self) -> None:
+        if not self._inject_heap:
+            return
+        proxy = self.proxy
+        visible = self._visible(proxy.sim.now)
+        heap = self._inject_heap
+        while heap:
+            _key, update = heap[0]
+            if not self._admissible(update, visible):
+                # Strict stamp order: dependencies always carry smaller
+                # stamps than dependents, so the blocked minimum cannot
+                # be waiting on anything queued behind it.
+                break
+            heappop(heap)
+            proxy._inject_clock(update)
+
+    # -- the per-interval control tick ---------------------------------
+    def _tick(self) -> None:
+        proxy = self.proxy
+        now = proxy.sim.now
+        local = self._local_lst(now)
+        if self._pending_in:
+            # An injection orphaned by a crash would cap visible forever;
+            # repair re-stabilises the write, so lazily drop it after
+            # the repair window.
+            cutoff = now - self._pending_timeout
+            stale = [k for k, rec in self._pending_in.items() if rec[1] < cutoff]
+            for k in stale:
+                del self._pending_in[k]
+        # 1. Ship everything at or below the local LST, stamp-ordered,
+        #    one batch per peer — then the vector on the same FIFO link.
+        local_key = local.key()
+        batch: List[RemoteUpdate] = []
+        while self._ship_buf and self._ship_buf[0][0] <= local_key:
+            batch.append(heappop(self._ship_buf)[1])
+        if batch and proxy._peers:
+            updates = tuple(batch)
+            first: Optional[ClockShip] = None
+            for peer in proxy._peers:
+                ship = ClockShip(origin_site=proxy.site, lst=local, updates=updates)
+                if first is None:
+                    first = ship
+                else:
+                    ship.copy_size_from(first)
+                proxy.send(peer, ship)
+                self.ships_sent += 1
+            proxy.updates_shipped += len(batch)
+        visible = self._visible(now)
+        # 2. Broadcast the site's stability vector.
+        for peer in proxy._peers:
+            proxy.send(
+                peer,
+                StabilityVector(site=proxy.site, ship_lst=local, visible=visible),
+            )
+            self.vectors_sent += 1
+        # 3. Advance the cut: min over every site's visible horizon.
+        cut = visible
+        for horizon in self.dc_visible.values():
+            if horizon < cut:
+                cut = horizon
+        if cut > self.cut:
+            self.cut = cut
+        if visible > self.node_lst:
+            self.node_lst = visible
+        # 4. Drive the local servers.
+        for server in proxy.view.servers:
+            proxy.send(
+                proxy.view.address_of(server),
+                ClockTick(dc_lst=self.node_lst, cut=self.cut),
+            )
+            self.ticks_sent += 1
+        # 5. Global-stability latency samples: the cut passed these writes.
+        fifo = self._global_fifo
+        while fifo and fifo[0][0] <= self.cut:
+            _ts, origin_put_at = fifo.popleft()
+            proxy.global_stability_samples.append(now - origin_put_at)
+        # 6. Globally stable writes need no duplicate-ship suppression
+        #    any more (a post-repair re-announcement re-ships, and the
+        #    receiver's store drops the dominated duplicate) — pruning
+        #    keeps the set sized to in-flight writes, not history.
+        if self._shipped:
+            cut_key = self.cut.key()
+            dead = [k for k in sorted(self._shipped) if k <= cut_key]
+            for k in dead:
+                self._shipped.discard(k)
+        self._reeval_injections()
+        proxy.set_timer(self.interval, self._tick)
+
+    def cut_lag(self) -> float:
+        """Seconds between now and the cut's physical component."""
+        return max(0.0, self.proxy.sim.now - self.cut.physical / 1_000_000)
+
+    def on_recover(self) -> None:
+        self.proxy.set_timer(self.interval, self._tick)

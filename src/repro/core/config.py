@@ -38,6 +38,12 @@ PROTOCOL_MUTATIONS: Tuple[str, ...] = (
     # the head treats unresolved causal dependencies as already stable
     # and admits the write without waiting.
     "skip_dep_wait",
+    # clock plane: the geo-proxy trusts a peer's (stale) stability
+    # vector over its own pending-injection state — the remote-update
+    # admission gate ignores received-but-not-yet-applied updates, so a
+    # dependent write can be injected before its dependency finishes
+    # propagating down the local chain.
+    "stale_stability_vector",
 )
 
 
@@ -118,6 +124,23 @@ class ChainReactionConfig:
             metadata memory on long runs; off by default (no effect on
             protocol messages, but the sweep alters timer event counts).
         gc_interval: how often a server runs the sealing sweep (seconds).
+        stability: which stabilization plane drives causal visibility.
+            ``"notices"`` (default) is the paper's explicit plane:
+            per-write ChainStable cascades, RemoteUpdate fan-out and
+            GlobalStableNotice streams (optionally coalesced by
+            ``protocol_batching``). ``"clock"`` replaces all of that
+            with hybrid-logical-clock stamps on writes plus one small
+            stability vector per DC per ``stability_interval`` — remote
+            updates become visible when the periodic cut passes their
+            stamp (Okapi-style deferred stabilization). Incompatible
+            with ``protocol_batching`` (nothing left to coalesce) and
+            ``metadata_gc`` (the clock plane keeps no tracker entries
+            to seal).
+        stability_interval: period of the clock plane's control loop —
+            server floor reports, site vector broadcast, ship flushes
+            and visibility ticks all run on this cadence. Trades
+            control-message rate against visibility latency (adds up to
+            ~2 intervals on top of the WAN hop).
         mutations: test-only seeded protocol bugs (names from
             :data:`PROTOCOL_MUTATIONS`) for the schedule explorer's
             proving ground. Empty in every production configuration.
@@ -155,6 +178,8 @@ class ChainReactionConfig:
     batch_max_entries: int = 128
     metadata_gc: bool = False
     gc_interval: float = 0.25
+    stability: str = "notices"
+    stability_interval: float = 0.005
     mutations: Tuple[str, ...] = ()
     seed: int = 42
 
@@ -197,6 +222,24 @@ class ChainReactionConfig:
             raise ConfigError("batch_max_entries must be >= 1")
         if self.gc_interval <= 0:
             raise ConfigError("gc_interval must be positive")
+        if self.stability not in ("notices", "clock"):
+            raise ConfigError(
+                f"stability must be 'notices' or 'clock'; got "
+                f"{self.stability!r}"
+            )
+        if self.stability_interval <= 0:
+            raise ConfigError("stability_interval must be positive")
+        if self.stability == "clock" and self.protocol_batching:
+            raise ConfigError(
+                "stability='clock' is incompatible with protocol_batching: "
+                "the clock plane has no notice streams to coalesce "
+                "(choose one metadata plane)"
+            )
+        if self.stability == "clock" and self.metadata_gc:
+            raise ConfigError(
+                "stability='clock' is incompatible with metadata_gc: the "
+                "clock plane keeps no stability-tracker entries to seal"
+            )
         unknown = [m for m in self.mutations if m not in PROTOCOL_MUTATIONS]
         if unknown:
             raise ConfigError(

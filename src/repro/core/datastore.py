@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
 from repro.api import (
+    CAP_CLOCK_STABILITY,
     CAP_DEGRADED_READS,
     CAP_DURABLE_STORAGE,
     CAP_SNAPSHOT_READS,
@@ -24,6 +25,7 @@ if TYPE_CHECKING:
     from repro.trace import Tracer
 from repro.cluster.membership import ClusterManager
 from repro.core.client import ChainClientSession
+from repro.core.clockplane import ClockAgent
 from repro.core.config import ChainReactionConfig
 from repro.core.geo import GeoProxy
 from repro.core.node import ChainNode
@@ -34,6 +36,7 @@ from repro.metrics.protocol import (
     STABILITY_MESSAGE_TYPES,
     batching_stats,
     metadata_footprint,
+    stability_plane_stats,
 )
 from repro.net.latency import lan_latency, wan_latency
 from repro.net.network import Network
@@ -76,6 +79,8 @@ class ChainReactionStore(Datastore):  # repro: lint-ok(slots) — one per deploy
             caps.add(CAP_DEGRADED_READS)
         if self.config.durable_storage:
             caps.add(CAP_DURABLE_STORAGE)
+        if self.config.stability == "clock":
+            caps.add(CAP_CLOCK_STABILITY)
         self.capabilities = frozenset(caps)
         self.sim = sim or Simulator()
         self.rng = RngRegistry(self.config.seed)
@@ -88,6 +93,9 @@ class ChainReactionStore(Datastore):  # repro: lint-ok(slots) — one per deploy
         self.managers: Dict[str, ClusterManager] = {}
         self.nodes: Dict[str, List[ChainNode]] = {}
         self.proxies: Dict[str, GeoProxy] = {}
+        #: single-site clock-plane agents (geo sites host the role on
+        #: their proxy instead)
+        self.clock_agents: Dict[str, ClockAgent] = {}
         self._sessions: List[ChainClientSession] = []
         self._session_seq = 0
         self._resolver = resolver
@@ -128,6 +136,16 @@ class ChainReactionStore(Datastore):  # repro: lint-ok(slots) — one per deploy
                 )
                 manager.add_view_listener(proxy.set_view)
                 self.proxies[site] = proxy
+            elif self.config.stability == "clock":
+                agent = ClockAgent(
+                    self.sim,
+                    self.network,
+                    site=site,
+                    initial_view=manager.view,
+                    config=self.config,
+                )
+                manager.add_view_listener(agent.set_view)
+                self.clock_agents[site] = agent
 
     # ------------------------------------------------------------------
     # Datastore surface
@@ -193,14 +211,18 @@ class ChainReactionStore(Datastore):  # repro: lint-ok(slots) — one per deploy
         long-converged deployment would hold.
         """
         version = VersionVector({"preload": 1})
+        # The clock plane needs no tracker writes: a record without an
+        # HLC stamp is stable by construction (predates every stamp).
+        track = self.config.stability != "clock"
         for key, value in data.items():
             key = intern_str(key)
             for site, manager in self.managers.items():
                 for server_name in manager.view.chain_for(key):
                     node = self._node(site, server_name)
                     node.store.apply(key, value, version, self.sim.now)
-                    node.stability.record(key, version)
-                    node.global_stability.record(key, version)
+                    if track:
+                        node.stability.record(key, version)
+                        node.global_stability.record(key, version)
                     node._refresh_stable_record(key)
 
     def attach_tracer(self, capacity: int = 100_000) -> Tracer:
@@ -254,6 +276,7 @@ class ChainReactionStore(Datastore):  # repro: lint-ok(slots) — one per deploy
         stats["global_stability_messages"] = net.count_of(*GLOBAL_STABILITY_MESSAGE_TYPES)
         stats["shipping_messages"] = net.count_of(*SHIPPING_MESSAGE_TYPES)
         stats["metadata"] = metadata_footprint(nodes, self._sessions)
+        stats["stability_plane"] = stability_plane_stats(self)
         if self.config.protocol_batching:
             stats["batching"] = batching_stats(nodes, self.proxies.values())
         return stats

@@ -45,6 +45,7 @@ from typing import (
 )
 
 from repro.core.messages import DepEntry, deps_size_bytes
+from repro.sim.hlc import HLCStamp
 from repro.storage.version import VersionVector
 
 __all__ = [
@@ -62,12 +63,16 @@ _COMPACT_MIN = 32
 class DepTable:
     """Flat column-store of the session's causal dependencies."""
 
-    __slots__ = ("_keys", "_versions", "_indices", "_slots", "_live", "_shared")
+    __slots__ = (
+        "_keys", "_versions", "_indices", "_hlcs", "_slots", "_live", "_shared"
+    )
 
     def __init__(self) -> None:
         self._keys: List[Optional[str]] = []
         self._versions: List[VersionVector] = []
         self._indices: List[int] = []
+        #: HLC stamp column (clock plane); None cells cost zero wire bytes
+        self._hlcs: List[Optional[HLCStamp]] = []
         self._slots: Dict[str, int] = {}
         self._live = 0
         self._shared = False
@@ -96,18 +101,24 @@ class DepTable:
         slot = self._slots.get(key)
         if slot is None:
             return default
-        return DepEntry(self._versions[slot], self._indices[slot])
+        return DepEntry(self._versions[slot], self._indices[slot], self._hlcs[slot])
 
     def __getitem__(self, key: str) -> DepEntry:
         slot = self._slots.get(key)
         if slot is None:
             raise KeyError(key)
-        return DepEntry(self._versions[slot], self._indices[slot])
+        return DepEntry(self._versions[slot], self._indices[slot], self._hlcs[slot])
 
     def __setitem__(self, key: str, entry: DepEntry) -> None:
-        self.set(key, entry.version, entry.index)
+        self.set(key, entry.version, entry.index, entry.hlc)
 
-    def set(self, key: str, version: VersionVector, index: int) -> None:
+    def set(
+        self,
+        key: str,
+        version: VersionVector,
+        index: int,
+        hlc: Optional[HLCStamp] = None,
+    ) -> None:
         """Insert or update without boxing a :class:`DepEntry`."""
         slot = self._slots.get(key)
         if slot is not None:
@@ -115,12 +126,14 @@ class DepTable:
                 self._unshare()
             self._versions[slot] = version
             self._indices[slot] = index
+            self._hlcs[slot] = hlc
             return
         # Appends never touch cells an outstanding snapshot can see.
         self._slots[key] = len(self._keys)
         self._keys.append(key)
         self._versions.append(version)
         self._indices.append(index)
+        self._hlcs.append(hlc)
         self._live += 1
 
     def pop(self, key: str, default: Any = None) -> Any:
@@ -129,7 +142,7 @@ class DepTable:
             return default
         if self._shared:
             self._unshare()
-        entry = DepEntry(self._versions[slot], self._indices[slot])
+        entry = DepEntry(self._versions[slot], self._indices[slot], self._hlcs[slot])
         self._keys[slot] = None  # hole; skipped on iteration
         self._live -= 1
         holes = len(self._keys) - self._live
@@ -142,6 +155,7 @@ class DepTable:
         self._keys = []
         self._versions = []
         self._indices = []
+        self._hlcs = []
         self._slots.clear()
         self._live = 0
         self._shared = False
@@ -155,7 +169,9 @@ class DepTable:
     def items(self) -> Iterator[Tuple[str, DepEntry]]:
         for slot, key in enumerate(self._keys):
             if key is not None:
-                yield key, DepEntry(self._versions[slot], self._indices[slot])
+                yield key, DepEntry(
+                    self._versions[slot], self._indices[slot], self._hlcs[slot]
+                )
 
     def as_dict(self) -> Dict[str, DepEntry]:
         """Materialised copy — test/introspection surface only."""
@@ -169,15 +185,21 @@ class DepTable:
         if len(self._keys) != self._live:
             self._compact()
         self._shared = True
-        return DepSnapshot(self._keys, self._versions, self._indices, self._live)
+        return DepSnapshot(
+            self._keys, self._versions, self._indices, self._hlcs, self._live
+        )
 
     def size_bytes(self) -> int:
         """Wire size, identical to ``deps_size_bytes`` over a dict."""
         total = 4
         versions = self._versions
+        hlcs = self._hlcs
         for slot, key in enumerate(self._keys):
             if key is not None:
                 total += 8 + len(key) + versions[slot].size_bytes()
+                stamp = hlcs[slot]
+                if stamp is not None:
+                    total += stamp.size_bytes()
         return total
 
     def column_slots(self) -> int:
@@ -191,12 +213,14 @@ class DepTable:
         self._keys = list(self._keys)
         self._versions = list(self._versions)
         self._indices = list(self._indices)
+        self._hlcs = list(self._hlcs)
         self._shared = False
 
     def _compact(self) -> None:
         keys: List[Optional[str]] = []
         versions: List[VersionVector] = []
         indices: List[int] = []
+        hlcs: List[Optional[HLCStamp]] = []
         slots: Dict[str, int] = {}
         for slot, key in enumerate(self._keys):
             if key is not None:
@@ -204,9 +228,11 @@ class DepTable:
                 keys.append(key)
                 versions.append(self._versions[slot])
                 indices.append(self._indices[slot])
+                hlcs.append(self._hlcs[slot])
         self._keys = keys
         self._versions = versions
         self._indices = indices
+        self._hlcs = hlcs
         self._slots = slots
         self._shared = False
 
@@ -221,18 +247,20 @@ class DepSnapshot:
     :class:`DepEntry` lazily — sizing never materialises anything.
     """
 
-    __slots__ = ("_keys", "_versions", "_indices", "_count", "_dict")
+    __slots__ = ("_keys", "_versions", "_indices", "_hlcs", "_count", "_dict")
 
     def __init__(
         self,
         keys: List[Optional[str]],
         versions: List[VersionVector],
         indices: List[int],
+        hlcs: List[Optional[HLCStamp]],
         count: int,
     ) -> None:
         self._keys = keys
         self._versions = versions
         self._indices = indices
+        self._hlcs = hlcs
         self._count = count
         self._dict: Optional[Dict[str, DepEntry]] = None
 
@@ -243,7 +271,9 @@ class DepSnapshot:
             for slot in range(self._count):
                 key = self._keys[slot]
                 if key is not None:
-                    mapping[key] = DepEntry(self._versions[slot], self._indices[slot])
+                    mapping[key] = DepEntry(
+                        self._versions[slot], self._indices[slot], self._hlcs[slot]
+                    )
             self._dict = mapping
         return mapping
 
@@ -282,10 +312,14 @@ class DepSnapshot:
         """Wire size — must match ``deps_size_bytes`` of the dict form."""
         total = 4
         versions = self._versions
+        hlcs = self._hlcs
         for slot in range(self._count):
             key = self._keys[slot]
             if key is not None:
                 total += 8 + len(key) + versions[slot].size_bytes()
+                stamp = hlcs[slot]
+                if stamp is not None:
+                    total += stamp.size_bytes()
         return total
 
     def __repr__(self) -> str:
@@ -308,8 +342,14 @@ class LegacyDepTable(dict):
         entry = self.get(key)
         return entry.index if entry is not None else None
 
-    def set(self, key: str, version: VersionVector, index: int) -> None:
-        self[key] = DepEntry(version, index)
+    def set(
+        self,
+        key: str,
+        version: VersionVector,
+        index: int,
+        hlc: Optional[HLCStamp] = None,
+    ) -> None:
+        self[key] = DepEntry(version, index, hlc)
 
     def snapshot(self) -> Dict[str, DepEntry]:
         return dict(self)

@@ -25,19 +25,24 @@ from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.cluster.membership import RingView
 from repro.core.batching import StabilityCoalescer, UpdateCoalescer
+from repro.core.clockplane import GeoClockCore
 from repro.core.config import ChainReactionConfig
 from repro.core.messages import (
+    ClockReport,
+    ClockShip,
     GlobalAck,
     GlobalStableBatch,
     GlobalStableNotice,
     RemoteUpdate,
     RemoteUpdateBatch,
+    StabilityVector,
     StableEntries,
     TailStable,
 )
 from repro.errors import RemoteError, ReproError, RequestTimeout
 from repro.net.actor import Actor
 from repro.net.network import Address, Network
+from repro.sim.hlc import HLCStamp
 from repro.sim.kernel import Simulator
 from repro.sim.process import Future, all_of, spawn, with_timeout
 from repro.storage.version import VersionVector
@@ -93,6 +98,12 @@ class GeoProxy(Actor):  # repro: lint-ok(slots) — unslotted Actor base keeps t
                 config.batch_max_entries,
                 self._send_global_batch,
             )
+        #: clock-plane brain (config.stability == "clock"): hosts the
+        #: site's floor aggregation, ship buffer and stability vectors;
+        #: None on the notices plane
+        self._clock: Optional[GeoClockCore] = None
+        if config.stability == "clock":
+            self._clock = GeoClockCore(self)
 
     def set_view(self, view: RingView) -> None:
         """Installed as a manager view listener by the datastore."""
@@ -103,6 +114,9 @@ class GeoProxy(Actor):  # repro: lint-ok(slots) — unslotted Actor base keeps t
     # outbound: local tail says a write is DC-stable
     # ------------------------------------------------------------------
     def on_tail_stable(self, msg: TailStable, src: Address) -> None:
+        if self._clock is not None:
+            self._clock.on_tail_stable(msg)
+            return
         token = (msg.key, msg.version)
         if msg.origin_site != self.site:
             # Remote-origin write finished our chain: tell the origin.
@@ -237,7 +251,62 @@ class GeoProxy(Actor):  # repro: lint-ok(slots) — unslotted Actor base keeps t
             self._update_coalescer.reset()
         if self._global_coalescer is not None:
             self._global_coalescer.reset()
+        if self._clock is not None:
+            self._clock.on_recover()
         super().on_recover()
+
+    # ------------------------------------------------------------------
+    # clock-plane traffic (config.stability == "clock")
+    # ------------------------------------------------------------------
+    def on_clock_report(self, msg: ClockReport, src: Address) -> None:
+        if self._clock is not None:
+            self._clock.on_clock_report(msg)
+
+    def on_clock_ship(self, msg: ClockShip, src: Address) -> None:
+        if self._clock is not None:
+            self._clock.on_clock_ship(msg)
+
+    def on_stability_vector(self, msg: StabilityVector, src: Address) -> None:
+        if self._clock is not None:
+            self._clock.on_stability_vector(msg)
+
+    def _inject_clock(self, msg: RemoteUpdate) -> None:
+        """Issue an admitted remote update into the local chain head.
+
+        Same-key ordering reuses the notices plane's gate chain: the
+        admission queue releases updates in global stamp order, but two
+        same-key updates must also *arrive at the head* in that order,
+        which the gate futures (plus per-link FIFO) guarantee.
+        """
+        gate = Future(self.sim)
+        previous_gate = self._key_apply_tail.get(msg.key)
+        self._key_apply_tail[msg.key] = gate
+        spawn(
+            self.sim,
+            self._apply_remote_clock(msg, previous_gate, gate),
+            name=f"remote:{msg.key}",
+        )
+        self._applies_since_sweep += 1
+        if self._applies_since_sweep >= 256:
+            self._applies_since_sweep = 0
+            done = [k for k, g in self._key_apply_tail.items() if g.done()]
+            for k in done:
+                del self._key_apply_tail[k]
+
+    def _apply_remote_clock(
+        self, msg: RemoteUpdate, previous_gate: Optional[Future], gate: Future
+    ) -> Iterator[Any]:
+        # No dependency waits here — the admission gate already held the
+        # update until the site's visible horizon passed its deps.
+        try:
+            if previous_gate is not None and not previous_gate.done():
+                yield previous_gate
+        finally:
+            self.sim.call_soon(gate.try_set_result, True)
+        yield from self._inject_at_head(msg)
+        self.updates_applied += 1
+        self.trace("geo", "remote-apply", msg.key, origin=msg.origin_site)
+        self.visibility_samples.append(self.sim.now - msg.origin_put_at)
 
     # ------------------------------------------------------------------
     # inbound: apply a remote update into the local chain
@@ -343,6 +412,10 @@ class GeoProxy(Actor):  # repro: lint-ok(slots) — unslotted Actor base keeps t
             "origin_site": msg.origin_site,
             "origin_put_at": msg.origin_put_at,
         }
+        if isinstance(msg.hlc, HLCStamp):
+            # Only the clock plane adds the key at all, so notices-plane
+            # payload bytes (and the golden trace) are untouched.
+            payload["hlc"] = msg.hlc
         for _attempt in range(self.config.max_retries):
             head = self.view.address_of(self.view.chain_for(msg.key)[0])
             try:

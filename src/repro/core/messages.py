@@ -24,6 +24,15 @@ so per-link FIFO semantics carry over unchanged.
 ``DepEntry`` is the unit of the client library's causality metadata:
 the version of an object the session observed and the deepest chain
 position known to hold it.
+
+With ``config.stability == "clock"`` the notice cascade above is
+replaced by the **clock plane**: writes carry an ``hlc`` stamp (the
+field defaults to the zero-size :data:`repro.sim.hlc.NO_HLC` sentinel,
+so the notices plane's wire bytes are untouched), tails report
+per-write ``TailApplied`` retirements to their head, servers report
+low-stamp floors via ``ClockReport``, the site agent broadcasts one
+``StabilityVector`` per interval per peer, ships DC-stable writes in
+``ClockShip`` batches, and drives local visibility with ``ClockTick``.
 """
 
 from __future__ import annotations
@@ -33,6 +42,7 @@ from typing import Any, ClassVar, Dict, Optional, Tuple
 
 from repro.net.message import Message
 from repro.net.network import Address
+from repro.sim.hlc import NO_HLC, HLCStamp
 from repro.storage.version import VersionVector
 
 __all__ = [
@@ -52,6 +62,11 @@ __all__ = [
     "GlobalStableBatch",
     "StateTransfer",
     "TransferDone",
+    "TailApplied",
+    "ClockReport",
+    "ClockTick",
+    "StabilityVector",
+    "ClockShip",
 ]
 
 #: (key, version) pairs as carried by the coalesced stability messages.
@@ -67,25 +82,42 @@ class DepEntry:
     semantics (eq/hash by fields) match the old frozen dataclass.
     """
 
-    __slots__ = ("version", "index")
+    __slots__ = ("version", "index", "hlc")
 
-    def __init__(self, version: VersionVector, index: int) -> None:
+    def __init__(
+        self,
+        version: VersionVector,
+        index: int,
+        hlc: Optional[HLCStamp] = None,
+    ) -> None:
         self.version = version
         self.index = index
+        #: the write's HLC stamp when the clock plane is on, else None
+        self.hlc = hlc
 
     def size_bytes(self) -> int:
-        return self.version.size_bytes() + 4
+        size = self.version.size_bytes() + 4
+        if self.hlc is not None:
+            size += self.hlc.size_bytes()
+        return size
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, DepEntry):
             return NotImplemented
-        return self.version == other.version and self.index == other.index
+        return (
+            self.version == other.version
+            and self.index == other.index
+            and self.hlc == other.hlc
+        )
 
     def __hash__(self) -> int:
-        return hash((self.version, self.index))
+        return hash((self.version, self.index, self.hlc))
 
     def __repr__(self) -> str:
-        return f"DepEntry(version={self.version!r}, index={self.index!r})"
+        return (
+            f"DepEntry(version={self.version!r}, index={self.index!r}"
+            + (f", hlc={self.hlc!r})" if self.hlc is not None else ")")
+        )
 
 
 #: Any mapping of key → DepEntry. ``PutRequest.deps`` carries either a
@@ -129,6 +161,8 @@ class PutReply(Message):
     chain_len: int = 1
     ok: bool = True
     error: str = ""
+    #: HLC stamp of the write (clock plane); NO_HLC costs zero bytes
+    hlc: Any = NO_HLC
 
 
 @dataclasses.dataclass(frozen=True)
@@ -150,6 +184,8 @@ class ChainPut(Message):
     reply_to: Optional[Address] = None
     #: virtual time the originating client issued the put (geo metrics)
     origin_put_at: float = 0.0
+    #: HLC stamp minted by the head (clock plane); NO_HLC costs zero bytes
+    hlc: Any = NO_HLC
 
 
 @dataclasses.dataclass(frozen=True)
@@ -195,6 +231,8 @@ class TailStable(Message):
     deps: Deps = dataclasses.field(default_factory=dict)
     origin_site: str = ""
     origin_put_at: float = 0.0
+    #: HLC stamp of the write (clock plane); NO_HLC costs zero bytes
+    hlc: Any = NO_HLC
 
 
 @dataclasses.dataclass(frozen=True)
@@ -211,6 +249,8 @@ class RemoteUpdate(Message):
     deps: Deps = dataclasses.field(default_factory=dict)
     origin_site: str = ""
     origin_put_at: float = 0.0
+    #: HLC stamp of the write (clock plane); NO_HLC costs zero bytes
+    hlc: Any = NO_HLC
 
 
 @dataclasses.dataclass(frozen=True)
@@ -284,3 +324,73 @@ class TransferDone(Message):
     type_name: ClassVar[str] = "transfer-done"
     epoch: int = 0
     sender: str = ""
+
+
+# --------------------------------------------------------------------------
+# clock plane (config.stability == "clock")
+# --------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class TailApplied(Message):
+    """Chain tail → chain head: a locally-originated write reached the
+    tail, so the head can retire it from its in-flight low-stamp set."""
+
+    type_name: ClassVar[str] = "tail-applied"
+    key: str = ""
+    hlc: Any = NO_HLC
+
+
+@dataclasses.dataclass(frozen=True)
+class ClockReport(Message):
+    """Storage server → site clock agent, once per stability interval:
+    the server's low-stamp floor (min in-flight stamp, else its clock).
+    No write this server heads will ever be stamped ≤ ``floor``."""
+
+    type_name: ClassVar[str] = "clock-report"
+    server: str = ""
+    floor: Any = NO_HLC
+
+
+@dataclasses.dataclass(frozen=True)
+class ClockTick(Message):
+    """Site clock agent → local servers, once per stability interval.
+
+    ``dc_lst``: every write received by this DC with stamp ≤ dc_lst is
+    tail-applied at every local replica (drives dep-waits + stability
+    answers).  ``cut``: the global-stabilization cut — min over all DC
+    vectors (drives global-stability answers + dep pruning)."""
+
+    type_name: ClassVar[str] = "clock-tick"
+    dc_lst: Any = NO_HLC
+    cut: Any = NO_HLC
+
+
+@dataclasses.dataclass(frozen=True)
+class StabilityVector(Message):
+    """Geo-proxy → peer proxies, once per stability interval.
+
+    ``ship_lst``: this site has shipped every local write stamped ≤
+    ship_lst (receivers use it to bound what can still arrive).
+    ``visible``: every write *anywhere* stamped ≤ visible is
+    tail-applied at this site — the site's contribution to the cut."""
+
+    type_name: ClassVar[str] = "stability-vector"
+    site: str = ""
+    ship_lst: Any = NO_HLC
+    visible: Any = NO_HLC
+
+
+@dataclasses.dataclass(frozen=True)
+class ClockShip(Message):
+    """Geo-proxy → peer proxy: stamp-ordered batch of DC-stable local
+    writes, plus the origin's ship horizon (``lst``).  Replaces the
+    notices plane's per-write ``RemoteUpdate`` fan-out; the per-link
+    FIFO guarantees the batch lands before any vector claiming its
+    stamps."""
+
+    type_name: ClassVar[str] = "clock-ship"
+    memoize_size: ClassVar[bool] = True
+    origin_site: str = ""
+    lst: Any = NO_HLC
+    updates: Tuple[RemoteUpdate, ...] = ()

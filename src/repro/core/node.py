@@ -36,6 +36,7 @@ from repro.core.messages import (
     BulkStable,
     ChainPut,
     ChainStable,
+    ClockTick,
     Deps,
     GlobalStableBatch,
     GlobalStableNotice,
@@ -43,14 +44,16 @@ from repro.core.messages import (
     PutRequest,
     StableEntries,
     StateTransfer,
-    TailStable,
+    TailApplied,
     TransferDone,
 )
 from repro.core.deptable import DepSnapshot
 from repro.core.stability import StabilityTracker
+from repro.core.stability_plane import make_plane
 from repro.errors import NotResponsibleError, RemoteError, ReplicaUnavailable, RequestTimeout
 from repro.net.message import Message
 from repro.net.network import Address, Network
+from repro.sim.hlc import NO_HLC
 from repro.sim.kernel import Simulator
 from repro.sim.process import all_of, spawn, with_timeout
 from repro.storage.merge import ConflictResolver
@@ -142,6 +145,10 @@ class ChainNode(RingServer):  # repro: lint-ok(slots) — unslotted Actor base k
         self.rejected_ops = 0
         self.forced_sync_exits = 0
         self.keys_sealed = 0
+        #: the stabilization plane (config.stability): every stability
+        #: decision this node makes routes through it. Constructed last —
+        #: the clock plane arms its floor-report timer immediately.
+        self.plane = make_plane(self)
 
     # ------------------------------------------------------------------
     # client puts (head role)
@@ -171,15 +178,7 @@ class ChainNode(RingServer):  # repro: lint-ok(slots) — unslotted Actor base k
 
     def _serve_put(self, msg: PutRequest) -> Iterator[Any]:
         """Hold the put until its dependencies are DC-stable, then apply."""
-        unresolved = [
-            (dep_key, entry.version)
-            for dep_key, entry in msg.deps.items()
-            # Same-key dependencies need no wait here: the chain orders
-            # this put after them, and shipping only on DC-stability
-            # means they are stable before this write leaves the DC.
-            if dep_key != msg.key
-            and not self.stability.is_stable(dep_key, entry.version)
-        ]
+        unresolved = self.plane.unresolved_deps(msg)
         if "skip_dep_wait" in self.config.mutations:
             # MUTATION (proving ground): admit the write as if its causal
             # dependencies were already DC-stable. A reader at the tail
@@ -190,8 +189,8 @@ class ChainNode(RingServer):  # repro: lint-ok(slots) — unslotted Actor base k
             self.dep_waits += 1
             self.trace("put", "dep-wait", msg.key, waiting_on=len(unresolved))
             waits = [
-                spawn(self.sim, self._wait_dep(dep_key, version), name=f"dep:{dep_key}")
-                for dep_key, version in unresolved
+                self.plane.spawn_dep_wait(dep_key, entry)
+                for dep_key, entry in unresolved
             ]
             yield all_of(self.sim, waits)
 
@@ -222,6 +221,10 @@ class ChainNode(RingServer):  # repro: lint-ok(slots) — unslotted Actor base k
         # puts held by dependency waits serialise correctly with puts
         # that overtook them on the same key.
         version = self.store.version_of(msg.key).increment(self.site)
+        # Plane metadata is minted with no yield between here and the
+        # apply below: the stamp observes the put's dependencies, so a
+        # dependent write always carries a strictly larger stamp.
+        hlc = self.plane.stamp_put(msg)
         self.puts_served += 1
         self.trace("put", "apply-head", msg.key, version=str(version))
         self._apply_and_propagate(
@@ -236,6 +239,7 @@ class ChainNode(RingServer):  # repro: lint-ok(slots) — unslotted Actor base k
             request_id=msg.request_id,
             reply_to=msg.reply_to,
             origin_put_at=self.sim.now,
+            hlc=hlc,
         )
         return version
 
@@ -257,7 +261,7 @@ class ChainNode(RingServer):  # repro: lint-ok(slots) — unslotted Actor base k
             try:
                 if tail_name == self.name:
                     yield with_timeout(
-                        self.sim, self.stability.wait(self.sim, key, version), remaining
+                        self.sim, self.plane.wait_stable(key, version), remaining
                     )
                 else:
                     yield self.call(
@@ -287,6 +291,7 @@ class ChainNode(RingServer):  # repro: lint-ok(slots) — unslotted Actor base k
         reply_to: Optional[Address],
         origin_put_at: float,
         stamp: Any = None,
+        hlc: Any = NO_HLC,
         size_from: Optional[ChainPut] = None,
     ) -> None:
         """Apply a write locally and play this node's chain role for it:
@@ -302,7 +307,7 @@ class ChainNode(RingServer):  # repro: lint-ok(slots) — unslotted Actor base k
         scalar fields, so the outbound message inherits its memoized
         wire size and a put is sized once per chain, not once per hop.
         """
-        self._apply_local(key, value, version, stamp, deps)
+        self._apply_local(key, value, version, stamp, deps, hlc)
         chain = self.chain_for(key)
         pos = chain_positions(chain, self.name)
         if pos is None:
@@ -327,11 +332,13 @@ class ChainNode(RingServer):  # repro: lint-ok(slots) — unslotted Actor base k
                     version=version,
                     index=pos,
                     chain_len=len(chain),
+                    hlc=hlc,
                 ),
             )
         if pos == tail_pos:
             self._tail_stabilise(
-                key, value, version, deps, origin_site, origin_put_at, chain, stamp=stamp
+                key, value, version, deps, origin_site, origin_put_at, chain,
+                stamp=stamp, hlc=hlc,
             )
         else:
             downstream = ChainPut(
@@ -345,21 +352,23 @@ class ChainNode(RingServer):  # repro: lint-ok(slots) — unslotted Actor base k
                 request_id=request_id,
                 reply_to=reply_to,
                 origin_put_at=origin_put_at,
+                hlc=hlc,
             )
             if size_from is not None:
                 downstream.copy_size_from(size_from)
             self.send(self.view.address_of(chain[pos + 1]), downstream)
 
     def _apply_local(self, key: str, value: Any, version: VersionVector,
-                     stamp: Any, deps: Deps) -> None:
+                     stamp: Any, deps: Deps, hlc: Any = NO_HLC) -> None:
         """Apply to the local store, preserving the newest *stable* record
         (snapshot reads serve it even after newer unstable writes land)
         and tracking the surviving write's dependency list."""
         existing = self.store.get_record(key)
-        if existing is not None and self.stability.is_stable(key, existing.version):
+        if existing is not None and self.plane.record_is_stable(key, existing.version):
             self._stable_records[key] = (existing, self._record_deps.get(key, _NO_DEPS))
         result = self.store.apply(key, value, version, self.sim.now, stamp)
         if result.applied:
+            self.plane.note_applied(key, hlc)
             if result.was_conflict:
                 merged = dict(self._record_deps.get(key, _NO_DEPS))
                 for dep_key, entry in deps.items():
@@ -375,6 +384,10 @@ class ChainNode(RingServer):  # repro: lint-ok(slots) — unslotted Actor base k
                 self._record_deps[key] = (
                     deps if isinstance(deps, DepSnapshot) else dict(deps)
                 )
+        else:
+            # Stale/dominated write: the surviving record keeps its own
+            # stamp, but the clock still merges (never moves backwards).
+            self.plane.observe(hlc)
         self._refresh_stable_record(key)
 
     def _refresh_stable_record(self, key: str) -> None:
@@ -389,7 +402,7 @@ class ChainNode(RingServer):  # repro: lint-ok(slots) — unslotted Actor base k
         drops the tracker entry this laziness relies on.
         """
         record = self.store.get_record(key)
-        if record is not None and self.stability.is_stable(key, record.version):
+        if record is not None and self.plane.record_is_stable(key, record.version):
             self._stable_records.pop(key, None)
 
     def _stable_entry(self, key: str) -> Optional[Tuple[Any, Deps]]:
@@ -404,7 +417,7 @@ class ChainNode(RingServer):  # repro: lint-ok(slots) — unslotted Actor base k
         if entry is not None:
             return entry
         record = self.store.get_record(key)
-        if record is not None and self.stability.is_stable(key, record.version):
+        if record is not None and self.plane.record_is_stable(key, record.version):
             return (record, self._record_deps.get(key, _NO_DEPS))
         return None
 
@@ -419,6 +432,7 @@ class ChainNode(RingServer):  # repro: lint-ok(slots) — unslotted Actor base k
             request_id=msg.request_id,
             reply_to=msg.reply_to,
             origin_put_at=msg.origin_put_at,
+            hlc=msg.hlc,
             size_from=msg,
         )
 
@@ -432,32 +446,11 @@ class ChainNode(RingServer):  # repro: lint-ok(slots) — unslotted Actor base k
         origin_put_at: float,
         chain: List[str],
         stamp: Any = None,
+        hlc: Any = NO_HLC,
     ) -> None:
-        self.stability.record(key, version)
-        self._refresh_stable_record(key)
-        self.trace("stability", "dc-stable", key, version=str(version))
-        if len(chain) > 1:
-            upstream = self.view.address_of(chain[-2])
-            if self._stable_coalescer is not None:
-                self._stable_coalescer.add(upstream, key, version)
-            else:
-                self.send(
-                    upstream,
-                    ChainStable(key=key, version=version, position=len(chain) - 2),
-                )
-        if self.config.is_geo:
-            self.send(
-                Address(self.site, _GEOPROXY),
-                TailStable(
-                    key=key,
-                    value=value,
-                    version=version,
-                    stamp=stamp,
-                    deps=deps,
-                    origin_site=origin_site,
-                    origin_put_at=origin_put_at,
-                ),
-            )
+        self.plane.tail_stabilise(
+            key, value, version, deps, origin_site, origin_put_at, chain, stamp, hlc
+        )
 
     def on_chain_stable(self, msg: ChainStable, src: Address) -> None:
         self.stability.record(msg.key, msg.version)
@@ -516,26 +509,27 @@ class ChainNode(RingServer):  # repro: lint-ok(slots) — unslotted Actor base k
         self.gets_served += 1
         record = self.store.get_record(key)
         if record is None:
-            return {
+            reply: Dict[str, Any] = {
                 "value": None,
                 "version": VersionVector(),
                 "stable": True,
                 "global": True,
                 "index": pos,
             }
+            self.plane.annotate_read(reply, key)
+            return reply
         version = record.version
-        dc_stable = self.stability.is_stable(key, version)
-        if self.config.is_geo:
-            globally = self.global_stability.is_stable(key, version)
-        else:
-            globally = dc_stable
-        return {
+        dc_stable = self.plane.record_is_stable(key, version)
+        globally = self.plane.record_is_global(key, version, dc_stable)
+        reply = {
             "value": None if record.is_deleted else record.value,
             "version": version,
             "stable": dc_stable,
             "global": globally,
             "index": pos,
         }
+        self.plane.annotate_read(reply, key)
+        return reply
 
     def on_global_stable_notice(self, msg: GlobalStableNotice, src: Address) -> None:
         self.trace("stability", "global-stable", msg.key, version=str(msg.version))
@@ -580,7 +574,16 @@ class ChainNode(RingServer):  # repro: lint-ok(slots) — unslotted Actor base k
         self, payload: Tuple[str, Dict[str, int]], src: Address
     ) -> Future:
         key, entries = payload
-        return self.stability.wait(self.sim, key, VersionVector(entries))
+        return self.plane.wait_stable(key, VersionVector(entries))
+
+    # ------------------------------------------------------------------
+    # clock-plane control traffic (config.stability == "clock")
+    # ------------------------------------------------------------------
+    def on_clock_tick(self, msg: ClockTick, src: Address) -> None:
+        self.plane.on_clock_tick(msg)
+
+    def on_tail_applied(self, msg: TailApplied, src: Address) -> None:
+        self.plane.on_tail_applied(msg)
 
     # ------------------------------------------------------------------
     # remote updates injected by the geo-proxy (head role)
@@ -604,6 +607,7 @@ class ChainNode(RingServer):  # repro: lint-ok(slots) — unslotted Actor base k
             reply_to=None,
             origin_put_at=payload.get("origin_put_at", self.sim.now),
             stamp=payload.get("stamp"),
+            hlc=payload.get("hlc", NO_HLC),
         )
         return True
 
@@ -624,17 +628,13 @@ class ChainNode(RingServer):  # repro: lint-ok(slots) — unslotted Actor base k
         self._transfer_pending = set(new.servers) - {self.name}
         self.set_timer(self.config.sync_timeout, self._sync_deadline, new.epoch)
 
-        outgoing: Dict[str, List[Tuple[str, Any, VersionVector, VersionVector]]] = {}
+        outgoing: Dict[str, List[Tuple]] = {}
         for record in self.store.all_records():
             chain = new.chain_for(record.key)
             if self.name not in chain:
                 continue
-            entry = (
-                record.key,
-                record.value,
-                record.version,
-                self.stability.stable_version(record.key),
-                record.stamp,
+            entry = self.plane.transfer_record(
+                record, self.stability.stable_version(record.key)
             )
             for server in chain:
                 if server != self.name:
@@ -650,8 +650,12 @@ class ChainNode(RingServer):  # repro: lint-ok(slots) — unslotted Actor base k
         self._maybe_finish_sync()
 
     def on_state_transfer(self, msg: StateTransfer, src: Address) -> None:
-        for key, value, version, stable_version, stamp in msg.records:
-            self._apply_local(key, value, version, stamp, {})
+        for rec in msg.records:
+            key, value, version, stable_version, stamp = rec[:5]
+            # Clock-plane transfers append the record's HLC stamp as a
+            # sixth element; notices-plane tuples stay five-wide.
+            hlc = rec[5] if len(rec) > 5 else NO_HLC
+            self._apply_local(key, value, version, stamp, {}, hlc)
             if not stable_version.is_zero():
                 self.stability.record(key, stable_version)
                 self._refresh_stable_record(key)
@@ -659,7 +663,7 @@ class ChainNode(RingServer):  # repro: lint-ok(slots) — unslotted Actor base k
             pos = chain_positions(chain, self.name)
             if pos is not None and pos == len(chain) - 1:
                 record = self.store.get_record(key)
-                if record is not None and not self.stability.is_stable(key, record.version):
+                if record is not None and self.plane.needs_restabilise(key, record.version):
                     # Writes stranded mid-chain by the failure reach the new
                     # tail here; stabilising them re-opens reads-anywhere and
                     # (in geo mode) re-ships anything the old tail never sent.
@@ -672,6 +676,7 @@ class ChainNode(RingServer):  # repro: lint-ok(slots) — unslotted Actor base k
                         self.sim.now,
                         chain,
                         stamp=record.stamp,
+                        hlc=self.plane.transfer_hlc(key),
                     )
 
     def on_transfer_done(self, msg: TransferDone, src: Address) -> None:
@@ -817,6 +822,7 @@ class ChainNode(RingServer):  # repro: lint-ok(slots) — unslotted Actor base k
             self._stable_coalescer.reset()
         if self.config.metadata_gc:
             self.set_timer(self.config.gc_interval, self._gc_tick)
+        self.plane.on_recover()
         if isinstance(self.store, DurableStore) and len(self.store) == 0 and len(self.store.log):
             replayed = self.store.recover_from_log()
             self.trace("storage", "log-recovery", replayed=replayed)

@@ -24,18 +24,33 @@ __all__ = [
     "STABILITY_MESSAGE_TYPES",
     "GLOBAL_STABILITY_MESSAGE_TYPES",
     "SHIPPING_MESSAGE_TYPES",
+    "CLOCK_STABILITY_MESSAGE_TYPES",
     "coalescer_stats",
     "batching_stats",
     "link_floor_profile",
     "metadata_footprint",
+    "stability_plane_stats",
 ]
 
-#: wire types carrying intra-DC stability notifications
+#: wire types carrying intra-DC stability notifications (notices plane)
 STABILITY_MESSAGE_TYPES = ("chain-stable", "bulk-stable")
-#: wire types carrying global-stability announcements
+#: wire types carrying global-stability announcements (notices plane)
 GLOBAL_STABILITY_MESSAGE_TYPES = ("global-stable-notice", "global-stable-batch")
-#: wire types carrying geo-replicated update payloads
-SHIPPING_MESSAGE_TYPES = ("remote-update", "remote-update-batch")
+#: wire types carrying geo-replicated update payloads ("clock-ship" is
+#: the clock plane's batched carrier of the same RemoteUpdate payloads)
+SHIPPING_MESSAGE_TYPES = ("remote-update", "remote-update-batch", "clock-ship")
+#: wire types carrying the clock plane's stabilization control traffic;
+#: the A/B comparison pits STABILITY + GLOBAL_STABILITY + global-ack
+#: (the notices plane's per-write streams) against these periodic ones.
+#: TailStable and the payload-shipping types are excluded from both
+#: sides: they carry data, not stability metadata, and exist on both
+#: planes.
+CLOCK_STABILITY_MESSAGE_TYPES = (
+    "tail-applied",
+    "clock-report",
+    "clock-tick",
+    "stability-vector",
+)
 
 
 def coalescer_stats(coalescers: Iterable[Any]) -> Dict[str, int]:
@@ -113,6 +128,15 @@ def metadata_footprint(nodes: Iterable[Any], sessions: Iterable[Any]) -> Dict[st
         column_slots = getattr(table, "column_slots", None)
         if column_slots is not None:
             dep_slots += column_slots()
+    hlc_entries = 0
+    hlc_skew_max = 0
+    for n in node_list:
+        plane = getattr(n, "plane", None)
+        if plane is not None:
+            hlc_entries += plane.hlc_entry_count()
+            skew = plane.max_skew()
+            if skew > hlc_skew_max:
+                hlc_skew_max = skew
     return {
         "stable_map_entries": sum(n.metadata_entries() for n in node_list),
         "global_floor_entries": sum(n.global_floor_entries() for n in node_list),
@@ -127,4 +151,51 @@ def metadata_footprint(nodes: Iterable[Any], sessions: Iterable[Any]) -> Dict[st
         "vv_intern_entries": pool["entries"],
         "vv_intern_capacity": pool["capacity"],
         "vv_intern_hits": pool["hits"],
+        # clock-plane gauges (0 on the notices plane): per-key stamp map
+        # size and the worst clock-vs-simulated-time skew seen, in µs
+        "hlc_entries": hlc_entries,
+        "hlc_skew_max_us": hlc_skew_max,
     }
+
+
+def stability_plane_stats(store: Any) -> Dict[str, Any]:
+    """Plane-aware stabilization-traffic gauges for one deployment.
+
+    ``stability_messages`` / ``stability_bytes`` count the plane's
+    control traffic under one definition on both planes — everything
+    sent *only* to establish stability (per-write notices and acks on
+    the notices plane; floor reports, ticks and vectors on the clock
+    plane). Data-bearing messages (TailStable, remote-update shipping)
+    are excluded on both sides so the A/B isolates the metadata plane.
+    """
+    net = store.network.stats
+    config = store.config
+    plane = config.stability
+    if plane == "clock":
+        types = CLOCK_STABILITY_MESSAGE_TYPES
+    else:
+        types = STABILITY_MESSAGE_TYPES + GLOBAL_STABILITY_MESSAGE_TYPES + (
+            "global-ack",
+        )
+    out: Dict[str, Any] = {
+        "plane": plane,
+        "stability_messages": net.count_of(*types),
+        "stability_bytes": net.bytes_of(*types),
+        "vector_bytes": net.bytes_of("stability-vector"),
+        "tick_bytes": net.bytes_of("clock-tick"),
+        "report_bytes": net.bytes_of("clock-report"),
+    }
+    elapsed = store.sim.now
+    intervals = elapsed / config.stability_interval if elapsed > 0 else 0.0
+    out["vector_bytes_per_interval"] = (
+        out["vector_bytes"] / intervals if intervals else 0.0
+    )
+    cut_lags = []
+    for proxy in getattr(store, "proxies", {}).values():
+        clock = getattr(proxy, "_clock", None)
+        if clock is not None:
+            cut_lags.append(clock.cut_lag())
+    for agent in getattr(store, "clock_agents", {}).values():
+        cut_lags.append(agent.cut_lag())
+    out["cut_lag_max_s"] = max(cut_lags) if cut_lags else 0.0
+    return out

@@ -19,6 +19,7 @@ from repro.perf.protocol import BATCHED_OVERRIDES, bench_protocol_plane
 from repro.perf.parallel import PARALLEL_SCALE_PROFILE, bench_parallel_scale
 from repro.perf.report import collect_report, summary_lines, write_report
 from repro.perf.scale import SCALE_PROFILE, bench_scale, resolve_profile
+from repro.perf.stability import PLANES, bench_stability_plane
 
 __all__ = [
     "LegacySimulator",
@@ -38,4 +39,6 @@ __all__ = [
     "resolve_profile",
     "bench_parallel_scale",
     "PARALLEL_SCALE_PROFILE",
+    "bench_stability_plane",
+    "PLANES",
 ]

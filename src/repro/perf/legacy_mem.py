@@ -58,19 +58,25 @@ class LegacyRecord:
 class LegacyDepEntry:
     """Dict-backed dependency entry (pre-``__slots__`` layout)."""
 
-    def __init__(self, version: VersionVector, index: int) -> None:
+    def __init__(
+        self, version: VersionVector, index: int, hlc: Any = None
+    ) -> None:
         self.version = version
         self.index = index
+        self.hlc = hlc
 
     def size_bytes(self) -> int:
-        return self.version.size_bytes() + 4
+        stamp = 0 if self.hlc is None else self.hlc.size_bytes()
+        return self.version.size_bytes() + 4 + stamp
 
 
 class _LegacyDepTableUnslotted(LegacyDepTable):
     """Legacy dict table boxing unslotted entries, for the baseline arm."""
 
-    def set(self, key: str, version: VersionVector, index: int) -> None:
-        self[key] = LegacyDepEntry(version, index)  # type: ignore[assignment]
+    def set(
+        self, key: str, version: VersionVector, index: int, hlc: Any = None
+    ) -> None:
+        self[key] = LegacyDepEntry(version, index, hlc)  # type: ignore[assignment]
 
 
 @contextlib.contextmanager

@@ -1,0 +1,241 @@
+"""Deterministic hybrid logical clocks for the clock stability plane.
+
+The clock plane (``ChainReactionConfig.stability == "clock"``) stamps
+every write with a hybrid logical clock (HLC) value: a *physical*
+component quantized from simulated time plus a *logical* counter that
+breaks ties when several stamps land in the same physical quantum
+(Kulkarni et al., and the Okapi datastore's stabilization scheme).
+Everything here is driven off :class:`repro.sim.kernel.Simulator` time,
+so stamps are bit-deterministic across runs and across the sharded
+engine's worker counts.
+
+Total order
+-----------
+Stamps order lexicographically by ``(physical, logical, origin)``.
+``origin`` is the stamping entity (``"site:server"``) and is unique per
+clock, so two stamps from *different* clocks never compare equal and a
+single clock's stamps are strictly monotone — the order is total with
+no ties, which the stability cut machinery relies on (``min`` over
+stamp sets is unambiguous).
+
+``NO_HLC``
+----------
+Messages shared between both planes carry an ``hlc`` field so the clock
+plane can piggyback stamps without new message types on the hot path.
+On the notices plane that field must be *invisible*: :data:`NO_HLC` is
+a singleton placeholder whose :meth:`~_NoHLC.size_bytes` is ``0``, so
+``net.message.estimate_size`` charges nothing for it and the golden
+trace is byte-identical with the clock plane off.  It pickles back to
+the module singleton so identity checks survive the sharded engine's
+envelope boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+__all__ = [
+    "HLCStamp",
+    "HLC_ZERO",
+    "NO_HLC",
+    "HybridClock",
+    "just_below",
+    "hlc_min",
+    "hlc_or_none",
+]
+
+#: physical quantum: microseconds of simulated time
+_PHYSICAL_SCALE = 1_000_000
+
+#: modeled wire size of a stamp: 8B physical + 2B logical + 2B origin id
+_STAMP_WIRE_BYTES = 12
+
+
+class HLCStamp:
+    """An immutable hybrid logical clock value.
+
+    Ordered by ``(physical, logical, origin)``; see the module docstring
+    for why that order is total.  The wire-size model is a flat
+    :data:`_STAMP_WIRE_BYTES` (origins are modeled as interned ids, not
+    strings, matching how a real implementation would encode them).
+    """
+
+    __slots__ = ("physical", "logical", "origin")
+
+    def __init__(self, physical: int, logical: int, origin: str) -> None:
+        object.__setattr__(self, "physical", physical)
+        object.__setattr__(self, "logical", logical)
+        object.__setattr__(self, "origin", origin)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("HLCStamp is immutable")
+
+    def key(self) -> Tuple[int, int, str]:
+        return (self.physical, self.logical, self.origin)
+
+    def size_bytes(self) -> int:
+        return _STAMP_WIRE_BYTES
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HLCStamp):
+            return NotImplemented
+        return (
+            self.physical == other.physical
+            and self.logical == other.logical
+            and self.origin == other.origin
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.physical, self.logical, self.origin))
+
+    def __lt__(self, other: "HLCStamp") -> bool:
+        return self.key() < other.key()
+
+    def __le__(self, other: "HLCStamp") -> bool:
+        return self.key() <= other.key()
+
+    def __gt__(self, other: "HLCStamp") -> bool:
+        return self.key() > other.key()
+
+    def __ge__(self, other: "HLCStamp") -> bool:
+        return self.key() >= other.key()
+
+    def __repr__(self) -> str:
+        return f"HLC({self.physical},{self.logical},{self.origin})"
+
+    def __reduce__(self) -> Tuple[type, Tuple[int, int, str]]:
+        return (HLCStamp, (self.physical, self.logical, self.origin))
+
+
+#: the bottom element: compares <= every real stamp
+HLC_ZERO = HLCStamp(0, 0, "")
+
+
+class _NoHLC:
+    """Zero-size placeholder for ``hlc`` fields on the notices plane."""
+
+    __slots__ = ()
+
+    def size_bytes(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return "NO_HLC"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __reduce__(self) -> Tuple[object, Tuple[object, ...]]:
+        return (_restore_no_hlc, ())
+
+
+NO_HLC = _NoHLC()
+
+
+def _restore_no_hlc() -> _NoHLC:
+    return NO_HLC
+
+
+def hlc_or_none(value: object) -> Optional[HLCStamp]:
+    """Map a message ``hlc`` field to a real stamp or ``None``."""
+
+    return value if isinstance(value, HLCStamp) else None
+
+
+def just_below(stamp: HLCStamp) -> HLCStamp:
+    """A conservative predecessor of ``stamp``.
+
+    There is no exact predecessor in HLC space, but the empty origin
+    sorts below every real origin, so ``(physical, logical, "")`` is
+    strictly below ``stamp`` (when ``stamp`` has a real origin) yet at
+    or above every stamp with a smaller ``(physical, logical)`` prefix.
+    Used to report "everything strictly before this in-flight write is
+    covered" without over-advancing past concurrent same-quantum stamps
+    from other origins — those compare above the empty origin only by
+    their origin id, and under-advancing is always safe.
+    """
+
+    if not stamp.origin:
+        return stamp
+    return HLCStamp(stamp.physical, stamp.logical, "")
+
+
+def hlc_min(stamps: Iterable[Optional[HLCStamp]]) -> Optional[HLCStamp]:
+    """Minimum of the non-``None`` stamps, or ``None`` if there are none."""
+
+    best: Optional[HLCStamp] = None
+    for stamp in stamps:
+        if stamp is None:
+            continue
+        if best is None or stamp < best:
+            best = stamp
+    return best
+
+
+class HybridClock:
+    """A per-entity HLC source driven by simulated time.
+
+    ``stamp()`` mints a strictly increasing stamp; ``observe()`` merges
+    a remote stamp (never moves backwards); ``peek()`` reads the current
+    position without consuming a logical tick.  Every stamp minted
+    after a ``peek()`` compares strictly greater than the peeked value,
+    which is what lets an idle server report ``peek()`` as its
+    low-stamp floor.
+    """
+
+    __slots__ = ("_sim", "origin", "_physical", "_logical", "max_skew")
+
+    def __init__(self, sim: "SimClock", origin: str) -> None:
+        self._sim = sim
+        self.origin = origin
+        self._physical = 0
+        self._logical = 0
+        #: max (clock physical - wall physical) seen, in quanta — the
+        #: "HLC skew" gauge surfaced by metrics.protocol
+        self.max_skew = 0
+
+    def _wall(self) -> int:
+        return int(self._sim.now * _PHYSICAL_SCALE)
+
+    def _note_skew(self, wall: int) -> None:
+        skew = self._physical - wall
+        if skew > self.max_skew:
+            self.max_skew = skew
+
+    def stamp(self) -> HLCStamp:
+        wall = self._wall()
+        if wall > self._physical:
+            self._physical = wall
+            self._logical = 0
+        else:
+            self._logical += 1
+        self._note_skew(wall)
+        return HLCStamp(self._physical, self._logical, self.origin)
+
+    def observe(self, stamp: object) -> None:
+        if not isinstance(stamp, HLCStamp):
+            return
+        if stamp.physical > self._physical or (
+            stamp.physical == self._physical and stamp.logical > self._logical
+        ):
+            self._physical = stamp.physical
+            self._logical = stamp.logical
+        wall = self._wall()
+        if wall > self._physical:
+            self._physical = wall
+            self._logical = 0
+        self._note_skew(wall)
+
+    def peek(self) -> HLCStamp:
+        wall = self._wall()
+        if wall > self._physical:
+            return HLCStamp(wall, 0, self.origin)
+        return HLCStamp(self._physical, self._logical, self.origin)
+
+
+class SimClock:
+    """Structural protocol for the ``sim`` argument: anything with ``now``."""
+
+    __slots__ = ()
+
+    now: float
