@@ -30,7 +30,12 @@ What it does:
    fails if the clock plane's wall rate drops below 90% of the notices
    plane, if it stops cutting stability-control bytes by at least 5x,
    or if its per-key stamp map stops being bounded;
-8. rewrites the BENCH JSON with the fresh numbers on success.
+8. with ``--kernel compiled``, measures the mypyc-compiled event kernel
+   against the pure interpreter in the same process and fails if the
+   build is absent or the compiled kernel rate falls below 1.2x the
+   pure rate (``--kernel pure`` records the pure rates without a
+   floor — useful for comparing logs across machines);
+9. rewrites the BENCH JSON with the fresh numbers on success.
 
 CHANGES.md convention: a PR that moves any number here by >10% should
 say so in its CHANGES.md line and ship the regenerated BENCH file.
@@ -86,6 +91,13 @@ CLOCK_FLOOR = 0.90
 #: the reduction and trip the gate spuriously.
 CLOCK_BYTES_REDUCTION_FLOOR = 5.0
 
+#: Fail when the compiled kernel's event rate falls below this multiple
+#: of the pure interpreter's (enforced only under ``--kernel compiled``,
+#: which requires a build). AOT-compiling the event loop should buy well
+#: over this; the floor just keeps a silently broken build (e.g. one
+#: that falls back to interpreting the same file) from passing.
+KERNEL_SPEEDUP_FLOOR = 1.2
+
 #: Shrunk sharded scale tier (``perf --scale --workers``) for the
 #: determinism + speedup smoke gate.
 PARALLEL_SMOKE = {
@@ -121,6 +133,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--bench-pr5", default="BENCH_PR5.json", metavar="PATH",
         help="committed memory benchmark the bytes/key gate compares against",
+    )
+    parser.add_argument(
+        "--kernel", choices=("pure", "compiled"), default=None, metavar="BACKEND",
+        help="run the kernel-backend gate: 'compiled' requires the mypyc "
+        f"build and >= {KERNEL_SPEEDUP_FLOOR}x the pure kernel rate; "
+        "'pure' records the pure rates without a floor",
     )
     args = parser.parse_args(argv)
 
@@ -274,6 +292,47 @@ def main(argv=None) -> int:
             failures.append(
                 f"clock plane stamp map unbounded "
                 f"({plane['clock_stable_map_entries']} live entries)"
+            )
+
+    if args.kernel:
+        from repro.perf import bench_hlc_ops, bench_kernel_ops
+        from repro.sim.backend import compiled_available
+
+        if args.kernel == "compiled" and not compiled_available():
+            print(
+                "FAIL: --kernel compiled requested but no mypyc build is "
+                "present; run `python scripts/build_kernel.py` first "
+                "(requires the [compiled] extra)",
+                file=sys.stderr,
+            )
+            return 1
+        kops = bench_kernel_ops(n_events=args.events, repeats=args.repeats)
+        hops = bench_hlc_ops(n_ops=args.events, repeats=args.repeats)
+        print(
+            f"  kernel pure events/s               "
+            f"{kops['pure_events_per_sec']:,.0f}"
+        )
+        if kops["compiled_vs_pure"] is not None:
+            print(
+                f"  kernel compiled events/s           "
+                f"{kops['compiled_events_per_sec']:,.0f} "
+                f"({kops['compiled_vs_pure']:.2f}x)"
+            )
+            print(
+                f"  hlc compiled / pure                "
+                f"{hops['compiled_vs_pure']:.2f}x"
+            )
+        if args.kernel == "compiled" and (
+            kops["compiled_vs_pure"] is None
+            or kops["compiled_vs_pure"] < KERNEL_SPEEDUP_FLOOR
+        ):
+            measured = kops["compiled_vs_pure"]
+            failures.append(
+                f"compiled kernel runs at {measured:.2f}x the pure rate "
+                f"(floor {KERNEL_SPEEDUP_FLOOR}x) — the build is not "
+                "delivering compiled speed"
+                if measured is not None
+                else "compiled kernel rate could not be measured"
             )
 
     if failures:

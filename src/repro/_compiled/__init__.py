@@ -1,0 +1,47 @@
+"""Loader for the optional mypyc-compiled kernel cores.
+
+``python scripts/build_kernel.py`` compiles the three
+:mod:`repro.kernelcore` modules — ``eventcore``, ``vvcore``,
+``hlccore`` — with mypyc and drops the resulting extension modules
+(plus mypyc's shared ``*__mypyc`` group library) into this directory.
+The build compiles *flat* copies, so the extensions carry the top-level
+names ``eventcore``/``vvcore``/``hlccore``: this package puts its own
+directory on ``sys.path``, imports them, and re-exports each one under
+its dotted ``repro._compiled.<name>`` alias so
+:mod:`repro.sim.backend` can simply do
+``from repro._compiled import eventcore``.
+
+When no build is present the flat imports raise ``ImportError`` and the
+backend selector reports the compiled kernel as unavailable — nothing
+in the pure path ever depends on this package importing successfully.
+Source parity is the build's contract: the extensions are compiled from
+the same files the interpreter runs, and ``tests/test_kernel_backends``
+pins the two byte-identical.
+"""
+
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+if _HERE not in sys.path:
+    # Insert *after* the script directory so a repo checkout can never be
+    # shadowed, but before site-packages so the freshly built extensions
+    # win over any stale installed copies.
+    sys.path.insert(1, _HERE)
+
+import eventcore  # noqa: E402
+import hlccore  # noqa: E402
+import vvcore  # noqa: E402
+
+for _mod in (eventcore, vvcore, hlccore):
+    _file = getattr(_mod, "__file__", "") or ""
+    if _file.endswith(".py"):
+        # A plain .py masquerading as a build would silently report
+        # "compiled" while running interpreted — refuse it.
+        raise ImportError(
+            f"repro._compiled found an interpreted module at {_file}; "
+            "expected a mypyc extension. Rebuild with scripts/build_kernel.py."
+        )
+    sys.modules[f"{__name__}.{_mod.__name__}"] = _mod
+
+__all__ = ["eventcore", "vvcore", "hlccore"]

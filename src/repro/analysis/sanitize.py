@@ -26,6 +26,7 @@ import dataclasses
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.registry import build_store
+from repro.sim.backend import active_kernel
 from repro.workload import WorkloadRunner, workload
 
 __all__ = [
@@ -408,6 +409,7 @@ def sanitize_sharded(
         warmup=warmup,
         drain=0.5,
         overrides=tuple(sorted((overrides or {}).items())),
+        kernel=active_kernel(),
     )
     first = ShardedSimulator(spec, workers=workers).run()
     second = ShardedSimulator(spec, workers=workers).run()

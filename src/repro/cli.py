@@ -35,6 +35,11 @@ Reporting subcommands share two output flags: ``--format {text,json}``
 selects human tables or a machine-readable JSON document, and
 ``--out FILE`` writes the report to a file instead of stdout (``perf``
 always writes its BENCH report file; ``--out`` overrides the path).
+``run``, ``faults``, and ``sanitize`` also accept ``--kernel
+{auto,pure,compiled}`` selecting the event-kernel backend (``auto``
+prefers the mypyc build when present, else pure; the ``REPRO_KERNEL``
+environment variable steers ``auto``), and ``perf --kernel`` runs the
+pure-vs-compiled A/B tier writing ``BENCH_PR9.json``.
 
 Examples::
 
@@ -44,6 +49,8 @@ Examples::
     python -m repro perf --out BENCH_PR1.json
     python -m repro perf --protocol --out BENCH_PR4.json
     python -m repro perf --stability clock --out BENCH_PR8.json
+    python -m repro perf --kernel --out BENCH_PR9.json
+    python -m repro run --protocol chainreaction --kernel compiled --clients 32
     python -m repro faults --campaign crash-head --seed 7
     python -m repro faults --campaign crash-head --check-determinism --stability clock
     python -m repro lint --typing
@@ -82,6 +89,9 @@ __all__ = ["main", "build_parser"]
 #: stabilization-plane selector values shared by run/faults/sanitize/perf
 _PLANE_CHOICES = ("notices", "notices+batch", "clock")
 
+#: kernel-backend selector values shared by run/faults/sanitize
+_KERNEL_CHOICES = ("auto", "pure", "compiled")
+
 #: one deprecation warning per process for the --batch alias
 _batch_alias_warned = False
 
@@ -100,6 +110,23 @@ def _resolve_plane(args: argparse.Namespace, out) -> str:
         if plane is None:
             plane = "notices+batch"
     return plane or "notices"
+
+
+def _activate_cli_kernel(args: argparse.Namespace, out) -> Optional[str]:
+    """Activate the ``--kernel`` backend; None (+ message) on bad request.
+
+    Returns the concrete backend name (``pure``/``compiled``) on
+    success. ``--kernel compiled`` without a build is the one failure
+    mode (ConfigError) — report it instead of tracebacking.
+    """
+    from repro.errors import ConfigError
+    from repro.sim.backend import activate_kernel
+
+    try:
+        return activate_kernel(getattr(args, "kernel", None))
+    except ConfigError as exc:
+        print(f"--kernel: {exc}", file=out)
+        return None
 
 
 def _plane_overrides(plane: str) -> Dict[str, Any]:
@@ -128,10 +155,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", metavar="FILE", default=None,
         help="write the report to FILE instead of stdout",
     )
+    # Shared by run/faults/sanitize: which simulation-kernel backend to
+    # run on (perf has its own --kernel, which runs the A/B tier).
+    kernel_sel = argparse.ArgumentParser(add_help=False)
+    kernel_sel.add_argument(
+        "--kernel", choices=_KERNEL_CHOICES, default=None, metavar="BACKEND",
+        help="simulation-kernel backend: auto (default; prefers the "
+        "mypyc-compiled build when importable), pure, or compiled "
+        "(errors when no build is present); REPRO_KERNEL sets the "
+        "default — see docs/PERFORMANCE.md §9",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser(
-        "run", parents=[output], help="drive a YCSB workload against one protocol"
+        "run", parents=[output, kernel_sel],
+        help="drive a YCSB workload against one protocol",
     )
     run.add_argument("--protocol", choices=PROTOCOLS, default="chainreaction")
     run.add_argument("--workload", choices=sorted(WORKLOADS), default="B")
@@ -247,9 +285,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale-sites", nargs="+", default=None, metavar="SITE",
         help="override the parallel tier's datacenter list (one shard each)",
     )
+    perf.add_argument(
+        "--kernel", nargs="?", const="ab", default=None,
+        choices=("ab", "pure", "compiled"), metavar="ARM",
+        help="run the kernel-backend A/B tier (pure vs mypyc-compiled "
+        "micro + end-to-end rates) and write BENCH_PR9.json; bare "
+        "--kernel measures both arms when the compiled build exists, "
+        "--kernel compiled additionally fails if it does not",
+    )
 
     faults = sub.add_parser(
-        "faults", parents=[output],
+        "faults", parents=[output, kernel_sel],
         help="run a fault campaign: seeded crashes/partitions/slow links (docs/FAULTS.md)",
     )
     faults.add_argument(
@@ -296,7 +342,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sanitize = sub.add_parser(
-        "sanitize", parents=[output],
+        "sanitize", parents=[output, kernel_sel],
         help="race detector: run one experiment twice under one seed and diff traces",
     )
     sanitize.add_argument("--protocol", choices=PROTOCOLS, default="chainreaction")
@@ -403,6 +449,13 @@ def _emit(args: argparse.Namespace, out, text: str, payload: Dict[str, Any]) -> 
 
 def _cmd_run(args: argparse.Namespace, out) -> int:
     overrides: Dict[str, Any] = {}
+    kernel = _activate_cli_kernel(args, out)
+    if kernel is None:
+        return 2
+    if args.protocol in ("chainreaction", "chain"):
+        # Pin the resolved backend into the store config so its own
+        # (default "auto") resolution cannot override the CLI choice.
+        overrides["kernel"] = kernel
     if args.durable:
         if args.protocol not in ("chainreaction", "chain"):
             print("--durable applies to chainreaction/chain only", file=out)
@@ -451,7 +504,9 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
     payload: Dict[str, Any] = result.summary_row()
     payload["ops_completed"] = result.ops_completed
     payload["metadata_bytes_mean"] = result.metadata_bytes.mean()
+    payload["kernel"] = kernel
     rows = [
+        ("kernel backend", kernel),
         ("throughput (ops/s)", result.throughput),
         ("operations", result.ops_completed),
         ("errors", result.errors),
@@ -672,7 +727,70 @@ def _cmd_perf_stability(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_perf_kernel(args: argparse.Namespace, out) -> int:
+    from repro.perf import bench_compiled_kernel, write_report
+
+    print(
+        "running compiled-kernel A/B tier (pure vs mypyc, micro + sharded "
+        "end-to-end at workers=1,2) ...",
+        file=out,
+    )
+    report = bench_compiled_kernel(n_events=args.events, repeats=args.repeats)
+    rows = [("compiled build present", str(report["compiled_available"]))]
+    if report["build_skipped"]:
+        rows.append(("build skipped", report["build_skipped_reason"]))
+    kops = report["kernel_ops"]
+    rows.append(("kernel pure events/s", f"{kops['pure_events_per_sec']:,.0f}"))
+    if kops["compiled_vs_pure"] is not None:
+        rows.append(
+            ("kernel compiled events/s", f"{kops['compiled_events_per_sec']:,.0f}")
+        )
+        rows.append(("kernel compiled/pure", f"{kops['compiled_vs_pure']:.2f}x"))
+    hops = report["hlc_ops"]
+    rows.append(("hlc pure ops/s", f"{hops['pure_ops_per_sec']:,.0f}"))
+    if hops["compiled_vs_pure"] is not None:
+        rows.append(("hlc compiled/pure", f"{hops['compiled_vs_pure']:.2f}x"))
+    for run in report["end_to_end"]:
+        rows.append(
+            (
+                f"e2e {run['kernel']} workers={run['workers_requested']}",
+                f"{run['ops_per_wall_sec']:,.0f} ops/wall-s "
+                f"({run['wall_seconds']:.1f}s wall)",
+            )
+        )
+    for label, ratio in report["end_to_end_speedup"].items():
+        if ratio is not None:
+            rows.append((f"e2e speedup {label}", f"{ratio:.2f}x"))
+    rows.append(("trace digests match", str(report["digests_match"])))
+    report_path = args.out or "BENCH_PR9.json"
+    write_report(report, report_path)
+    text = "\n\n".join(
+        [
+            render_table(["metric", "value"], rows, title="perf --kernel"),
+            f"report written to {report_path}",
+        ]
+    )
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True, default=str), file=out)
+    else:
+        print(text, file=out)
+    # Cross-backend digest parity is a hard contract; see perf/compiled.py.
+    return 0 if report["digests_match"] else 1
+
+
 def _cmd_perf(args: argparse.Namespace, out) -> int:
+    kernel_arm = getattr(args, "kernel", None)
+    if kernel_arm == "ab":
+        return _cmd_perf_kernel(args, out)
+    if kernel_arm in ("pure", "compiled"):
+        from repro.errors import ConfigError
+        from repro.sim.backend import activate_kernel
+
+        try:
+            activate_kernel(kernel_arm)
+        except ConfigError as exc:
+            print(f"--kernel: {exc}", file=out)
+            return 2
     if args.stability:
         return _cmd_perf_stability(args, out)
     if args.scale:
@@ -734,6 +852,9 @@ def _cmd_faults(args: argparse.Namespace, out) -> int:
     if not args.campaign:
         print("faults: --campaign NAME is required (or --list)", file=out)
         return 2
+    kernel = _activate_cli_kernel(args, out)
+    if kernel is None:
+        return 2
     spec = campaign(args.campaign)
     updates: Dict[str, Any] = {}
     if args.clients is not None:
@@ -741,8 +862,13 @@ def _cmd_faults(args: argparse.Namespace, out) -> int:
     if args.workload is not None:
         updates["workload_name"] = args.workload
     plane = _resolve_plane(args, out)
+    extra_overrides: Dict[str, Any] = {}
     if plane != "notices":
-        updates["overrides"] = {**(spec.overrides or {}), **_plane_overrides(plane)}
+        extra_overrides.update(_plane_overrides(plane))
+    if spec.protocol in ("chainreaction", "chain"):
+        extra_overrides["kernel"] = kernel
+    if extra_overrides:
+        updates["overrides"] = {**(spec.overrides or {}), **extra_overrides}
     if updates:
         spec = spec.with_updates(**updates)
 
@@ -843,11 +969,16 @@ def _cmd_sanitize_sharded(args: argparse.Namespace, out, overrides) -> int:
 def _cmd_sanitize(args: argparse.Namespace, out) -> int:
     from repro.analysis import sanitize_run
 
+    kernel = _activate_cli_kernel(args, out)
+    if kernel is None:
+        return 2
     plane = _resolve_plane(args, out)
     if plane != "notices" and args.protocol not in ("chainreaction", "chain"):
         print("--stability applies to chainreaction/chain only", file=out)
         return 2
     overrides = _plane_overrides(plane) or None
+    if args.protocol in ("chainreaction", "chain"):
+        overrides = {**(overrides or {}), "kernel": kernel}
     if args.workers is not None:
         if args.workers < 1:
             print("sanitize: --workers must be >= 1", file=out)

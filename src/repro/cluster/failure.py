@@ -79,11 +79,13 @@ class FailureInjector:
         recover_at: Optional[float] = None,
         wipe_storage: bool = False,
     ) -> None:
-        self.sim.schedule_at(at, self._crash, actor, wipe_storage)
+        # Fault injections are fire-and-forget: handles are dropped at
+        # the call site, so release them for the kernel's handle pool.
+        self.sim.schedule_at(at, self._crash, actor, wipe_storage).release()
         if recover_at is not None:
             if recover_at <= at:
                 raise ValueError(f"recover_at {recover_at} must follow crash at {at}")
-            self.sim.schedule_at(recover_at, self._recover, actor)
+            self.sim.schedule_at(recover_at, self._recover, actor).release()
 
     def schedule_partition(
         self,
@@ -92,11 +94,11 @@ class FailureInjector:
         at: float,
         heal_at: Optional[float] = None,
     ) -> None:
-        self.sim.schedule_at(at, self._partition, a, b)
+        self.sim.schedule_at(at, self._partition, a, b).release()
         if heal_at is not None:
             if heal_at <= at:
                 raise ValueError(f"heal_at {heal_at} must follow partition at {at}")
-            self.sim.schedule_at(heal_at, self._heal, a, b)
+            self.sim.schedule_at(heal_at, self._heal, a, b).release()
 
     def schedule_slow_link(
         self,
@@ -106,11 +108,11 @@ class FailureInjector:
         heal_at: Optional[float] = None,
         factor: float = 10.0,
     ) -> None:
-        self.sim.schedule_at(at, self._slow_link, a, b, factor)
+        self.sim.schedule_at(at, self._slow_link, a, b, factor).release()
         if heal_at is not None:
             if heal_at <= at:
                 raise ValueError(f"heal_at {heal_at} must follow slowdown at {at}")
-            self.sim.schedule_at(heal_at, self._restore_link, a, b)
+            self.sim.schedule_at(heal_at, self._restore_link, a, b).release()
 
     def apply(self, events: List[FaultEvent]) -> None:
         """Arm a declarative schedule."""

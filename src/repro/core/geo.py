@@ -302,7 +302,8 @@ class GeoProxy(Actor):  # repro: lint-ok(slots) — unslotted Actor base keeps t
             if previous_gate is not None and not previous_gate.done():
                 yield previous_gate
         finally:
-            self.sim.call_soon(gate.try_set_result, True)
+            # Released: the gate-opening handle is dropped right here.
+            self.sim.call_soon(gate.try_set_result, True).release()
         yield from self._inject_at_head(msg)
         self.updates_applied += 1
         self.trace("geo", "remote-apply", msg.key, origin=msg.origin_site)
@@ -377,7 +378,7 @@ class GeoProxy(Actor):  # repro: lint-ok(slots) — unslotted Actor base keeps t
             # Open the gate exactly when this update's injection is
             # issued (first attempt) — successors may then issue theirs;
             # per-link FIFO keeps the heads applying them in order.
-            self.sim.call_soon(gate.try_set_result, True)
+            self.sim.call_soon(gate.try_set_result, True).release()
         yield from self._inject_at_head(msg)
         self.updates_applied += 1
         self.trace("geo", "remote-apply", msg.key, origin=msg.origin_site)

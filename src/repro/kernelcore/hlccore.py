@@ -1,0 +1,68 @@
+"""Hybrid-logical-clock arithmetic (compilation-clean core).
+
+The pure state transitions behind :class:`repro.sim.hlc.HybridClock`:
+each takes the clock position ``(physical, logical)`` plus the current
+wall quantum and returns the next position. The interpreted class stays
+in ``sim/hlc.py`` (it owns the ``HLCStamp`` wire type, whose pickle
+round-trip and ``NO_HLC`` singleton identity must hold across the
+sharded engine's envelope boundary regardless of backend); its
+``stamp``/``observe``/``peek`` methods delegate here through rebindable
+module globals so the compiled copy (``repro._compiled.hlccore``) can
+be swapped in at runtime.
+
+All functions are integer-pure: quantization from float simulated time
+happens once, in :func:`wall_quantum`, so both backends see identical
+inputs — the stamp streams are bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = [
+    "PHYSICAL_SCALE",
+    "wall_quantum",
+    "clock_tick",
+    "clock_observe",
+    "clock_peek",
+]
+
+#: physical quantum: microseconds of simulated time
+PHYSICAL_SCALE = 1_000_000
+
+
+def wall_quantum(now: float) -> int:
+    """Quantize simulated seconds to the HLC physical component."""
+    return int(now * PHYSICAL_SCALE)
+
+
+def clock_tick(physical: int, logical: int, wall: int) -> Tuple[int, int]:
+    """Advance for minting a stamp: catch up to the wall quantum, or tick
+    the logical counter when the wall has not moved past the clock."""
+    if wall > physical:
+        return (wall, 0)
+    return (physical, logical + 1)
+
+
+def clock_observe(
+    physical: int,
+    logical: int,
+    s_physical: int,
+    s_logical: int,
+    wall: int,
+) -> Tuple[int, int]:
+    """Merge a remote stamp ``(s_physical, s_logical)`` then catch up to
+    the wall quantum. Never moves the clock backwards."""
+    if s_physical > physical or (s_physical == physical and s_logical > logical):
+        physical = s_physical
+        logical = s_logical
+    if wall > physical:
+        return (wall, 0)
+    return (physical, logical)
+
+
+def clock_peek(physical: int, logical: int, wall: int) -> Tuple[int, int]:
+    """Current position without consuming a logical tick."""
+    if wall > physical:
+        return (wall, 0)
+    return (physical, logical)

@@ -109,7 +109,9 @@ class Actor:
             # up and the result is visible after the service time.
             start = max(self.sim.now, self._busy_until)
             self._busy_until = start + cost
-            self.sim.schedule_at(self._busy_until, self._dispatch, msg, src)
+            # Released at scheduling time: the handle is dropped here,
+            # never cancelled, so the kernel may pool it after firing.
+            self.sim.schedule_at(self._busy_until, self._dispatch, msg, src).release()
             return
         self._dispatch(msg, src)
 

@@ -7,10 +7,13 @@ keeps the seed event kernel as the in-process baseline, and
 trajectory files. See ``docs/PERFORMANCE.md``.
 """
 
+from repro.perf.compiled import COMPILED_AB_PROFILE, bench_compiled_kernel
 from repro.perf.legacy import LegacySimulator
 from repro.perf.micro import (
     bench_end_to_end,
     bench_event_kernel,
+    bench_hlc_ops,
+    bench_kernel_ops,
     bench_message_sizing,
     bench_network_send,
 )
@@ -25,6 +28,10 @@ __all__ = [
     "LegacySimulator",
     "bench_end_to_end",
     "bench_event_kernel",
+    "bench_hlc_ops",
+    "bench_kernel_ops",
+    "bench_compiled_kernel",
+    "COMPILED_AB_PROFILE",
     "bench_message_sizing",
     "bench_network_send",
     "bench_protocol_plane",

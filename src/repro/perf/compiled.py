@@ -1,0 +1,142 @@
+"""Compiled-kernel A/B tier: pure vs mypyc backend, micro + end-to-end.
+
+``python -m repro perf --kernel`` runs this tier and writes
+``BENCH_PR9.json``. It measures, per backend:
+
+- **kernel ops** — events/sec through the event kernel's handle-free
+  ``post`` path (:func:`repro.perf.micro.bench_kernel_ops`);
+- **HLC ops** — tick+observe arithmetic rate
+  (:func:`repro.perf.micro.bench_hlc_ops`);
+- **end-to-end** — the sharded scale experiment at workers ∈ {1, 2},
+  ops/wall-s plus the per-run trace digest.
+
+Every end-to-end arm must produce the *same* trace digest: the two
+backends compile the same source and the parity suite pins them
+byte-identical, so a digest split here is a correctness bug, not a perf
+artifact. The report records ``digests_match`` accordingly.
+
+When the mypyc build is absent (``pip install -e .[compiled]`` +
+``python scripts/build_kernel.py`` not run), the tier still measures
+the pure arms and records an explicit ``build_skipped`` marker instead
+of fabricating a comparison — the committed benchmark stays honest
+about what this container could measure.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, Optional, Sequence
+
+from repro.perf.micro import bench_hlc_ops, bench_kernel_ops
+from repro.perf.parallel import PARALLEL_SCALE_PROFILE, spec_from_profile
+from repro.perf.scale import resolve_profile
+from repro.sim.backend import activate_kernel, active_kernel, compiled_available
+
+__all__ = ["COMPILED_AB_PROFILE", "bench_compiled_kernel"]
+
+BUILD_SKIPPED_REASON = (
+    "mypyc build not present; install with `pip install -e .[compiled]` "
+    "and run `python scripts/build_kernel.py` to produce repro._compiled"
+)
+
+#: A scaled-down cut of the parallel tier: same topology, ~50x fewer
+#: keys/clients so the four arms (2 backends x 2 worker counts) finish
+#: in well under a CI minute while still exercising the full sharded
+#: pipeline (spawned workers, conservative windows, envelope traffic).
+COMPILED_AB_PROFILE: Dict[str, Any] = {
+    **PARALLEL_SCALE_PROFILE,
+    "record_count": 20_000,
+    "n_clients": 200,
+    "duration": 0.25,
+    "warmup": 0.05,
+}
+
+
+def _run_end_to_end(kernel: str, workers: int, profile: Dict[str, Any]) -> Dict[str, Any]:
+    """One sharded experiment pinned to ``kernel``; wall metrics + digest."""
+    from repro.sim.shard import ShardedSimulator
+
+    prior = active_kernel()
+    # spec_from_profile pins the *currently active* backend into the
+    # spec, which is exactly the pinning the A/B needs — activate the
+    # arm's backend first, restore the caller's afterwards.
+    activate_kernel(kernel)
+    try:
+        spec = spec_from_profile(profile)
+        engine = ShardedSimulator(spec, workers=workers)
+        t0 = time.perf_counter()
+        result = engine.run()
+        wall = time.perf_counter() - t0
+    finally:
+        activate_kernel(prior)
+    return {
+        "kernel": kernel,
+        "workers_requested": workers,
+        "workers_used": engine.workers,
+        "wall_seconds": wall,
+        "ops_completed": result.ops_completed,
+        "ops_per_wall_sec": result.ops_completed / wall if wall else 0.0,
+        "events_processed": result.events_processed,
+        "rounds": result.rounds,
+        "errors": result.errors,
+        "trace_digest": result.trace_digest,
+    }
+
+
+def bench_compiled_kernel(
+    n_events: int = 200_000,
+    repeats: int = 3,
+    workers_list: Sequence[int] = (1, 2),
+    overrides: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Full pure-vs-compiled A/B; see module docstring.
+
+    Returns the report dict written to ``BENCH_PR9.json``.
+    """
+    profile = resolve_profile(COMPILED_AB_PROFILE, overrides)
+    backends = ["pure", "compiled"] if compiled_available() else ["pure"]
+
+    kernel_ops = bench_kernel_ops(n_events=n_events, repeats=repeats)
+    hlc_ops = bench_hlc_ops(n_ops=n_events, repeats=repeats)
+
+    end_to_end = []
+    for kernel in backends:
+        for workers in workers_list:
+            end_to_end.append(_run_end_to_end(kernel, workers, profile))
+
+    digests = {run["trace_digest"] for run in end_to_end}
+    speedups: Dict[str, Optional[float]] = {}
+    for workers in workers_list:
+        pure = next(
+            r for r in end_to_end if r["kernel"] == "pure" and r["workers_requested"] == workers
+        )
+        comp = next(
+            (r for r in end_to_end
+             if r["kernel"] == "compiled" and r["workers_requested"] == workers),
+            None,
+        )
+        speedups[f"workers={workers}"] = (
+            comp["ops_per_wall_sec"] / pure["ops_per_wall_sec"]
+            if comp and pure["ops_per_wall_sec"]
+            else None
+        )
+
+    report: Dict[str, Any] = {
+        "compiled_available": compiled_available(),
+        "build_skipped": not compiled_available(),
+        "host_cpus": os.cpu_count(),
+        "profile": {
+            k: (list(v) if isinstance(v, tuple) else v) for k, v in profile.items()
+        },
+        "kernel_ops": kernel_ops,
+        "hlc_ops": hlc_ops,
+        "end_to_end": end_to_end,
+        "end_to_end_speedup": speedups,
+        # All arms — both backends, both worker counts — must agree.
+        "digests_match": len(digests) == 1,
+        "trace_digest": end_to_end[0]["trace_digest"],
+    }
+    if report["build_skipped"]:
+        report["build_skipped_reason"] = BUILD_SKIPPED_REASON
+    return report

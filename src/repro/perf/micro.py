@@ -32,6 +32,8 @@ __all__ = [
     "bench_message_sizing",
     "bench_version_ops",
     "bench_end_to_end",
+    "bench_kernel_ops",
+    "bench_hlc_ops",
 ]
 
 
@@ -97,6 +99,98 @@ def bench_event_kernel(n_events: int = 200_000, fanout: int = 100, repeats: int 
         "optimized_schedule_events_per_sec": sched["best"],
         "speedup": post["best"] / legacy["best"] if legacy["best"] else 0.0,
     }
+
+
+def _core_backends(module: str) -> Dict[str, Any]:
+    """Map backend name -> kernelcore module (``eventcore``/``hlccore``).
+
+    Both benchmarks below measure the *modules* directly rather than
+    flipping the process-wide backend: the pure and compiled builds of a
+    core module are importable side by side, which keeps the A/B honest
+    (same process, same data, only the implementation differs).
+    """
+    import importlib
+
+    backends: Dict[str, Any] = {
+        "pure": importlib.import_module(f"repro.kernelcore.{module}")
+    }
+    try:
+        backends["compiled"] = importlib.import_module(f"repro._compiled.{module}")
+    except ImportError:
+        pass
+    return backends
+
+
+def bench_kernel_ops(n_events: int = 200_000, fanout: int = 100, repeats: int = 3) -> Dict[str, Any]:
+    """Events/sec through the event kernel, pure vs compiled.
+
+    Drives each backend's ``Simulator`` through ``post`` — the
+    handle-free hot path — with the same self-rescheduling chain shape
+    as :func:`bench_event_kernel`. ``compiled_vs_pure`` is the speedup
+    ratio, or ``None`` when the mypyc build is absent.
+    """
+    results: Dict[str, Any] = {"n_events": n_events, "fanout": fanout, "repeats": repeats}
+    rates: Dict[str, float] = {}
+    for name, core in _core_backends("eventcore").items():
+        run = _best_rate(
+            lambda core=core: _drive_kernel((s := core.Simulator()), s.post, n_events, fanout),
+            repeats,
+        )
+        rates[name] = run["best"]
+        results[f"{name}_events_per_sec"] = run["best"]
+        results[f"{name}_runs"] = run["runs"]
+    results["compiled_available"] = "compiled" in rates
+    results["compiled_vs_pure"] = (
+        rates["compiled"] / rates["pure"] if "compiled" in rates and rates["pure"] else None
+    )
+    return results
+
+
+def bench_hlc_ops(n_ops: int = 200_000, repeats: int = 3) -> Dict[str, Any]:
+    """Ops/sec for the HLC tick/observe arithmetic, pure vs compiled.
+
+    Each measured iteration is one local ``clock_tick`` plus one remote
+    ``clock_observe`` — the per-message cost of the clock plane. The
+    final (physical, logical) pair is asserted identical across
+    backends: same inputs must produce the same clock.
+    """
+    results: Dict[str, Any] = {"n_ops": n_ops, "repeats": repeats}
+    rates: Dict[str, float] = {}
+    finals: Dict[str, Any] = {}
+
+    def once(core: Any) -> float:
+        tick = core.clock_tick
+        observe = core.clock_observe
+        physical = logical = 0
+        wall = 0
+        t0 = time.perf_counter()
+        for i in range(n_ops):
+            wall += 3
+            physical, logical = tick(physical, logical, wall)
+            physical, logical = observe(
+                physical, logical, physical + (i & 7), i & 3, wall
+            )
+        elapsed = time.perf_counter() - t0
+        finals["last"] = (physical, logical)
+        return (2 * n_ops) / elapsed
+
+    for name, core in _core_backends("hlccore").items():
+        run = _best_rate(lambda core=core: once(core), repeats)
+        rates[name] = run["best"]
+        finals[name] = finals.pop("last")
+        results[f"{name}_ops_per_sec"] = run["best"]
+        results[f"{name}_runs"] = run["runs"]
+    if "compiled" in finals:
+        assert finals["compiled"] == finals["pure"], (
+            "HLC backends diverged: "
+            f"pure={finals['pure']} compiled={finals['compiled']}"
+        )
+    results["final_clock"] = list(finals["pure"])
+    results["compiled_available"] = "compiled" in rates
+    results["compiled_vs_pure"] = (
+        rates["compiled"] / rates["pure"] if "compiled" in rates and rates["pure"] else None
+    )
+    return results
 
 
 # ----------------------------------------------------------------------

@@ -42,12 +42,15 @@ def collect_report(
     """Run the microbenchmark suite and return the report dict."""
     import os
 
+    from repro.sim.backend import active_kernel
+
     report: Dict[str, Any] = {
         "meta": {
             "benchmark": "PR1 hot-path overhaul",
             "python": sys.version.split()[0],
             "platform": platform.platform(),
             "cpu_count": os.cpu_count(),
+            "kernel_backend": active_kernel(),
             "n_events": n_events,
             "repeats": repeats,
             "collected_unix_time": time.time(),
@@ -115,6 +118,7 @@ def summary_lines(report: Dict[str, Any]) -> list:
     """(metric, value) rows for the CLI table."""
     kernel = report["event_kernel"]
     rows = [
+        ("kernel backend", report.get("meta", {}).get("kernel_backend", "pure")),
         ("kernel baseline (seed) events/s", f"{kernel['baseline_events_per_sec']:,.0f}"),
         ("kernel optimized events/s", f"{kernel['optimized_events_per_sec']:,.0f}"),
         ("kernel speedup", f"{kernel['speedup']:.2f}x"),

@@ -32,7 +32,9 @@ envelope boundary.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+from typing import Any, Iterable, Optional, Tuple
+
+from repro.kernelcore import hlccore as _hlccore
 
 __all__ = [
     "HLCStamp",
@@ -44,11 +46,32 @@ __all__ = [
     "hlc_or_none",
 ]
 
-#: physical quantum: microseconds of simulated time
-_PHYSICAL_SCALE = 1_000_000
+#: physical quantum: microseconds of simulated time (defined in hlccore
+#: so both backends quantize identically)
+_PHYSICAL_SCALE = _hlccore.PHYSICAL_SCALE
 
 #: modeled wire size of a stamp: 8B physical + 2B logical + 2B origin id
 _STAMP_WIRE_BYTES = 12
+
+# Clock-arithmetic delegation: rebindable globals that repro.sim.backend
+# points at the mypyc-compiled copy of the same functions
+# (repro._compiled.hlccore) when the compiled backend is activated. The
+# HLCStamp wire type and the NO_HLC singleton stay in this interpreted
+# shell — their pickle round-trips and singleton identity must hold
+# across the sharded engine's envelope boundary on either backend.
+_wall_quantum = _hlccore.wall_quantum
+_clock_tick = _hlccore.clock_tick
+_clock_observe = _hlccore.clock_observe
+_clock_peek = _hlccore.clock_peek
+
+
+def _bind_kernel(core: Any) -> None:
+    """Point the clock-math globals at ``core`` (pure or compiled hlccore)."""
+    global _wall_quantum, _clock_tick, _clock_observe, _clock_peek
+    _wall_quantum = core.wall_quantum
+    _clock_tick = core.clock_tick
+    _clock_observe = core.clock_observe
+    _clock_peek = core.clock_peek
 
 
 class HLCStamp:
@@ -195,7 +218,7 @@ class HybridClock:
         self.max_skew = 0
 
     def _wall(self) -> int:
-        return int(self._sim.now * _PHYSICAL_SCALE)
+        return _wall_quantum(self._sim.now)
 
     def _note_skew(self, wall: int) -> None:
         skew = self._physical - wall
@@ -204,33 +227,29 @@ class HybridClock:
 
     def stamp(self) -> HLCStamp:
         wall = self._wall()
-        if wall > self._physical:
-            self._physical = wall
-            self._logical = 0
-        else:
-            self._logical += 1
+        self._physical, self._logical = _clock_tick(
+            self._physical, self._logical, wall
+        )
         self._note_skew(wall)
         return HLCStamp(self._physical, self._logical, self.origin)
 
     def observe(self, stamp: object) -> None:
         if not isinstance(stamp, HLCStamp):
             return
-        if stamp.physical > self._physical or (
-            stamp.physical == self._physical and stamp.logical > self._logical
-        ):
-            self._physical = stamp.physical
-            self._logical = stamp.logical
         wall = self._wall()
-        if wall > self._physical:
-            self._physical = wall
-            self._logical = 0
+        self._physical, self._logical = _clock_observe(
+            self._physical,
+            self._logical,
+            stamp.physical,
+            stamp.logical,
+            wall,
+        )
         self._note_skew(wall)
 
     def peek(self) -> HLCStamp:
         wall = self._wall()
-        if wall > self._physical:
-            return HLCStamp(wall, 0, self.origin)
-        return HLCStamp(self._physical, self._logical, self.origin)
+        physical, logical = _clock_peek(self._physical, self._logical, wall)
+        return HLCStamp(physical, logical, self.origin)
 
 
 class SimClock:

@@ -1,463 +1,21 @@
-"""Deterministic discrete-event simulation kernel.
+"""Stable import surface of the discrete-event simulation kernel.
 
-The kernel owns virtual time. Everything in the reproduction — network
-delivery, protocol timers, client think time — is expressed as callbacks
-scheduled on a single :class:`Simulator` instance, so a run with a fixed
-seed is exactly reproducible.
+The implementation moved to :mod:`repro.kernelcore.eventcore` so one
+compilation-clean source can serve two backends: imported directly (the
+pure-python backend re-exported here, always available) or ahead-of-time
+compiled by mypyc into ``repro._compiled.eventcore`` (opt-in; see
+``scripts/build_kernel.py``).
 
-Events with equal timestamps fire in the order they were scheduled
-(FIFO tie-break via a monotonically increasing sequence number), which
-keeps executions deterministic even when many messages land on the same
-instant.
-
-Performance notes (this is the hottest loop in the repository — every
-message hop and timer passes through it):
-
-- The heap holds plain tuples, so sift comparisons stop at the unique
-  ``seq`` element and run entirely in C — ``ScheduledEvent.__lt__`` is
-  never dispatched. Two entry shapes coexist:
-  ``(time, seq, event)`` for cancellable events and
-  ``(time, seq, callback, args)`` for fire-and-forget events posted via
-  :meth:`Simulator.post` / :meth:`Simulator.post_at`, which skip the
-  handle allocation entirely (the network delivery path uses these).
-- ``pending_events()`` is O(1): the simulator keeps a live counter
-  updated on schedule/cancel/pop instead of scanning the heap.
-- Lazily-cancelled entries are compacted away once they outnumber the
-  live ones, so a workload that cancels most of its timers (RPC
-  timeouts, usually) cannot grow the heap without bound.
+This module always names the **pure** classes — it is the stable target
+for annotations, subclassing (:class:`DeliveryChooser` in the schedule
+explorer), and tests. Code that *constructs* a default simulator and
+should honour the selected backend goes through
+:func:`repro.sim.backend.new_simulator` instead of ``Simulator()``;
+backend selection itself lives in :mod:`repro.sim.backend`.
 """
 
 from __future__ import annotations
 
-import heapq
-import sys
-from typing import Any, Callable, List, Optional, Tuple
-
-from repro.errors import SimulationError
+from repro.kernelcore.eventcore import DeliveryChooser, ScheduledEvent, Simulator
 
 __all__ = ["DeliveryChooser", "Simulator", "ScheduledEvent"]
-
-_heappush = heapq.heappush
-_heappop = heapq.heappop
-
-#: Below this heap size compaction is pointless churn.
-_COMPACT_MIN_HEAP = 64
-
-#: Upper bound on recycled handles kept per simulator.
-_FREELIST_MAX = 1024
-
-#: Expected ``sys.getrefcount`` result inside :meth:`Simulator._recycle`
-#: when the heap entry tuple plus the caller's and the helper's locals
-#: hold the only remaining references to a handle: entry tuple (1) +
-#: caller local (1) + helper parameter (1) + getrefcount argument (1).
-#: Any external holder pushes the count past this and vetoes reuse.
-_RECYCLE_REFS = 4
-
-_getrefcount = getattr(sys, "getrefcount", None)
-
-
-class ScheduledEvent:
-    """Handle for a scheduled callback; supports cancellation.
-
-    Cancellation is lazy: the heap entry stays in place and is skipped
-    when popped, which keeps ``cancel`` O(1). The owning simulator
-    compacts the heap once cancelled entries dominate it.
-    """
-
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
-
-    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple,
-                 sim: "Optional[Simulator]" = None) -> None:
-        self.time = time
-        self.seq = seq
-        self.callback = callback
-        self.args = args
-        self.cancelled = False
-        self._sim = sim
-
-    def cancel(self) -> None:
-        """Prevent the callback from firing. Safe to call more than once."""
-        if self.cancelled:
-            return
-        self.cancelled = True
-        if self._sim is not None:
-            self._sim._note_cancel()
-            self._sim = None
-
-    def __lt__(self, other: "ScheduledEvent") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else "pending"
-        return f"<ScheduledEvent t={self.time:.6f} seq={self.seq} {state}>"
-
-
-class DeliveryChooser:
-    """Hook deciding *which* pending delivery runs next (schedule control).
-
-    The heap fixes event order by ``(time, seq)``; a systematic explorer
-    (:mod:`repro.analysis.explore`) instead wants to *choose* the next
-    message delivery among all concurrently-pending ones. A chooser
-    attached via :meth:`Simulator.set_delivery_chooser` is consulted by
-    :meth:`Simulator.run_window` exactly when virtual time would
-    otherwise advance (or the heap is empty): if the chooser has a
-    pending delivery to release, it posts it at the *current* instant
-    (``sim.post_at(sim.now, ...)``) and returns True, and the loop picks
-    it up before any later-timestamped event fires. Timers therefore
-    only fire once the chooser has drained everything it wants delivered
-    at the current instant.
-
-    ``run()``'s fast path never consults the chooser — the golden-trace
-    configuration (no chooser attached) is byte-identical with this seam
-    in place.
-    """
-
-    __slots__ = ()
-
-    def release(self, sim: "Simulator") -> bool:
-        """Post one chosen delivery at ``sim.now``; True if one was posted."""
-        raise NotImplementedError
-
-
-class Simulator:
-    """A single-threaded discrete-event simulator with virtual time.
-
-    Typical usage::
-
-        sim = Simulator()
-        sim.schedule(1.5, print, "fires at t=1.5")
-        sim.run()
-
-    Virtual time is a float in **seconds**. The simulator never sleeps on
-    the wall clock; ``run`` simply drains the event heap.
-    """
-
-    __slots__ = (
-        "_now",
-        "_seq",
-        "_heap",
-        "_running",
-        "_events_processed",
-        "_pending",
-        "_cancelled_in_heap",
-        "_freelist",
-        "_events_reused",
-        "_chooser",
-    )
-
-    def __init__(self) -> None:
-        self._now: float = 0.0
-        self._seq: int = 0
-        self._heap: List[Tuple] = []
-        self._running = False
-        self._events_processed: int = 0
-        self._pending: int = 0
-        self._cancelled_in_heap: int = 0
-        self._freelist: List[ScheduledEvent] = []
-        self._events_reused: int = 0
-        self._chooser: Optional[DeliveryChooser] = None
-
-    # ------------------------------------------------------------------
-    # time
-    # ------------------------------------------------------------------
-    @property
-    def now(self) -> float:
-        """Current virtual time in seconds."""
-        return self._now
-
-    @property
-    def events_processed(self) -> int:
-        """Total number of callbacks executed so far (cancelled ones excluded)."""
-        return self._events_processed
-
-    def pending_events(self) -> int:
-        """Number of not-yet-fired, not-cancelled events. O(1)."""
-        return self._pending
-
-    def set_delivery_chooser(self, chooser: Optional[DeliveryChooser]) -> None:
-        """Attach (or detach, with None) a :class:`DeliveryChooser`.
-
-        Only :meth:`run_window` consults it; ``run()``'s fast path is
-        untouched, so ordinary seeded runs are unaffected by the seam.
-        """
-        self._chooser = chooser
-
-    # ------------------------------------------------------------------
-    # scheduling
-    # ------------------------------------------------------------------
-    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
-        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args)
-
-    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
-        """Schedule ``callback(*args)`` at an absolute virtual time."""
-        if time < self._now:
-            raise SimulationError(
-                f"cannot schedule at t={time} which is before now={self._now}"
-            )
-        seq = self._seq
-        self._seq = seq + 1
-        free = self._freelist
-        if free:
-            ev = free.pop()
-            ev.time = time
-            ev.seq = seq
-            ev.callback = callback
-            ev.args = args
-            ev.cancelled = False
-            ev._sim = self
-            self._events_reused += 1
-        else:
-            ev = ScheduledEvent(time, seq, callback, args, self)
-        _heappush(self._heap, (time, seq, ev))
-        self._pending += 1
-        return ev
-
-    def call_soon(self, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
-        """Schedule ``callback(*args)`` at the current instant (after the
-        currently-executing event and anything already queued for now)."""
-        return self.schedule(0.0, callback, *args)
-
-    def post(self, delay: float, callback: Callable[..., Any], *args: Any) -> None:
-        """Fire-and-forget :meth:`schedule`: no handle, not cancellable.
-
-        The hot paths (message delivery, process resumption) never cancel
-        their events, so they use this to skip the handle allocation.
-        """
-        if delay < 0:
-            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
-        self.post_at(self._now + delay, callback, *args)
-
-    def post_at(self, time: float, callback: Callable[..., Any], *args: Any) -> None:
-        """Fire-and-forget :meth:`schedule_at`: no handle, not cancellable."""
-        if time < self._now:
-            raise SimulationError(
-                f"cannot schedule at t={time} which is before now={self._now}"
-            )
-        seq = self._seq
-        self._seq = seq + 1
-        _heappush(self._heap, (time, seq, callback, args))
-        self._pending += 1
-
-    # ------------------------------------------------------------------
-    # cancellation bookkeeping
-    # ------------------------------------------------------------------
-    def _note_cancel(self) -> None:
-        self._pending -= 1
-        self._cancelled_in_heap += 1
-        heap = self._heap
-        if (
-            self._cancelled_in_heap * 2 > len(heap)
-            and len(heap) >= _COMPACT_MIN_HEAP
-        ):
-            # Rebuild in place so a `run()` loop holding a reference to
-            # the list keeps seeing the compacted heap.
-            heap[:] = [e for e in heap if len(e) != 3 or not e[2].cancelled]
-            heapq.heapify(heap)
-            self._cancelled_in_heap = 0
-
-    # ------------------------------------------------------------------
-    # handle recycling
-    # ------------------------------------------------------------------
-    def _recycle(self, ev: ScheduledEvent) -> None:
-        """Return a fired/cancelled handle to the freelist — only when
-        provably safe.
-
-        A handle is reused only if the heap-entry tuple plus the
-        caller's and this helper's locals hold the *sole* remaining
-        references (``sys.getrefcount`` == ``_RECYCLE_REFS``). An actor
-        still holding the handle (stored timers are the common case)
-        keeps its refcount higher, so a late ``cancel()`` through a
-        stale reference can never touch a recycled event. On runtimes
-        without ``sys.getrefcount`` recycling is disabled entirely.
-        """
-        if (
-            _getrefcount is not None
-            and len(self._freelist) < _FREELIST_MAX
-            and _getrefcount(ev) == _RECYCLE_REFS
-        ):
-            ev.callback = None
-            ev.args = ()
-            ev._sim = None
-            self._freelist.append(ev)
-
-    def event_pool_stats(self) -> dict:
-        """Freelist gauges: handles parked, capacity, reuses served."""
-        return {
-            "free": len(self._freelist),
-            "capacity": _FREELIST_MAX,
-            "reused": self._events_reused,
-        }
-
-    # ------------------------------------------------------------------
-    # execution
-    # ------------------------------------------------------------------
-    def _fire(self, entry: Tuple) -> None:
-        """Advance the clock to ``entry`` and run its callback."""
-        self._pending -= 1
-        self._now = entry[0]
-        self._events_processed += 1
-        if len(entry) == 3:
-            ev = entry[2]
-            ev._sim = None
-            ev.callback(*ev.args)
-            self._recycle(ev)
-        else:
-            entry[2](*entry[3])
-
-    def next_event_time(self) -> Optional[float]:
-        """Timestamp of the next live event, or None if the heap is empty.
-
-        Peeks past lazily-cancelled entries (popping and recycling them
-        as a side effect, which only helps the next caller). This is the
-        "earliest output" a shard reports to the parallel coordinator,
-        so it must see through cancellation debris — a heap full of
-        cancelled timers must not hold the global window back.
-        """
-        heap = self._heap
-        while heap:
-            entry = heap[0]
-            if len(entry) == 3 and entry[2].cancelled:
-                _heappop(heap)
-                self._cancelled_in_heap -= 1
-                self._recycle(entry[2])
-                continue
-            return entry[0]
-        return None
-
-    def run_window(self, bound: float) -> int:
-        """Execute every event with timestamp **strictly below** ``bound``.
-
-        The conservative parallel engine's inner step: a shard that has
-        been promised no external input before ``bound`` may run exactly
-        this far. The clock is *not* advanced to ``bound`` on return —
-        it rests at the last executed event — so cross-shard envelopes
-        landing at ``bound`` or later can still be injected via
-        :meth:`post_at` before the next window.
-
-        The bound is strict so that an envelope timestamped exactly at a
-        window edge is never racing local events at the same instant:
-        everything the shard executed is ``< bound``, everything
-        injected is ``>= bound``, and the merged order is decided by the
-        heap's (time, seq) key alone. Returns the number of events run.
-
-        When a :class:`DeliveryChooser` is attached it is consulted
-        whenever virtual time would advance past the current instant (or
-        the heap is empty): pending chosen deliveries posted at ``now``
-        run before any later-timestamped event.
-        """
-        if self._running:
-            raise SimulationError("simulator is not reentrant: run_window() called from a callback")
-        self._running = True
-        executed = 0
-        heap = self._heap
-        pop = _heappop
-        try:
-            while True:
-                entry = None
-                while heap:
-                    head = heap[0]
-                    if len(head) == 3 and head[2].cancelled:
-                        ev = head[2]
-                        pop(heap)
-                        self._cancelled_in_heap -= 1
-                        self._recycle(ev)
-                        continue
-                    entry = head
-                    break
-                chooser = self._chooser
-                if chooser is not None and self._now < bound:
-                    # Time would advance (or the heap drained): give the
-                    # chooser a chance to inject a delivery at `now` first.
-                    if (entry is None or entry[0] > self._now) and chooser.release(self):
-                        continue
-                if entry is None or entry[0] >= bound:
-                    break
-                pop(heap)
-                self._fire(entry)
-                executed += 1
-            return executed
-        finally:
-            self._running = False
-
-    def step(self) -> bool:
-        """Execute the next event. Returns False if the heap is empty."""
-        heap = self._heap
-        while heap:
-            entry = _heappop(heap)
-            if len(entry) == 3:
-                ev = entry[2]
-                if ev.cancelled:
-                    self._cancelled_in_heap -= 1
-                    self._recycle(ev)
-                    continue
-            self._fire(entry)
-            return True
-        return False
-
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
-        """Drain the event heap.
-
-        Args:
-            until: stop once virtual time would exceed this value; the
-                clock is advanced to ``until`` on return.
-            max_events: safety valve against runaway simulations; raises
-                :class:`SimulationError` when exceeded.
-
-        Returns:
-            The virtual time at which the run stopped.
-        """
-        if self._running:
-            raise SimulationError("simulator is not reentrant: run() called from a callback")
-        self._running = True
-        executed = 0
-        heap = self._heap  # compaction rebuilds in place, so this stays valid
-        pop = _heappop
-        try:
-            if until is None and max_events is None:
-                # Fast path: no budget checks inside the inner loop.
-                while heap:
-                    entry = pop(heap)
-                    if len(entry) == 3:
-                        ev = entry[2]
-                        if ev.cancelled:
-                            self._cancelled_in_heap -= 1
-                            self._recycle(ev)
-                            continue
-                        ev._sim = None
-                        self._pending -= 1
-                        self._now = entry[0]
-                        self._events_processed += 1
-                        ev.callback(*ev.args)
-                        self._recycle(ev)
-                    else:
-                        self._pending -= 1
-                        self._now = entry[0]
-                        self._events_processed += 1
-                        entry[2](*entry[3])
-                return self._now
-            while heap:
-                entry = heap[0]
-                if len(entry) == 3 and entry[2].cancelled:
-                    ev = entry[2]
-                    pop(heap)
-                    self._cancelled_in_heap -= 1
-                    self._recycle(ev)
-                    continue
-                if until is not None and entry[0] > until:
-                    break
-                pop(heap)
-                self._fire(entry)
-                executed += 1
-                if max_events is not None and executed >= max_events:
-                    raise SimulationError(
-                        f"simulation exceeded max_events={max_events}; "
-                        "likely a livelock (self-rescheduling event loop)"
-                    )
-            if until is not None and until > self._now:
-                self._now = until
-            return self._now
-        finally:
-            self._running = False

@@ -211,6 +211,10 @@ def with_timeout(sim: Simulator, fut: Future, timeout: float, message: str = "")
 
     def on_done(_fut: Future) -> None:
         timer.cancel()
+        # Last touch of the handle: let the kernel pool it. (If the
+        # timer fired first this is a harmless no-op — see
+        # ScheduledEvent.release.)
+        timer.release()
         if _fut.failed():
             out.try_set_exception(_fut.exception())  # type: ignore[arg-type]
         else:

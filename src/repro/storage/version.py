@@ -15,7 +15,9 @@ identically at every replica.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Tuple
+from typing import Any, Dict, Iterable, Mapping, Tuple
+
+from repro.kernelcore import vvcore as _vvcore
 
 __all__ = [
     "VersionVector",
@@ -28,6 +30,32 @@ __all__ = [
 ]
 
 _EntriesTuple = Tuple[Tuple[str, int], ...]
+
+# Hot entries-tuple math delegates through these rebindable globals so
+# repro.sim.backend can swap in the mypyc-compiled copy of the very same
+# functions (repro._compiled.vvcore) at activation time. Module-global
+# indirection rather than an import of one or the other: the call sites
+# pay nothing extra, and this class — with its intern pools, which are
+# module-level mutable state and therefore barred from the compiled
+# package — stays the single interpreted shell both backends share.
+_get_entry = _vvcore.get_entry
+_total_entries = _vvcore.total_entries
+_increment_entries = _vvcore.increment_entries
+_merge_entries = _vvcore.merge_entries
+_dominates_entries = _vvcore.dominates_entries
+_entries_size_bytes = _vvcore.entries_size_bytes
+
+
+def _bind_kernel(core: Any) -> None:
+    """Point the hot-math globals at ``core`` (pure or compiled vvcore)."""
+    global _get_entry, _total_entries, _increment_entries
+    global _merge_entries, _dominates_entries, _entries_size_bytes
+    _get_entry = core.get_entry
+    _total_entries = core.total_entries
+    _increment_entries = core.increment_entries
+    _merge_entries = core.merge_entries
+    _dominates_entries = core.dominates_entries
+    _entries_size_bytes = core.entries_size_bytes
 
 # Intern pool: canonical entries tuple -> the one shared instance.  The
 # pool is bounded (no eviction — overflow vectors are simply not pooled)
@@ -161,10 +189,7 @@ class VersionVector:
     # accessors
     # ------------------------------------------------------------------
     def get(self, dc: str) -> int:
-        for name, n in self._entries:
-            if name == dc:
-                return n
-        return 0
+        return _get_entry(self._entries, dc)
 
     def entries(self) -> Dict[str, int]:
         return dict(self._entries)
@@ -177,15 +202,13 @@ class VersionVector:
 
     def total(self) -> int:
         """Sum of all counters — the number of writes this version reflects."""
-        return sum(n for _, n in self._entries)
+        return _total_entries(self._entries)
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
     def increment(self, dc: str) -> "VersionVector":
-        updated = dict(self._entries)
-        updated[dc] = updated.get(dc, 0) + 1
-        return _from_entries(tuple(sorted(updated.items())))
+        return _from_entries(_increment_entries(self._entries, dc))
 
     def merge(self, other: "VersionVector") -> "VersionVector":
         """Pointwise maximum — the least upper bound under causality.
@@ -197,23 +220,14 @@ class VersionVector:
         this path. Safe for ``__eq__``/``__hash__`` users: the result
         compares equal to a freshly-built merge; only identity differs.
         """
-        if not other._entries or other._entries == self._entries:
+        # merge_entries returns an *operand tuple* when it already is the
+        # least upper bound; map tuple identity back to vector identity.
+        merged = _merge_entries(self._entries, other._entries)
+        if merged is self._entries:
             return self
-        if not self._entries:
+        if merged is other._entries:
             return other
-        merged = dict(self._entries)
-        changed = False
-        for dc, n in other._entries:
-            if n > merged.get(dc, 0):
-                merged[dc] = n
-                changed = True
-        if not changed:
-            return self
-        if len(merged) == len(other._entries) and all(
-            merged[dc] == n for dc, n in other._entries
-        ):
-            return other
-        return _from_entries(tuple(sorted(merged.items())))
+        return _from_entries(merged)
 
     @staticmethod
     def join(vectors: Iterable["VersionVector"]) -> "VersionVector":
@@ -239,7 +253,7 @@ class VersionVector:
     # ------------------------------------------------------------------
     def dominates(self, other: "VersionVector") -> bool:
         """True iff ``self`` ≥ ``other`` pointwise (reflexive)."""
-        return all(self.get(dc) >= n for dc, n in other._entries)
+        return _dominates_entries(self._entries, other._entries)
 
     def happens_before(self, other: "VersionVector") -> bool:
         """Strict causal precedence: ``self`` < ``other``."""
@@ -287,7 +301,7 @@ class VersionVector:
 
     def size_bytes(self) -> int:
         """Wire size: one (dc-id, counter) pair per non-zero entry."""
-        return 4 + sum(4 + len(dc) + 8 for dc, _ in self._entries)
+        return _entries_size_bytes(self._entries)
 
     def __repr__(self) -> str:
         inner = ",".join(f"{dc}:{n}" for dc, n in self._entries)

@@ -1,0 +1,389 @@
+"""Two-backend kernel contract: selection, ownership recycling, parity.
+
+The mypyc-compiled kernel (``repro._compiled``, built by
+``scripts/build_kernel.py``) is only admissible because it is
+*bit-identical* to the pure interpreter on the same source
+(:mod:`repro.kernelcore`). This suite pins that contract:
+
+- **selection** — ``auto``/``pure``/``compiled`` resolution, the
+  ``REPRO_KERNEL`` environment override, hard failure (never a silent
+  fallback) when ``compiled`` is requested without a build, config and
+  spec validation, and the ``CAP_COMPILED_KERNEL`` capability;
+- **ownership recycling** — the explicit ``release()`` flag that
+  replaced the ``sys.getrefcount`` freelist heuristic (refcounts differ
+  between backends, so the old trick could never be compiled);
+- **parity** — golden trace, twice-run sanitize, the ``--workers 2``
+  sharded digest, and a fault campaign, each fingerprinted under both
+  backends and asserted equal. Compiled arms skip cleanly when no
+  build is present (this container has no mypyc); the CI
+  ``compiled-smoke`` job builds one and runs them for real.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.api import CAP_COMPILED_KERNEL
+from repro.errors import ConfigError
+from repro.sim.backend import (
+    ENV_VAR,
+    activate_kernel,
+    active_kernel,
+    compiled_available,
+    new_simulator,
+    resolve_kernel,
+)
+from repro.sim.kernel import Simulator
+
+requires_build = pytest.mark.skipif(
+    not compiled_available(),
+    reason="mypyc build absent (pip install -e .[compiled]; python scripts/build_kernel.py)",
+)
+
+BACKENDS = [
+    pytest.param("pure", id="pure"),
+    pytest.param("compiled", id="compiled", marks=requires_build),
+]
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    """Every test leaves the process on the backend it found."""
+    prior = active_kernel()
+    yield
+    activate_kernel(prior)
+
+
+def _under(backend, fn):
+    prior = active_kernel()
+    activate_kernel(backend)
+    try:
+        return fn()
+    finally:
+        activate_kernel(prior)
+
+
+# ----------------------------------------------------------------------
+# backend selection
+# ----------------------------------------------------------------------
+class TestResolution:
+    def test_default_and_auto_resolve_by_availability(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        expected = "compiled" if compiled_available() else "pure"
+        assert resolve_kernel(None) == expected
+        assert resolve_kernel("auto") == expected
+
+    def test_env_var_steers_auto(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "pure")
+        assert resolve_kernel("auto") == "pure"
+
+    def test_env_var_requesting_missing_compiled_is_hard_error(self, monkeypatch):
+        if compiled_available():
+            pytest.skip("build present; env request succeeds here")
+        monkeypatch.setenv(ENV_VAR, "compiled")
+        with pytest.raises(ConfigError):
+            resolve_kernel("auto")
+
+    def test_invalid_env_var_rejected(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "turbo")
+        with pytest.raises(ConfigError, match="REPRO_KERNEL"):
+            resolve_kernel("auto")
+
+    def test_explicit_choice_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "compiled")
+        assert resolve_kernel("pure") == "pure"
+
+    def test_invalid_choice_rejected(self):
+        with pytest.raises(ConfigError, match="kernel"):
+            resolve_kernel("fast")
+
+    def test_compiled_without_build_is_hard_error(self):
+        if compiled_available():
+            pytest.skip("build present; explicit request succeeds here")
+        with pytest.raises(ConfigError, match="build_kernel"):
+            resolve_kernel("compiled")
+
+    def test_config_validates_kernel(self):
+        from repro.core.config import ChainReactionConfig
+
+        assert ChainReactionConfig(kernel="pure").kernel == "pure"
+        with pytest.raises(ConfigError, match="kernel"):
+            ChainReactionConfig(kernel="fast")
+
+    def test_spec_validates_kernel(self):
+        from repro.sim.shard import ExperimentSpec
+        from repro.workload import workload
+
+        with pytest.raises(ConfigError, match="kernel"):
+            ExperimentSpec(
+                workload=workload("B", record_count=10),
+                sites=("dc0",),
+                kernel="fast",
+            )
+
+    def test_spec_default_kernel_is_pure(self):
+        # A spec is a value shipped to worker processes; its meaning must
+        # not depend on what happens to be installed where it lands.
+        from repro.sim.shard import ExperimentSpec
+        from repro.workload import workload
+
+        spec = ExperimentSpec(
+            workload=workload("B", record_count=10), sites=("dc0",)
+        )
+        assert spec.kernel == "pure"
+
+    def test_activation_reports_and_switches(self):
+        assert activate_kernel("pure") == "pure"
+        assert active_kernel() == "pure"
+        assert isinstance(new_simulator(), Simulator)
+
+    @requires_build
+    def test_compiled_activation_switches_simulator_factory(self):
+        from repro._compiled import eventcore as compiled_eventcore
+
+        def probe():
+            return type(new_simulator())
+
+        assert _under("compiled", probe) is compiled_eventcore.Simulator
+        assert _under("pure", probe) is Simulator
+
+    def test_cap_absent_on_pure_backend(self):
+        from repro.baselines import build_store
+
+        store = build_store(
+            "chainreaction", sites=("dc0",), seed=1, overrides={"kernel": "pure"}
+        )
+        assert CAP_COMPILED_KERNEL not in store.capabilities
+
+    @requires_build
+    def test_cap_present_on_compiled_backend(self):
+        from repro.baselines import build_store
+
+        def probe():
+            store = build_store(
+                "chainreaction",
+                sites=("dc0",),
+                seed=1,
+                overrides={"kernel": "compiled"},
+            )
+            return CAP_COMPILED_KERNEL in store.capabilities
+
+        assert _under("compiled", probe)
+
+
+# ----------------------------------------------------------------------
+# ownership-flag recycling (replaces the sys.getrefcount heuristic)
+# ----------------------------------------------------------------------
+class TestOwnershipRecycling:
+    def test_owned_handle_never_recycled(self):
+        sim = Simulator()
+        ev = sim.schedule(0.1, lambda: None)
+        sim.run()
+        # The holder still owns the handle, so the kernel must not hand
+        # the same object to a future schedule() call.
+        assert sim.event_pool_stats()["free"] == 0
+        ev2 = sim.schedule(0.2, lambda: None)
+        assert ev2 is not ev
+
+    def test_released_handle_recycled_after_fire(self):
+        sim = Simulator()
+        ev = sim.schedule(0.1, lambda: None)
+        ev.release()
+        sim.run()
+        assert sim.event_pool_stats()["free"] == 1
+        ev2 = sim.schedule(0.2, lambda: None)
+        assert ev2 is ev  # the freelist handed the same object back
+        assert ev2.owned
+        assert sim.event_pool_stats()["reused"] == 1
+
+    def test_late_release_after_fire_is_harmless_noop(self):
+        sim = Simulator()
+        ev = sim.schedule(0.1, lambda: None)
+        sim.run()
+        ev.release()  # fired while owned: recycling moment already passed
+        assert sim.event_pool_stats()["free"] == 0
+        assert sim.schedule(0.2, lambda: None) is not ev
+
+    def test_cancel_then_release_recycles(self):
+        # The with_timeout pattern: the done-callback cancels its timer
+        # and releases the handle; the cancelled entry is recycled when
+        # the heap reaches it.
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(0.1, fired.append, 1)
+        sim.schedule(0.2, fired.append, 2).release()
+        ev.cancel()
+        ev.release()
+        sim.run()
+        assert fired == [2]
+        assert sim.event_pool_stats()["free"] == 2
+
+    def test_recycled_handle_carries_no_stale_callback(self):
+        # Refurbishment must clear callback/args so a recycled handle
+        # can never re-fire its previous assignment.
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(0.1, fired.append, "old")
+        ev.release()
+        sim.run()
+        ev2 = sim.schedule(0.1, fired.append, "new")
+        assert ev2 is ev
+        sim.run()
+        assert fired == ["old", "new"]
+
+    def test_post_path_allocates_no_handles(self):
+        # post() is the handle-free hot path: it enqueues a bare tuple,
+        # so no ScheduledEvent is created and the freelist is untouched.
+        sim = Simulator()
+        for i in range(5):
+            sim.post(0.01 * (i + 1), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+        stats = sim.event_pool_stats()
+        assert stats["free"] == 0
+        assert stats["reused"] == 0
+
+    def test_no_refcount_inspection_in_kernel_source(self):
+        # The heuristic this flag replaced must stay gone: refcounts
+        # differ between interpreted and compiled frames, so any
+        # behaviour keyed on them diverges between backends.
+        import inspect
+
+        from repro.kernelcore import eventcore
+
+        assert "getrefcount" not in inspect.getsource(eventcore)
+
+
+# ----------------------------------------------------------------------
+# cross-backend parity
+# ----------------------------------------------------------------------
+def _fingerprint_golden_trace():
+    from repro.baselines import build_store
+    from repro.workload import WorkloadRunner, workload
+
+    store = build_store(
+        "chainreaction",
+        sites=("dc0", "dc1"),
+        servers_per_site=4,
+        chain_length=3,
+        seed=1234,
+    )
+    spec = workload("B", record_count=25, value_size=32)
+    result = WorkloadRunner(store, spec, n_clients=3, duration=0.5, warmup=0.1).run()
+    return (
+        store.sim.events_processed,
+        store.network.stats.messages_sent,
+        store.network.stats.bytes_sent,
+        tuple(sorted(result.summary_row().items())),
+    )
+
+
+def _fingerprint_sanitize_twice():
+    from repro.analysis.sanitize import capture_run
+
+    kwargs = dict(seed=42, clients=4, duration=0.4, records=25)
+    first = capture_run("chainreaction", **kwargs)
+    second = capture_run("chainreaction", **kwargs)
+    assert first.trace == second.trace  # twice-run: bit-identical
+    digest = hashlib.sha256(repr(first.trace).encode()).hexdigest()
+    return (digest, first.events_processed, first.ops_completed)
+
+
+def _fingerprint_sharded_digest():
+    from repro.analysis import sanitize_sharded
+
+    report = sanitize_sharded(
+        "chainreaction", seed=42, clients=4, duration=0.3, records=25, workers=2
+    )
+    assert report.clean, report.format()
+    return (report.digests[0], report.events_processed[0], report.ops_completed[0])
+
+
+def _fingerprint_fault_campaign():
+    from repro.faults import campaign, run_campaign
+
+    result = run_campaign(campaign("crash-head"), seed=7, capture_trace=True)
+    digest = hashlib.sha256(repr(result.trace).encode()).hexdigest()
+    return (
+        digest,
+        result.events_processed,
+        result.ops_completed,
+        result.causal_violations,
+        repr(result.outcomes),
+    )
+
+
+PARITY_SCENARIOS = {
+    "golden-trace": _fingerprint_golden_trace,
+    "sanitize-twice-run": _fingerprint_sanitize_twice,
+    "sharded-workers-2": _fingerprint_sharded_digest,
+    "fault-campaign": _fingerprint_fault_campaign,
+}
+
+
+class TestBackendParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_golden_trace_matches_recorded_pins(self, backend):
+        # Both backends must reproduce the snapshot recorded on the seed
+        # code — not merely agree with each other.
+        from test_golden_trace import (
+            GOLDEN_BYTES_SENT,
+            GOLDEN_EVENTS_PROCESSED,
+            GOLDEN_MESSAGES_SENT,
+        )
+
+        events, messages, bytes_sent, _ = _under(backend, _fingerprint_golden_trace)
+        assert (events, messages, bytes_sent) == (
+            GOLDEN_EVENTS_PROCESSED,
+            GOLDEN_MESSAGES_SENT,
+            GOLDEN_BYTES_SENT,
+        )
+
+    @requires_build
+    @pytest.mark.parametrize("scenario", sorted(PARITY_SCENARIOS))
+    def test_pure_and_compiled_byte_identical(self, scenario):
+        run = PARITY_SCENARIOS[scenario]
+        pure = _under("pure", run)
+        compiled = _under("compiled", run)
+        assert pure == compiled, (
+            f"{scenario}: backends diverged — the compiled kernel changed "
+            "simulation behaviour, not just its speed"
+        )
+
+    @requires_build
+    def test_hlc_arithmetic_identical(self):
+        from repro._compiled import hlccore as compiled_hlc
+        from repro.kernelcore import hlccore as pure_hlc
+
+        physical = logical = 0
+        c_physical = c_logical = 0
+        for wall in range(0, 3000, 7):
+            physical, logical = pure_hlc.clock_tick(physical, logical, wall)
+            c_physical, c_logical = compiled_hlc.clock_tick(
+                c_physical, c_logical, wall
+            )
+            physical, logical = pure_hlc.clock_observe(
+                physical, logical, physical + (wall & 15), wall & 3, wall
+            )
+            c_physical, c_logical = compiled_hlc.clock_observe(
+                c_physical, c_logical, c_physical + (wall & 15), wall & 3, wall
+            )
+        assert (physical, logical) == (c_physical, c_logical)
+
+    @requires_build
+    def test_version_vector_arithmetic_identical(self):
+        from repro._compiled import vvcore as compiled_vv
+        from repro.kernelcore import vvcore as pure_vv
+
+        a = (("dc0", 3), ("dc1", 1))
+        b = (("dc0", 2), ("dc2", 5))
+        for core in (pure_vv, compiled_vv):
+            assert core.merge_entries(a, b) == (("dc0", 3), ("dc1", 1), ("dc2", 5))
+            assert core.merge_entries(a, a) == a
+            assert core.dominates_entries(core.merge_entries(a, b), a)
+            assert core.increment_entries(a, "dc2") == (
+                ("dc0", 3),
+                ("dc1", 1),
+                ("dc2", 1),
+            )
+        assert pure_vv.entries_size_bytes(a) == compiled_vv.entries_size_bytes(a)
