@@ -30,12 +30,19 @@ What it does:
    fails if the clock plane's wall rate drops below 90% of the notices
    plane, if it stops cutting stability-control bytes by at least 5x,
    or if its per-key stamp map stops being bounded;
-8. with ``--kernel compiled``, measures the mypyc-compiled event kernel
+8. runs a shrunk partial geo-replication A/B (replication degree 2 of
+   3 sites on the hot-shard workload) and fails if shipping bytes/key
+   at r=2 exceeds 70% of full replication — in the smoke run or in the
+   committed BENCH_PR10.json — if the per-DC record census stops
+   shrinking, or if explicitly configuring the replication degree to
+   the site count (i.e. full replication spelled out) changes a single
+   event, message, or byte of the golden-trace workload;
+9. with ``--kernel compiled``, measures the mypyc-compiled event kernel
    against the pure interpreter in the same process and fails if the
    build is absent or the compiled kernel rate falls below 1.2x the
    pure rate (``--kernel pure`` records the pure rates without a
    floor — useful for comparing logs across machines);
-9. rewrites the BENCH JSON with the fresh numbers on success.
+10. rewrites the BENCH JSON with the fresh numbers on success.
 
 CHANGES.md convention: a PR that moves any number here by >10% should
 say so in its CHANGES.md line and ship the regenerated BENCH file.
@@ -108,6 +115,45 @@ PARALLEL_SMOKE = {
     "drain": 0.2,
 }
 
+#: Fail when r=2 shipping bytes/key exceeds this fraction of full
+#: replication (smoke run and committed BENCH_PR10.json alike; the
+#: counters are virtual, so the ratio is machine-independent).
+PARTIAL_BYTES_RATIO_CEILING = 0.70
+
+#: Fail when the r=2 record census shrinks less than this fraction.
+PARTIAL_CENSUS_FLOOR = 0.30
+
+#: Shrunk ``perf --partial`` profile for the partial-replication gate.
+PARTIAL_SMOKE = {
+    "ops_per_client": 150,
+    "n_clients": 6,
+    "record_count": 60,
+}
+
+
+def _golden_counters(overrides):
+    """(events, messages, bytes, summary) of the golden-trace workload
+    under ``overrides`` — the full-replication invariance probe."""
+    from repro.baselines import build_store
+    from repro.workload import WorkloadRunner, workload
+
+    store = build_store(
+        "chainreaction",
+        sites=("dc0", "dc1"),
+        servers_per_site=4,
+        chain_length=3,
+        seed=1234,
+        overrides=overrides,
+    )
+    spec = workload("B", record_count=25, value_size=32)
+    result = WorkloadRunner(store, spec, n_clients=3, duration=0.5, warmup=0.1).run()
+    return (
+        store.sim.events_processed,
+        store.network.stats.messages_sent,
+        store.network.stats.bytes_sent,
+        result.summary_row(),
+    )
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -129,6 +175,14 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--skip-clock", action="store_true",
         help="skip the stabilization-plane (notices vs clock) gate",
+    )
+    parser.add_argument(
+        "--skip-partial", action="store_true",
+        help="skip the partial geo-replication (replication degree) gate",
+    )
+    parser.add_argument(
+        "--bench-pr10", default="BENCH_PR10.json", metavar="PATH",
+        help="committed partial-replication benchmark the bytes/key gate audits",
     )
     parser.add_argument(
         "--bench-pr5", default="BENCH_PR5.json", metavar="PATH",
@@ -292,6 +346,58 @@ def main(argv=None) -> int:
             failures.append(
                 f"clock plane stamp map unbounded "
                 f"({plane['clock_stable_map_entries']} live entries)"
+            )
+
+    if not args.skip_partial:
+        from repro.perf import bench_partial_replication
+
+        partial = bench_partial_replication(repeats=1, **PARTIAL_SMOKE)
+        ratio = partial["shipping_bytes_per_key_ratio_r2"]
+        census = partial["census_reduction_r2"]
+        print(
+            f"  r=2 / full shipping bytes per key  {ratio:.0%} "
+            f"(census cut {census:.0%}, remote-get p50 "
+            f"{partial['remote_get_p50_ms_r2']:.1f} ms)"
+        )
+        if ratio > PARTIAL_BYTES_RATIO_CEILING:
+            failures.append(
+                f"r=2 shipping bytes/key is {ratio:.0%} of full replication "
+                f"(ceiling {PARTIAL_BYTES_RATIO_CEILING:.0%})"
+            )
+        if census < PARTIAL_CENSUS_FLOOR:
+            failures.append(
+                f"r=2 record census shrank only {census:.0%} "
+                f"(floor {PARTIAL_CENSUS_FLOOR:.0%})"
+            )
+        if os.path.exists(args.bench_pr10):
+            with open(args.bench_pr10) as fh:
+                committed_ratio = json.load(fh).get(
+                    "shipping_bytes_per_key_ratio_r2"
+                )
+            if committed_ratio is not None:
+                print(
+                    f"  committed BENCH_PR10 bytes/key     {committed_ratio:.0%}"
+                )
+                if committed_ratio > PARTIAL_BYTES_RATIO_CEILING:
+                    failures.append(
+                        f"committed {args.bench_pr10} records an r=2 bytes/key "
+                        f"ratio of {committed_ratio:.0%} "
+                        f"(ceiling {PARTIAL_BYTES_RATIO_CEILING:.0%}) — "
+                        "regenerate it from a passing build"
+                    )
+        # Spelling out full replication (degree == site count) must be
+        # a no-op: the golden-trace workload may not move by one byte.
+        default_run = _golden_counters(None)
+        explicit_run = _golden_counters({"replication_degree": 2})
+        print(
+            f"  golden trace at explicit r=sites   "
+            f"{'unchanged' if default_run == explicit_run else 'DIVERGED'}"
+        )
+        if default_run != explicit_run:
+            failures.append(
+                "explicit replication_degree == site count changed the "
+                f"golden-trace run: default {default_run[:3]} vs "
+                f"explicit {explicit_run[:3]}"
             )
 
     if args.kernel:

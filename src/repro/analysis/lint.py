@@ -140,6 +140,7 @@ DEFAULT_WALL_CLOCK_EXEMPT: Tuple[str, ...] = (
     "perf/parallel.py",
     "perf/stability.py",
     "perf/compiled.py",
+    "perf/partial.py",
 )
 
 #: Directories (relative to ``src/repro``) whose code runs inside the

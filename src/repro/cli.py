@@ -46,10 +46,12 @@ Examples::
     python -m repro run --protocol chainreaction --workload B --clients 32
     python -m repro run --protocol eventual --sites dc0 dc1 --check
     python -m repro consistency --protocols chainreaction eventual
+    python -m repro run --sites dc0 dc1 dc2 --replication-degree 2 --clients 9
     python -m repro perf --out BENCH_PR1.json
     python -m repro perf --protocol --out BENCH_PR4.json
     python -m repro perf --stability clock --out BENCH_PR8.json
     python -m repro perf --kernel --out BENCH_PR9.json
+    python -m repro perf --partial --out BENCH_PR10.json
     python -m repro run --protocol chainreaction --kernel compiled --clients 32
     python -m repro faults --campaign crash-head --seed 7
     python -m repro faults --campaign crash-head --check-determinism --stability clock
@@ -129,6 +131,41 @@ def _activate_cli_kernel(args: argparse.Namespace, out) -> Optional[str]:
         return None
 
 
+def _placement_overrides(args: argparse.Namespace, out) -> Optional[Dict[str, Any]]:
+    """Fold ``--replication-degree`` / ``--shards`` into config
+    overrides; ``None`` (+ message) on misuse.
+
+    Degree equal to the site count (or unset) keeps full replication —
+    the default the golden trace pins.
+    """
+    overrides: Dict[str, Any] = {}
+    degree = getattr(args, "replication_degree", None)
+    shards = getattr(args, "shards", None)
+    if degree is None and shards is None:
+        return overrides
+    if args.protocol not in ("chainreaction", "chain"):
+        print(
+            "--replication-degree/--shards apply to chainreaction/chain only",
+            file=out,
+        )
+        return None
+    if degree is not None:
+        if not 1 <= degree <= len(args.sites):
+            print(
+                f"--replication-degree must be in [1, {len(args.sites)}] "
+                f"for {len(args.sites)} site(s)",
+                file=out,
+            )
+            return None
+        overrides["replication_degree"] = degree
+    if shards is not None:
+        if shards < 1:
+            print("--shards must be >= 1", file=out)
+            return None
+        overrides["num_shards"] = shards
+    return overrides
+
+
 def _plane_overrides(plane: str) -> Dict[str, Any]:
     """Config overrides selecting a stabilization plane."""
     if plane == "notices+batch":
@@ -165,10 +202,23 @@ def build_parser() -> argparse.ArgumentParser:
         "(errors when no build is present); REPRO_KERNEL sets the "
         "default — see docs/PERFORMANCE.md §9",
     )
+    # Shared by run/sanitize: partial geo-replication placement.
+    placement_sel = argparse.ArgumentParser(add_help=False)
+    placement_sel.add_argument(
+        "--replication-degree", type=int, default=None, metavar="R",
+        help="owner DCs per keyspace shard; below the site count each DC "
+        "replicates only its owned shards and forwards the rest to the "
+        "primary owner (default: every DC owns everything); "
+        "chainreaction/chain only — see DESIGN § placement-and-forwarding",
+    )
+    placement_sel.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="keyspace shard count for --replication-degree (default: 16)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser(
-        "run", parents=[output, kernel_sel],
+        "run", parents=[output, kernel_sel, placement_sel],
         help="drive a YCSB workload against one protocol",
     )
     run.add_argument("--protocol", choices=PROTOCOLS, default="chainreaction")
@@ -286,6 +336,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the parallel tier's datacenter list (one shard each)",
     )
     perf.add_argument(
+        "--partial", action="store_true",
+        help="run the partial geo-replication benchmark (replication "
+        "degree A/B on a hot-shard workload) and write BENCH_PR10.json",
+    )
+    perf.add_argument(
         "--kernel", nargs="?", const="ab", default=None,
         choices=("ab", "pure", "compiled"), metavar="ARM",
         help="run the kernel-backend A/B tier (pure vs mypyc-compiled "
@@ -342,7 +397,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sanitize = sub.add_parser(
-        "sanitize", parents=[output, kernel_sel],
+        "sanitize", parents=[output, kernel_sel, placement_sel],
         help="race detector: run one experiment twice under one seed and diff traces",
     )
     sanitize.add_argument("--protocol", choices=PROTOCOLS, default="chainreaction")
@@ -467,6 +522,10 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
             print("--stability applies to chainreaction/chain only", file=out)
             return 2
         overrides.update(_plane_overrides(plane))
+    placement = _placement_overrides(args, out)
+    if placement is None:
+        return 2
+    overrides.update(placement)
     store = build_store(
         args.protocol,
         sites=tuple(args.sites),
@@ -727,6 +786,53 @@ def _cmd_perf_stability(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_perf_partial(args: argparse.Namespace, out) -> int:
+    from repro.perf import write_report
+    from repro.perf.partial import bench_partial_replication
+
+    print(
+        "running partial geo-replication benchmark (replication degree "
+        f"A/B, {args.repeats} repeats) ...",
+        file=out,
+    )
+    report = bench_partial_replication(repeats=args.repeats)
+    rows = []
+    for arm in report["arms"]:
+        census = arm["records_per_site"]
+        rows.append(
+            (
+                arm["arm"],
+                f"{arm['ops_per_wall_sec']:,.0f} ops/wall-s, "
+                f"{arm['shipping_bytes_per_key']:,.0f} ship B/key, "
+                f"{sum(census.values())} records "
+                f"({max(census.values())} max/DC)",
+            )
+        )
+    rows.append(
+        ("shipping bytes/key (r=2 vs full)",
+         f"{report['shipping_bytes_per_key_ratio_r2']:.2f}x"),
+    )
+    rows.append(
+        ("record census reduction (r=2)", f"{report['census_reduction_r2']:.0%}"),
+    )
+    rows.append(
+        ("remote-get p50 (r=2)", f"{report['remote_get_p50_ms_r2']:.1f} ms"),
+    )
+    report_path = args.out or "BENCH_PR10.json"
+    write_report(report, report_path)
+    text = "\n\n".join(
+        [
+            render_table(["metric", "value"], rows, title="perf --partial"),
+            f"report written to {report_path}",
+        ]
+    )
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True, default=str), file=out)
+    else:
+        print(text, file=out)
+    return 0
+
+
 def _cmd_perf_kernel(args: argparse.Namespace, out) -> int:
     from repro.perf import bench_compiled_kernel, write_report
 
@@ -793,6 +899,8 @@ def _cmd_perf(args: argparse.Namespace, out) -> int:
             return 2
     if args.stability:
         return _cmd_perf_stability(args, out)
+    if args.partial:
+        return _cmd_perf_partial(args, out)
     if args.scale:
         return _cmd_perf_scale(args, out)
     from repro.perf import (
@@ -979,6 +1087,11 @@ def _cmd_sanitize(args: argparse.Namespace, out) -> int:
     overrides = _plane_overrides(plane) or None
     if args.protocol in ("chainreaction", "chain"):
         overrides = {**(overrides or {}), "kernel": kernel}
+    placement = _placement_overrides(args, out)
+    if placement is None:
+        return 2
+    if placement:
+        overrides = {**(overrides or {}), **placement}
     if args.workers is not None:
         if args.workers < 1:
             print("sanitize: --workers must be >= 1", file=out)

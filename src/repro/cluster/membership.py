@@ -17,6 +17,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, ClassVar, Dict, List, Optional, Tuple
 
+from repro.cluster.placement import ShardCatalog, shard_catalog
 from repro.cluster.ring import HashRing
 from repro.errors import ClusterError
 from repro.net.actor import Actor
@@ -24,7 +25,14 @@ from repro.net.message import Message
 from repro.net.network import Address, Network
 from repro.sim.kernel import Simulator
 
-__all__ = ["RingView", "ClusterManager", "Heartbeat", "ViewChange"]
+__all__ = [
+    "RingView",
+    "ClusterManager",
+    "Heartbeat",
+    "ShardCatalog",
+    "ViewChange",
+    "shard_catalog",
+]
 
 _RING_CACHE: Dict[Tuple[Tuple[str, ...], int], HashRing] = {}
 

@@ -31,13 +31,14 @@ separately; disable with ``config.degraded_reads=False``.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.api import GetResult, PutResult, SnapshotResult
 from repro.cluster.client_base import RetryingSession
 from repro.core.deptable import make_dep_table
 from repro.core.messages import DepEntry, PutReply, PutRequest
 from repro.errors import ReproError, RequestTimeout, TransientError
+from repro.net.network import Address
 from repro.sim.hlc import hlc_or_none
 from repro.sim.process import Future, all_of, spawn, with_timeout
 from repro.storage.version import intern_str
@@ -54,6 +55,18 @@ class ChainClientSession(RetryingSession):  # repro: lint-ok(slots) — unslotte
         self._deps = make_dep_table()
         self._pending_puts: Dict[int, Future] = {}
         self._request_seq = 0
+        #: shard→owners map under partial replication; None = full
+        #: replication, where every key is served by the local site
+        self._placement = self.config.placement()
+        #: per-attempt deadline for forwarded ops: one WAN round trip on
+        #: top of the owner site's own service budget
+        self._forward_timeout = (
+            self.config.op_timeout + 4 * self.config.wan_median
+        )
+        # observability: forwarded-operation counters + latency samples
+        self.forwarded_gets = 0
+        self.forwarded_puts = 0
+        self.forward_latency_samples: List[float] = []
 
     # ------------------------------------------------------------------
     # public API
@@ -91,6 +104,137 @@ class ChainClientSession(RetryingSession):  # repro: lint-ok(slots) — unslotte
             fut.try_set_exception(exc)
 
     # ------------------------------------------------------------------
+    # partial replication: owner routing
+    # ------------------------------------------------------------------
+    def _forward_owners(self, key: str) -> Optional[Tuple[str, ...]]:
+        """Owner sites to forward ``key``'s operations to, or None when
+        the local site replicates the shard (including full replication,
+        where the catalog itself is None)."""
+        if self._placement is None or self._placement.owns(self.site, key):
+            return None
+        return self._placement.owners_for(key)
+
+    def _merge_forward_deps(self, reply: Dict[str, Any]) -> None:
+        """Adopt the dependency list riding on a forwarded read.
+
+        The serving DC admitted the write against *its* stability, not
+        ours; each entry becomes a session dependency (at conservative
+        chain index 0) so follow-up local reads dominance-check against
+        versions that may still be in flight towards this site.
+        """
+        fwd = reply.get("fwd_deps")
+        if not fwd:
+            return
+        for dep_key, entry in fwd.items():
+            have = self._deps.version_for(dep_key)
+            if have is None or entry.version.dominates(have):
+                self._deps.set(dep_key, entry.version, 0, entry.hlc)
+
+    def _forward_get_gen(self, key: str, owners: Tuple[str, ...]) -> Iterator[Any]:
+        """Read a non-locally-owned key via an owner DC's proxy.
+
+        Sticky to the primary owner — the chain every write of the shard
+        serialises through, whose head is never behind. After
+        ``degraded_read_after`` failed attempts the session rotates
+        through backup owners; a backup may trail the primary, so a
+        non-dominating answer from one is served flagged degraded (PR 3
+        taxonomy) rather than retried forever.
+        """
+        start = self.sim.now
+        for attempt in self._op_attempts(start):
+            failover = (
+                self.config.degraded_reads
+                and attempt >= self.config.degraded_read_after
+                and len(owners) > 1
+            )
+            site = owners[attempt % len(owners)] if failover else owners[0]
+            proxy = Address(site, "geoproxy")
+            sent_at = self.sim.now
+            try:
+                reply = yield self.call(
+                    proxy, "forward_get", key, timeout=self._forward_timeout
+                )
+            except TransientError as exc:
+                yield from self._backoff_and_refresh(attempt, exc)
+                continue
+            self.forwarded_gets += 1
+            self.forward_latency_samples.append(self.sim.now - sent_at)
+            version = reply["version"]
+            observed = self._deps.version_for(key)
+            if observed is not None and not version.dominates(observed):
+                if failover:
+                    # Behind what this session already saw and the
+                    # primary is unreachable: serve it, flagged. The dep
+                    # table is left untouched (degraded reads must not
+                    # regress known dependencies).
+                    self.degraded_reads += 1
+                    return GetResult(
+                        key=key,
+                        value=reply["value"],
+                        version=version,
+                        stable=reply["stable"],
+                        served_by=f"{site}/geoproxy",
+                        degraded=True,
+                    )
+                yield from self._backoff_and_refresh(attempt)
+                continue
+            self._merge_forward_deps(reply)
+            self._note_observed(key, reply)
+            return GetResult(
+                key=key,
+                value=reply["value"],
+                version=version,
+                stable=reply["stable"],
+                served_by=f"{site}/geoproxy",
+            )
+        raise self._give_up("get", key)
+
+    def _forward_put_gen(
+        self, key: str, value: Any, is_delete: bool, owners: Tuple[str, ...]
+    ) -> Iterator[Any]:
+        """Write a non-locally-owned key through the primary owner's chain.
+
+        Always the primary — funnelling every writer of a shard through
+        one chain is what keeps per-shard writes totally ordered without
+        cross-DC conflict resolution on the common path.
+        """
+        deps = self._deps.snapshot()
+        payload = {"key": key, "value": value, "deps": deps, "is_delete": is_delete}
+        proxy = Address(owners[0], "geoproxy")
+        start = self.sim.now
+        for attempt in self._op_attempts(start):
+            sent_at = self.sim.now
+            try:
+                reply = yield self.call(
+                    proxy, "forward_put", payload, timeout=self._forward_timeout
+                )
+            except TransientError as exc:
+                yield from self._backoff_and_refresh(attempt, exc)
+                continue
+            self.forwarded_puts += 1
+            self.forward_latency_samples.append(self.sim.now - sent_at)
+            if not reply["ok"]:
+                yield from self._backoff_and_refresh(attempt)
+                continue
+            put_reply = PutReply(
+                request_id=0,
+                key=key,
+                version=reply["version"],
+                index=reply["index"],
+                chain_len=reply["chain_len"],
+                hlc=reply["hlc"],
+            )
+            stable = put_reply.index >= put_reply.chain_len - 1
+            self._record_put(key, put_reply, stable)
+            return PutResult(
+                key=key,
+                version=put_reply.version,
+                stable=stable,
+                acked_by=f"{owners[0]}:{put_reply.index}",
+            )
+        raise self._give_up("delete" if is_delete else "put", key)
+
+    # ------------------------------------------------------------------
     # reads
     # ------------------------------------------------------------------
     def _read_target_index(self, chain_len: int, key: str, force_head: bool) -> int:
@@ -110,6 +254,10 @@ class ChainClientSession(RetryingSession):  # repro: lint-ok(slots) — unslotte
         return self._rng.randint(0, bound)
 
     def _get_gen(self, key: str) -> Iterator[Any]:
+        owners = self._forward_owners(key)
+        if owners is not None:
+            result = yield from self._forward_get_gen(key, owners)
+            return result
         start = self.sim.now
         force_head = False
         for attempt in self._op_attempts(start):
@@ -263,15 +411,27 @@ class ChainClientSession(RetryingSession):  # repro: lint-ok(slots) — unslotte
         )
 
     def _get_stable_one(self, key: str) -> Iterator[Any]:
+        owners = self._forward_owners(key)
         start = self.sim.now
         for attempt in self._op_attempts(start):
-            chain = self.view.chain_for(key)
-            # Stable versions live on every replica: load-balance freely.
-            target = self.view.address_of(chain[self._rng.randrange(len(chain))])
+            if owners is not None:
+                # Non-owned shard: the primary owner serves the stable
+                # record with the producing write's full dependency list
+                # (never pruned at the origin), keeping the snapshot's
+                # mutual-consistency floors complete.
+                target = Address(owners[0], "geoproxy")
+                method = "forward_get_stable"
+                timeout = self._forward_timeout
+            else:
+                chain = self.view.chain_for(key)
+                # Stable versions live on every replica: load-balance freely.
+                target = self.view.address_of(chain[self._rng.randrange(len(chain))])
+                method = "get_stable"
+                timeout = self.config.op_timeout
             try:
-                reply = yield self.call(
-                    target, "get_stable", key, timeout=self.config.op_timeout
-                )
+                reply = yield self.call(target, method, key, timeout=timeout)
+                if owners is not None:
+                    self.forwarded_gets += 1
                 return reply
             except TransientError as exc:
                 yield from self._backoff_and_refresh(attempt, exc)
@@ -281,6 +441,10 @@ class ChainClientSession(RetryingSession):  # repro: lint-ok(slots) — unslotte
     # writes
     # ------------------------------------------------------------------
     def _put_gen(self, key: str, value: Any, is_delete: bool) -> Iterator[Any]:
+        owners = self._forward_owners(key)
+        if owners is not None:
+            result = yield from self._forward_put_gen(key, value, is_delete, owners)
+            return result
         # The same-key entry rides along too: locally it is subsumed by
         # chain order, but remote DCs need it for *transitive* causality
         # — the new write dominates its predecessor, so without the

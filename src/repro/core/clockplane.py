@@ -42,6 +42,7 @@ floors from servers silent for ``2 * failure_timeout`` are ignored.
 
 from __future__ import annotations
 
+import dataclasses
 from collections import deque
 from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Any, Deque, Dict, Iterator, List, Optional, Set, Tuple
@@ -175,14 +176,20 @@ class ClockNodePlane(StabilityPlane):
     # -- dependency waits ----------------------------------------------
     def unresolved_deps(self, msg: PutRequest) -> List[Tuple[str, Any]]:
         lst = self.lst
+        node = self.node
+        placement = node.placement
         return [
             (dep_key, entry)
             for dep_key, entry in msg.deps.items()
             # Same-key deps are ordered by the chain itself; deps with
             # no stamp predate the clock plane and cannot be waited on.
+            # Non-owned shards (partial replication) are skipped for the
+            # same reason as on the notices plane: not locally checkable,
+            # covered by primary-owner forwarding plus ``fwd_deps``.
             if dep_key != msg.key
             and entry.hlc is not None
             and entry.hlc > lst
+            and (placement is None or placement.owns(node.site, dep_key))
         ]
 
     def spawn_dep_wait(self, dep_key: str, entry: Any) -> Future:
@@ -644,10 +651,17 @@ class GeoClockCore:
     # -- remote injection ----------------------------------------------
     def _max_dep_ts(self, update: RemoteUpdate) -> Optional[HLCStamp]:
         worst: Optional[HLCStamp] = None
+        catalog = self.proxy._catalog
+        site = self.proxy.site
         for dep_key, entry in update.deps.items():
             # Same-key order is enforced by stamp-ordered issuance plus
-            # the proxy's per-key gate chain.
+            # the proxy's per-key gate chain. Non-owned shards (partial
+            # replication) never arrive here and are not waited on —
+            # ships are pruned at the origin, but hand-built updates may
+            # still carry such entries.
             if dep_key == update.key or entry.hlc is None:
+                continue
+            if catalog is not None and not catalog.owns(site, dep_key):
                 continue
             if worst is None or entry.hlc > worst:
                 worst = entry.hlc
@@ -704,16 +718,43 @@ class GeoClockCore:
         while self._ship_buf and self._ship_buf[0][0] <= local_key:
             batch.append(heappop(self._ship_buf)[1])
         if batch and proxy._peers:
-            updates = tuple(batch)
-            first: Optional[ClockShip] = None
-            for peer in proxy._peers:
-                ship = ClockShip(origin_site=proxy.site, lst=local, updates=updates)
-                if first is None:
-                    first = ship
-                else:
-                    ship.copy_size_from(first)
-                proxy.send(peer, ship)
-                self.ships_sent += 1
+            catalog = proxy._catalog
+            if catalog is None:
+                updates = tuple(batch)
+                first: Optional[ClockShip] = None
+                for peer in proxy._peers:
+                    ship = ClockShip(origin_site=proxy.site, lst=local, updates=updates)
+                    if first is None:
+                        first = ship
+                    else:
+                        ship.copy_size_from(first)
+                    proxy.send(peer, ship)
+                    self.ships_sent += 1
+            else:
+                # Partial replication: each peer receives only the batch
+                # entries for shards it owns, with per-destination dep
+                # pruning. An empty share sends nothing — the stability
+                # vector broadcast below advances the peer's ship
+                # horizon to ``local`` on the same FIFO link, so its
+                # visible arithmetic never waits on unsent updates.
+                for peer in proxy._peers:
+                    share: List[RemoteUpdate] = []
+                    for update in batch:
+                        if not catalog.owns(peer.site, update.key):
+                            continue
+                        deps = proxy._prune_deps(update.deps, peer.site)
+                        if deps is not update.deps:
+                            update = dataclasses.replace(update, deps=deps)
+                        share.append(update)
+                    if not share:
+                        continue
+                    proxy.send(
+                        peer,
+                        ClockShip(
+                            origin_site=proxy.site, lst=local, updates=tuple(share)
+                        ),
+                    )
+                    self.ships_sent += 1
             proxy.updates_shipped += len(batch)
         visible = self._visible(now)
         # 2. Broadcast the site's stability vector.

@@ -8,9 +8,12 @@ misconfigured experiments fail loudly before any virtual time elapses.
 from __future__ import annotations
 
 import dataclasses
-from typing import Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.cluster.placement import ShardCatalog
 
 __all__ = ["PROTOCOL_MUTATIONS", "ChainReactionConfig"]
 
@@ -99,6 +102,19 @@ class ChainReactionConfig:
         sync_timeout: upper bound on a server's read-unavailability window
             while chain repair streams state after a view change.
         virtual_nodes: consistent-hashing virtual nodes per server.
+        replication_degree: r — how many sites replicate each keyspace
+            shard. 0 (default) means full replication: every site owns
+            every key and nothing about the geo plane changes. Any value
+            in [1, len(sites)) enables *partial* geo-replication: keys
+            hash into ``num_shards`` shards, each owned by ``r`` sites
+            chosen on a consistent-hash ring over the site names
+            (:mod:`repro.cluster.placement`), remote updates ship only
+            to owner sites, and clients forward operations on non-owned
+            shards to the shard's primary owner. ``r = len(sites)``
+            is accepted and equivalent to full replication.
+        num_shards: keyspace shards the partial-replication catalog
+            divides the key hash space into. Irrelevant (but validated)
+            when ``replication_degree`` is 0.
         protocol_batching: coalesce the metadata plane — stability
             notifications travel as :class:`~repro.core.messages.BulkStable`
             per upstream hop, geo shipping as
@@ -180,6 +196,8 @@ class ChainReactionConfig:
     service_time: float = 0.0001
     sync_timeout: float = 1.0
     virtual_nodes: int = 64
+    replication_degree: int = 0
+    num_shards: int = 16
     protocol_batching: bool = False
     batch_flush_interval: float = 0.002
     batch_max_entries: int = 128
@@ -224,6 +242,13 @@ class ChainReactionConfig:
             raise ConfigError("op_deadline must be >= 0 (0 = disabled)")
         if self.degraded_read_after < 1:
             raise ConfigError("degraded_read_after must be >= 1")
+        if not 0 <= self.replication_degree <= len(self.sites):
+            raise ConfigError(
+                f"replication_degree must be in [0, len(sites)={len(self.sites)}]; "
+                f"got {self.replication_degree} (0 = full replication)"
+            )
+        if self.num_shards < 1:
+            raise ConfigError("num_shards must be >= 1")
         if self.batch_flush_interval <= 0:
             raise ConfigError("batch_flush_interval must be positive")
         if self.batch_max_entries < 1:
@@ -266,6 +291,27 @@ class ChainReactionConfig:
     @property
     def is_geo(self) -> bool:
         return len(self.sites) > 1
+
+    @property
+    def is_partial(self) -> bool:
+        """True when some site does NOT replicate some shard."""
+        return 0 < self.replication_degree < len(self.sites)
+
+    def placement(self) -> Optional["ShardCatalog"]:
+        """The deployment's :class:`~repro.cluster.placement.ShardCatalog`,
+        or None under full replication.
+
+        None (rather than a degenerate catalog) is the gate every
+        partial-replication branch checks, so the default configuration
+        executes exactly the pre-catalog code paths — the golden-trace
+        guarantee. Callers on hot paths cache the result.
+        """
+        if not self.is_partial:
+            return None
+        # Local import: config is a leaf module nearly everything imports.
+        from repro.cluster.placement import shard_catalog
+
+        return shard_catalog(self.sites, self.num_shards, self.replication_degree)
 
     def with_updates(self, **changes: object) -> "ChainReactionConfig":
         """A copy with the given fields replaced (re-validated)."""

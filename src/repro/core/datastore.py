@@ -37,6 +37,7 @@ from repro.metrics.protocol import (
     STABILITY_MESSAGE_TYPES,
     batching_stats,
     metadata_footprint,
+    placement_stats,
     stability_plane_stats,
 )
 from repro.net.latency import lan_latency, wan_latency
@@ -188,10 +189,14 @@ class ChainReactionStore(Datastore):  # repro: lint-ok(slots) — one per deploy
         return [node for nodes in self.nodes.values() for node in nodes]
 
     def converged(self, key: str) -> bool:
-        """True when every replica of ``key``, in every DC, holds the same
-        (value, version) — including tombstones."""
+        """True when every replica of ``key``, in every owner DC, holds the
+        same (value, version) — including tombstones. Under full
+        replication every DC is an owner."""
+        placement = self.config.placement()
         observed = set()
         for site, manager in self.managers.items():
+            if placement is not None and not placement.owns(site, key):
+                continue
             for server_name in manager.view.chain_for(key):
                 node = self._node(site, server_name)
                 record = node.store.get_record(key)
@@ -214,16 +219,21 @@ class ChainReactionStore(Datastore):  # repro: lint-ok(slots) — one per deploy
         """Install records on every replica directly (skipping the protocol)
         and mark them DC-stable — the benchmark warm-up path.
 
-        All sites receive identical, already-stable state, exactly what a
-        long-converged deployment would hold.
+        All owner sites receive identical, already-stable state, exactly
+        what a long-converged deployment would hold; under partial
+        replication non-owner sites hold nothing (the per-DC memory win
+        the census in ``bench_pr10_partial`` measures).
         """
         version = VersionVector({"preload": 1})
+        placement = self.config.placement()
         # The clock plane needs no tracker writes: a record without an
         # HLC stamp is stable by construction (predates every stamp).
         track = self.config.stability != "clock"
         for key, value in data.items():
             key = intern_str(key)
             for site, manager in self.managers.items():
+                if placement is not None and not placement.owns(site, key):
+                    continue
                 for server_name in manager.view.chain_for(key):
                     node = self._node(site, server_name)
                     node.store.apply(key, value, version, self.sim.now)
@@ -283,6 +293,7 @@ class ChainReactionStore(Datastore):  # repro: lint-ok(slots) — one per deploy
         stats["global_stability_messages"] = net.count_of(*GLOBAL_STABILITY_MESSAGE_TYPES)
         stats["shipping_messages"] = net.count_of(*SHIPPING_MESSAGE_TYPES)
         stats["metadata"] = metadata_footprint(nodes, self._sessions)
+        stats["placement"] = placement_stats(self)
         stats["stability_plane"] = stability_plane_stats(self)
         if self.config.protocol_batching:
             stats["batching"] = batching_stats(nodes, self.proxies.values())

@@ -30,9 +30,12 @@ from repro.core.config import ChainReactionConfig
 from repro.core.messages import (
     ClockReport,
     ClockShip,
+    Deps,
     GlobalAck,
     GlobalStableBatch,
     GlobalStableNotice,
+    PutReply,
+    PutRequest,
     RemoteUpdate,
     RemoteUpdateBatch,
     StabilityVector,
@@ -41,6 +44,7 @@ from repro.core.messages import (
 )
 from repro.errors import RemoteError, ReproError, RequestTimeout
 from repro.net.actor import Actor
+from repro.net.message import estimate_size
 from repro.net.network import Address, Network
 from repro.sim.hlc import HLCStamp
 from repro.sim.kernel import Simulator
@@ -67,12 +71,22 @@ class GeoProxy(Actor):  # repro: lint-ok(slots) — unslotted Actor base keeps t
         self.config = config
         self.view = initial_view
         self._peers = [Address(s, "geoproxy") for s in all_sites if s != site]
+        #: shard→owners map under partial replication; None (the default,
+        #: full replication) gates every placement-aware branch off
+        self._catalog = config.placement()
         #: (key, version) → (sites yet to ack, origin put time)
         self._pending_global: Dict[Tuple[str, VersionVector], Tuple[Set[str], float]] = {}
         # metrics
         self.updates_shipped = 0
         self.updates_applied = 0
         self.duplicate_ships = 0
+        # forwarded-operation service counters (partial replication): this
+        # proxy acting as the owner-side entry point for remote clients
+        self.forwarded_gets_served = 0
+        self.forwarded_get_bytes = 0
+        self.forwarded_puts_served = 0
+        self._pending_forward_puts: Dict[int, Future] = {}
+        self._forward_seq = 0
         #: (origin_put_at→applied-at-local-head) latencies, remote side
         self.visibility_samples: List[float] = []
         #: (origin_put_at→acked-by-every-DC) latencies, origin side
@@ -111,6 +125,40 @@ class GeoProxy(Actor):  # repro: lint-ok(slots) — unslotted Actor base keeps t
             self.view = view
 
     # ------------------------------------------------------------------
+    # placement (partial replication)
+    # ------------------------------------------------------------------
+    def _peers_for(self, key: str) -> List[Address]:
+        """Peer proxies that replicate ``key``'s shard.
+
+        Full replication returns the shared peer list object itself, so
+        the default path is bit-identical to the pre-placement code.
+        """
+        if self._catalog is None:
+            return self._peers
+        return [p for p in self._peers if self._catalog.owns(p.site, key)]
+
+    def _prune_deps(self, deps: Deps, dst_site: str) -> Deps:
+        """Dependency entries worth shipping to ``dst_site``.
+
+        Under partial replication a destination only *checks* (and only
+        can check) dependencies on shards it owns — its causal-delivery
+        gate skips the rest, and reads of non-owned keys are forwarded to
+        their primary owner's chain head, which is never behind. Entries
+        for shards the destination doesn't replicate are therefore dead
+        weight on the WAN; dropping them per destination is what bounds
+        replication metadata to the shards a site holds (Xiang & Vaidya's
+        share-bounded tracking). Returns the original object untouched
+        when nothing prunes, so full replication keeps byte-identical
+        messages (and their memoized-size sharing).
+        """
+        if self._catalog is None or not deps:
+            return deps
+        kept = {k: e for k, e in deps.items() if self._catalog.owns(dst_site, k)}
+        if len(kept) == len(deps):
+            return deps
+        return kept
+
+    # ------------------------------------------------------------------
     # outbound: local tail says a write is DC-stable
     # ------------------------------------------------------------------
     def on_tail_stable(self, msg: TailStable, src: Address) -> None:
@@ -130,42 +178,57 @@ class GeoProxy(Actor):  # repro: lint-ok(slots) — unslotted Actor base keeps t
         self._shipped.add(token)
         self.updates_shipped += 1
         self.trace("geo", "ship", msg.key, version=str(msg.version))
-        if self._peers:
-            self._pending_global[token] = ({p.site for p in self._peers}, msg.origin_put_at)
+        # Partial replication ships only to the shard's other owner sites
+        # (full replication: every peer, as before).
+        peers = self._peers_for(msg.key)
+        if peers:
+            self._pending_global[token] = ({p.site for p in peers}, msg.origin_put_at)
             if self._update_coalescer is not None:
                 # Coalesced shipping: one shared RemoteUpdate object is
                 # buffered for every peer; the flush window turns a
                 # window's worth of them into one RemoteUpdateBatch per
-                # peer (memoized element sizes are computed once).
-                update = RemoteUpdate(
-                    key=msg.key,
-                    value=msg.value,
-                    version=msg.version,
-                    stamp=msg.stamp,
-                    deps=msg.deps,
-                    origin_site=self.site,
-                    origin_put_at=msg.origin_put_at,
-                )
-                for peer in self._peers:
+                # peer (memoized element sizes are computed once). With a
+                # catalog, per-destination dep pruning may differentiate
+                # the copies, so each peer gets its own object.
+                shared: Optional[RemoteUpdate] = None
+                for peer in peers:
+                    deps = self._prune_deps(msg.deps, peer.site)
+                    if deps is msg.deps and shared is not None:
+                        update = shared
+                    else:
+                        update = RemoteUpdate(
+                            key=msg.key,
+                            value=msg.value,
+                            version=msg.version,
+                            stamp=msg.stamp,
+                            deps=deps,
+                            origin_site=self.site,
+                            origin_put_at=msg.origin_put_at,
+                        )
+                        if deps is msg.deps:
+                            shared = update
                     self._update_coalescer.add(peer, update)
                 return
-            # Per-peer copies are byte-identical; size the first one on
-            # send and let the rest inherit the memoized size.
+            # Per-peer copies with identical deps are byte-identical;
+            # size the first such copy on send and let the rest inherit
+            # the memoized size. Pruned copies are sized individually.
             first: Optional[RemoteUpdate] = None
-            for peer in self._peers:
+            for peer in peers:
+                deps = self._prune_deps(msg.deps, peer.site)
                 update = RemoteUpdate(
                     key=msg.key,
                     value=msg.value,
                     version=msg.version,
                     stamp=msg.stamp,
-                    deps=msg.deps,
+                    deps=deps,
                     origin_site=self.site,
                     origin_put_at=msg.origin_put_at,
                 )
-                if first is None:
-                    first = update
-                else:
-                    update.copy_size_from(first)
+                if deps is msg.deps:
+                    if first is None:
+                        first = update
+                    else:
+                        update.copy_size_from(first)
                 self.send(peer, update)
         else:
             self.global_stability_samples.append(self.sim.now - msg.origin_put_at)
@@ -184,15 +247,16 @@ class GeoProxy(Actor):  # repro: lint-ok(slots) — unslotted Actor base keeps t
             self._announce_global(msg.key, msg.version)
 
     def _announce_global(self, key: str, version: VersionVector) -> None:
-        """Tell every DC (and our own chain members) the write is globally
-        stable, so client dependency tables can prune it."""
+        """Tell every owner DC (and our own chain members) the write is
+        globally stable, so client dependency tables can prune it."""
+        peers = self._peers_for(key)
         if self._global_coalescer is not None:
-            for peer in self._peers:
+            for peer in peers:
                 self._global_coalescer.add(peer, key, version)
             for server in self.view.chain_for(key):
                 self._global_coalescer.add(self.view.address_of(server), key, version)
         else:
-            for peer in self._peers:
+            for peer in peers:
                 self.send(peer, GlobalStableNotice(key=key, version=version, fan_out=True))
             self._fan_out_global(key, version)
         # Globally stable writes need no duplicate-ship suppression any
@@ -367,8 +431,14 @@ class GeoProxy(Actor):  # repro: lint-ok(slots) — unslotted Actor base keeps t
                     # Same-key order is already enforced by the gate chain
                     # below; waiting for the predecessor's DC-stability
                     # here would serialise the whole chain latency per
-                    # update instead of pipelining it.
+                    # update instead of pipelining it. Under partial
+                    # replication, dependencies on shards this site does
+                    # not own are not locally checkable — and need not
+                    # be: local reads of those keys forward to the dep's
+                    # primary owner, whose chain already serialised the
+                    # dependency before this write existed.
                     if dep_key != msg.key
+                    and (self._catalog is None or self._catalog.owns(self.site, dep_key))
                 ]
                 if waits:
                     yield all_of(self.sim, waits)
@@ -383,6 +453,101 @@ class GeoProxy(Actor):  # repro: lint-ok(slots) — unslotted Actor base keeps t
         self.updates_applied += 1
         self.trace("geo", "remote-apply", msg.key, origin=msg.origin_site)
         self.visibility_samples.append(self.sim.now - msg.origin_put_at)
+
+    # ------------------------------------------------------------------
+    # forwarded client operations (partial replication, owner side)
+    # ------------------------------------------------------------------
+    def rpc_forward_get(self, key: str, src: Address) -> Future:
+        """Serve a remote client's read of a locally-owned shard.
+
+        Served at the local chain *head*: the head is never behind, so a
+        forwarded read always observes every version this owner site has
+        serialised — the property the relaxed dependency checking in
+        :meth:`_apply_remote` (and the planes) relies on.
+        """
+        return spawn(self.sim, self._serve_forward_get(key), name=f"fwd-get:{key}")
+
+    def _serve_forward_get(self, key: str) -> Iterator[Any]:
+        head = self.view.address_of(self.view.chain_for(key)[0])
+        reply = yield self.call(
+            head, "get_fwd", key, timeout=self.config.op_timeout
+        )
+        self.forwarded_gets_served += 1
+        self.forwarded_get_bytes += estimate_size(reply)
+        return reply
+
+    def rpc_forward_get_stable(self, key: str, src: Address) -> Future:
+        """Snapshot-read leg for a non-owned shard: the primary's stable
+        record plus the full dependency list of the write that produced
+        it (the primary's record deps are never pruned — it admitted the
+        write straight from the client's PutRequest)."""
+        return spawn(
+            self.sim, self._serve_forward_get_stable(key), name=f"fwd-snap:{key}"
+        )
+
+    def _serve_forward_get_stable(self, key: str) -> Iterator[Any]:
+        head = self.view.address_of(self.view.chain_for(key)[0])
+        reply = yield self.call(
+            head, "get_stable", key, timeout=self.config.op_timeout
+        )
+        self.forwarded_gets_served += 1
+        self.forwarded_get_bytes += estimate_size(reply)
+        return reply
+
+    def rpc_forward_put(self, payload: Dict[str, Any], src: Address) -> Future:
+        """Apply a remote client's write through the local chain.
+
+        All writes to a shard funnel through its primary owner's chain,
+        so one head serialises the shard no matter where the writer
+        lives — version assignment, dependency waits, and stability all
+        run exactly the local-client path.
+        """
+        return spawn(
+            self.sim,
+            self._serve_forward_put(payload),
+            name=f"fwd-put:{payload['key']}",
+        )
+
+    def _serve_forward_put(self, payload: Dict[str, Any]) -> Iterator[Any]:
+        self._forward_seq += 1
+        request_id = self._forward_seq
+        fut = Future(self.sim)
+        self._pending_forward_puts[request_id] = fut
+        key = payload["key"]
+        head = self.view.address_of(self.view.chain_for(key)[0])
+        self.send(
+            head,
+            PutRequest(
+                request_id=request_id,
+                key=key,
+                value=payload["value"],
+                deps=payload["deps"],
+                reply_to=self.address,
+                is_delete=payload["is_delete"],
+            ),
+        )
+        try:
+            reply: PutReply = yield with_timeout(
+                self.sim, fut, self.config.op_timeout, f"forward-put({key!r})"
+            )
+        finally:
+            self._pending_forward_puts.pop(request_id, None)
+        self.forwarded_puts_served += 1
+        # A plain dict travels back over the RPC reply; the remote
+        # session rebuilds its PutReply view from it.
+        return {
+            "ok": reply.ok,
+            "error": reply.error,
+            "version": reply.version,
+            "index": reply.index,
+            "chain_len": reply.chain_len,
+            "hlc": reply.hlc,
+        }
+
+    def on_put_reply(self, msg: PutReply, src: Address) -> None:
+        fut = self._pending_forward_puts.get(msg.request_id)
+        if fut is not None:
+            fut.try_set_result(msg)
 
     def _wait_dep_stable(self, key: str, version: VersionVector) -> Iterator[Any]:
         """Wait until the local DC has stabilised a dependency version."""

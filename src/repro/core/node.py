@@ -101,6 +101,9 @@ class ChainNode(RingServer):  # repro: lint-ok(slots) — unslotted Actor base k
             service_time=config.service_time,
         )
         self.config = config
+        #: shard→owners map under partial replication; None = full
+        #: replication (every placement-aware branch gates on this)
+        self.placement = config.placement()
         if config.durable_storage:
             # FAWN-KV-style log-structured datastore: survives crashes
             # that wipe memory; compaction bounds log growth.
@@ -169,6 +172,10 @@ class ChainNode(RingServer):  # repro: lint-ok(slots) — unslotted Actor base k
     def _put_admission_error(self, key: str) -> Optional[str]:
         if self.syncing:
             return "syncing"
+        if self.placement is not None and not self.placement.owns(self.site, key):
+            # Partial replication: this whole site doesn't hold the
+            # key's shard — the client must forward to an owner DC.
+            return "not-responsible-shard"
         pos = chain_positions(self.chain_for(key), self.name)
         if pos is None:
             return "not-responsible"
@@ -502,6 +509,9 @@ class ChainNode(RingServer):  # repro: lint-ok(slots) — unslotted Actor base k
         if self.syncing:
             self.rejected_ops += 1
             raise ReplicaUnavailable("syncing")
+        if self.placement is not None and not self.placement.owns(self.site, key):
+            self.rejected_ops += 1
+            raise NotResponsibleError(f"{self.site} does not own the shard of {key!r}")
         pos = chain_positions(self.chain_for(key), self.name)
         if pos is None:
             self.rejected_ops += 1
@@ -531,6 +541,26 @@ class ChainNode(RingServer):  # repro: lint-ok(slots) — unslotted Actor base k
         self.plane.annotate_read(reply, key)
         return reply
 
+    def rpc_get_fwd(self, key: str, src: Address) -> Dict[str, Any]:
+        """Serve a read forwarded from a non-owner DC (via the proxy).
+
+        Same as :meth:`rpc_get`, plus ``fwd_deps``: the dependency list
+        of the write being served. A local reader is covered by this
+        site's admission gates (dependencies on owned shards were
+        DC-stable *here* before the write surfaced), but a remote reader
+        observes the write before those dependencies reach *its* site —
+        so the entries ride along for the reader's session to dominance-
+        check against its own DC. The list is the write's (already
+        bounded) client dep snapshot, not a transitive closure.
+        """
+        reply = self.rpc_get(key, src)
+        deps = self._record_deps.get(key)
+        if deps:
+            fwd = {k: e for k, e in deps.items() if k != key}
+            if fwd:
+                reply["fwd_deps"] = fwd
+        return reply
+
     def on_global_stable_notice(self, msg: GlobalStableNotice, src: Address) -> None:
         self.trace("stability", "global-stable", msg.key, version=str(msg.version))
         self.global_stability.record(msg.key, msg.version)
@@ -547,6 +577,9 @@ class ChainNode(RingServer):  # repro: lint-ok(slots) — unslotted Actor base k
         if self.syncing:
             self.rejected_ops += 1
             raise ReplicaUnavailable("syncing")
+        if self.placement is not None and not self.placement.owns(self.site, key):
+            self.rejected_ops += 1
+            raise NotResponsibleError(f"{self.site} does not own the shard of {key!r}")
         if chain_positions(self.chain_for(key), self.name) is None:
             self.rejected_ops += 1
             raise NotResponsibleError(f"{self.name} not in chain for {key!r}")

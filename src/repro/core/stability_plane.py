@@ -166,13 +166,21 @@ class NoticesPlane(StabilityPlane):
 
     def unresolved_deps(self, msg: PutRequest) -> List[Tuple[str, Any]]:
         node = self.node
+        placement = node.placement
         return [
             (dep_key, entry)
             for dep_key, entry in msg.deps.items()
             # Same-key dependencies need no wait here: the chain orders
             # this put after them, and shipping only on DC-stability
             # means they are stable before this write leaves the DC.
+            # Under partial replication, dependencies on shards this
+            # site does not own are not locally checkable and are
+            # skipped: reads of those keys forward to the dependency's
+            # primary owner (whose chain serialised it before this put
+            # existed), and forwarded reads of *this* write carry the
+            # entry onward via ``fwd_deps`` for the reader's DC to check.
             if dep_key != msg.key
+            and (placement is None or placement.owns(node.site, dep_key))
             and not node.stability.is_stable(dep_key, entry.version)
         ]
 

@@ -18,7 +18,12 @@ Crash targets are *selectors* resolved against the built deployment:
 - ``"dc0:s1"`` — the named server;
 - ``"head-of:<key>"`` / ``"mid-of:<key>"`` / ``"tail-of:<key>"`` — the
   server at that chain position for ``<key>`` (first site by default;
-  prefix with ``"<site>/"`` to pick another site).
+  prefix with ``"<site>/"`` to pick another site);
+- ``"owner-head-of:<key>"`` — the chain head of ``<key>`` at its
+  *primary owner* DC under the deployment's shard placement (falls
+  back to the first site under full replication); this is the server
+  every forwarded operation on the key serialises through, the
+  partial-replication single-point-of-serve stress target.
 
 Partition targets are ``"a|b"`` where each endpoint is a site name or
 ``site:server``; slow-link targets are ``"siteA~siteB"`` (``a == b``
@@ -130,6 +135,13 @@ def resolve_server(store: Any, selector: str) -> Any:
         site, sel = sel.split("/", 1)
     if site not in store.sites:
         raise ConfigError(f"selector {selector!r}: unknown site {site!r}")
+    if sel.startswith("owner-head-of:"):
+        key = sel[len("owner-head-of:") :]
+        catalog = getattr(store.config, "placement", lambda: None)()
+        if catalog is not None:
+            site = catalog.primary_for(key)
+        chain = store.managers[site].view.chain_for(key)
+        sel = f"{site}:{chain[0]}"
     position = None
     for prefix in _POSITIONS:
         if sel.startswith(prefix + ":"):
@@ -200,6 +212,19 @@ CAMPAIGNS: Dict[str, CampaignSpec] = {
                 _crash(0.6, "dc0:s0", 1.2),
                 _crash(0.9, "dc0:s2", 1.6),
             ),
+        ),
+        CampaignSpec(
+            name="partial-owner-crash",
+            description=(
+                "under replication degree 1, crash the chain head at the "
+                "sole owner DC of a hot shard mid-serve; remote gets must "
+                "retry/degrade per the outcome taxonomy and resume once "
+                "the owner chain repairs, with zero unresolved operations"
+            ),
+            sites=("dc0", "dc1", "dc2"),
+            clients=9,
+            events=(_crash(0.7, "owner-head-of:user00000000", 1.5),),
+            overrides={"replication_degree": 1, "num_shards": 8},
         ),
         CampaignSpec(
             name="partition-sites",

@@ -29,6 +29,7 @@ __all__ = [
     "batching_stats",
     "link_floor_profile",
     "metadata_footprint",
+    "placement_stats",
     "stability_plane_stats",
 ]
 
@@ -155,6 +156,59 @@ def metadata_footprint(nodes: Iterable[Any], sessions: Iterable[Any]) -> Dict[st
         # size and the worst clock-vs-simulated-time skew seen, in µs
         "hlc_entries": hlc_entries,
         "hlc_skew_max_us": hlc_skew_max,
+        # partial-replication client gauges (0 under full replication):
+        # operations routed to a remote owner DC instead of served here
+        "forwarded_gets": sum(
+            getattr(s, "forwarded_gets", 0) for s in session_list
+        ),
+        "forwarded_puts": sum(
+            getattr(s, "forwarded_puts", 0) for s in session_list
+        ),
+    }
+
+
+def placement_stats(store: Any) -> Dict[str, Any]:
+    """Partial-replication gauges for one deployment (per local site).
+
+    ``owned_shards`` and ``records_held`` expose the per-DC memory
+    census the replication-degree A/B compares; the forwarded-operation
+    counters and ``dep_table_slots`` bound the extra metadata partial
+    replication introduces (remote routing plus ``fwd_deps`` merges).
+    Under full replication the catalog is None and the dict collapses to
+    the degenerate summary.
+    """
+    config = store.config
+    catalog = config.placement()
+    if catalog is None:
+        return {
+            "partial": False,
+            "replication_degree": len(config.sites),
+            "num_shards": config.num_shards,
+        }
+    per_site: Dict[str, Dict[str, int]] = {}
+    for site in store.local_sites:
+        nodes = store.nodes.get(site, [])
+        proxy = store.proxies.get(site)
+        site_sessions = [s for s in store._sessions if s.site == site]
+        dep_slots = 0
+        for s in site_sessions:
+            table = getattr(s, "_deps", None)
+            column_slots = getattr(table, "column_slots", None)
+            if column_slots is not None:
+                dep_slots += column_slots()
+        per_site[site] = {
+            "owned_shards": len(catalog.owned_shards(site)),
+            "records_held": sum(len(n.store) for n in nodes),
+            "forwarded_gets_served": getattr(proxy, "forwarded_gets_served", 0),
+            "forwarded_get_bytes": getattr(proxy, "forwarded_get_bytes", 0),
+            "forwarded_puts_served": getattr(proxy, "forwarded_puts_served", 0),
+            "dep_table_slots": dep_slots,
+        }
+    return {
+        "partial": True,
+        "replication_degree": catalog.replication_degree,
+        "num_shards": catalog.num_shards,
+        "sites": per_site,
     }
 
 

@@ -20,6 +20,7 @@ from repro.perf.micro import (
 from repro.perf.profile import format_profile_rows, profile_call
 from repro.perf.protocol import BATCHED_OVERRIDES, bench_protocol_plane
 from repro.perf.parallel import PARALLEL_SCALE_PROFILE, bench_parallel_scale
+from repro.perf.partial import DEGREES, bench_partial_replication
 from repro.perf.report import collect_report, summary_lines, write_report
 from repro.perf.scale import SCALE_PROFILE, bench_scale, resolve_profile
 from repro.perf.stability import PLANES, bench_stability_plane
@@ -48,4 +49,6 @@ __all__ = [
     "PARALLEL_SCALE_PROFILE",
     "bench_stability_plane",
     "PLANES",
+    "bench_partial_replication",
+    "DEGREES",
 ]

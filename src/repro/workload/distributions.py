@@ -8,13 +8,19 @@ distributions are reproduced here:
   YCSB algorithm), giving the skewed popularity that creates hot chains,
 - :class:`ScrambledZipfianKeys` — zipfian ranks hashed over the
   keyspace, so the hot keys are not clustered on one ring segment,
-- :class:`LatestKeys` — zipfian over recency, for YCSB workload D.
+- :class:`LatestKeys` — zipfian over recency, for YCSB workload D,
+- :class:`HotShardKeys` — an explicit hot set absorbs a fixed fraction
+  of the traffic, the rest uniform; the partial-replication experiment
+  uses it to concentrate load on chosen keyspace *shards* (zipfian
+  popularity hashes keys uniformly over shards, so shard-level skew
+  needs shard-aware hot sets).
 """
 
 from __future__ import annotations
 
 import math
 import random
+from typing import Sequence
 
 __all__ = [
     "KeyChooser",
@@ -22,6 +28,7 @@ __all__ = [
     "ZipfianKeys",
     "ScrambledZipfianKeys",
     "LatestKeys",
+    "HotShardKeys",
 ]
 
 _FNV_OFFSET = 0xCBF29CE484222325
@@ -112,3 +119,31 @@ class LatestKeys(KeyChooser):
 
     def choose(self, rng: random.Random) -> int:
         return self.n - 1 - self._zipf.choose(rng)
+
+
+class HotShardKeys(KeyChooser):
+    """A fixed hot set takes ``hot_fraction`` of the draws, uniformly;
+    the remainder is uniform over the whole keyspace.
+
+    The hot set is an explicit index tuple so a caller can align it
+    with any partitioning — e.g. every key of a handful of placement
+    shards — rather than relying on rank popularity, which scrambling
+    (and shard hashing) spreads uniformly across partitions.
+    """
+
+    def __init__(self, n: int, hot_indexes: Sequence[int], hot_fraction: float = 0.8):
+        super().__init__(n)
+        if not hot_indexes:
+            raise ValueError("hot_indexes must be non-empty")
+        bad = [i for i in hot_indexes if not 0 <= i < n]
+        if bad:
+            raise ValueError(f"hot indexes {bad[:3]} outside keyspace [0, {n})")
+        if not 0.0 < hot_fraction <= 1.0:
+            raise ValueError(f"hot_fraction must be in (0, 1], got {hot_fraction}")
+        self.hot_indexes = tuple(hot_indexes)
+        self.hot_fraction = hot_fraction
+
+    def choose(self, rng: random.Random) -> int:
+        if rng.random() < self.hot_fraction:
+            return self.hot_indexes[rng.randrange(len(self.hot_indexes))]
+        return rng.randrange(self.n)

@@ -18,11 +18,12 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import Dict
+from typing import Dict, Tuple
 
 from repro.errors import ConfigError
 from repro.storage.version import intern_str
 from repro.workload.distributions import (
+    HotShardKeys,
     KeyChooser,
     LatestKeys,
     ScrambledZipfianKeys,
@@ -52,6 +53,10 @@ class WorkloadSpec:
     distribution: str = "scrambled"
     value_size: int = 128
     key_prefix: str = "user"
+    #: "hotshard" only: explicit key indices absorbing ``hot_fraction``
+    #: of the traffic (tuple so the spec stays frozen/hashable)
+    hot_indexes: Tuple[int, ...] = ()
+    hot_fraction: float = 0.8
 
     def __post_init__(self) -> None:
         total = self.read_proportion + self.update_proportion + self.insert_proportion
@@ -59,10 +64,17 @@ class WorkloadSpec:
             raise ConfigError(f"proportions sum to {total}, expected 1.0")
         if self.record_count < 1:
             raise ConfigError("record_count must be >= 1")
-        if self.distribution not in _DISTRIBUTIONS:
+        if self.distribution == "hotshard":
+            if not self.hot_indexes:
+                raise ConfigError("hotshard distribution requires hot_indexes")
+            if not 0.0 < self.hot_fraction <= 1.0:
+                raise ConfigError(
+                    f"hot_fraction must be in (0, 1], got {self.hot_fraction}"
+                )
+        elif self.distribution not in _DISTRIBUTIONS:
             raise ConfigError(
                 f"unknown distribution {self.distribution!r}; "
-                f"choose from {sorted(_DISTRIBUTIONS)}"
+                f"choose from {sorted(_DISTRIBUTIONS) + ['hotshard']}"
             )
         if self.value_size < 1:
             raise ConfigError("value_size must be >= 1")
@@ -74,6 +86,8 @@ class WorkloadSpec:
         return intern_str(f"{self.key_prefix}{index:08d}")
 
     def make_chooser(self, n: int) -> KeyChooser:
+        if self.distribution == "hotshard":
+            return HotShardKeys(n, self.hot_indexes, self.hot_fraction)
         return _DISTRIBUTIONS[self.distribution](n)
 
     def choose_op(self, rng: random.Random) -> str:
